@@ -1,0 +1,50 @@
+"""Benchmark-harness fixtures.
+
+Every benchmark regenerates one paper table/figure on the benchmark
+machine (default: 1/16-scale POWER5; override with REPRO_BENCH_SCALE)
+and writes a text report to ``benchmarks/results/`` -- those reports are
+the source for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+from repro.runner.offline import OfflineConfig
+from repro.sim.machine import MachineConfig
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def bench_machine() -> MachineConfig:
+    scale = int(os.environ.get("REPRO_BENCH_SCALE", "16"))
+    return MachineConfig.scaled(scale)
+
+
+@pytest.fixture(scope="session")
+def bench_offline() -> OfflineConfig:
+    """Offline measurement windows for benchmark runs (machine-relative
+    defaults are applied per machine inside the runners)."""
+    return OfflineConfig()
+
+
+@pytest.fixture(scope="session")
+def report_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture()
+def save_report(report_dir):
+    """Write one experiment's text report to benchmarks/results/."""
+
+    def _save(name: str, text: str) -> pathlib.Path:
+        path = report_dir / f"{name}.txt"
+        path.write_text(text + "\n")
+        return path
+
+    return _save

@@ -1,0 +1,83 @@
+"""Ablation: partition-selector quality (greedy vs optimal DP).
+
+DESIGN.md design choice: for N > 2 applications the paper defers to
+Qureshi-style greedy allocation.  This ablation sizes a 4-application
+mix with both the greedy selector and the exact DP, on *probed*
+(RapidMRC) curves, and measures the predicted and simulated quality gap.
+"""
+
+from repro.analysis.report import render_table
+from repro.core.partition import (
+    choose_partition_sizes_multi,
+    choose_partition_sizes_optimal,
+)
+from repro.core.rapidmrc import ProbeConfig
+from repro.runner.corun import CorunSpec, corun, normalized_ipc
+from repro.runner.offline import real_mrc
+from repro.runner.online import OnlineProbeConfig, collect_trace
+from repro.workloads import make_workload
+
+APPS = ("mcf_2k6", "twolf", "gzip", "libquantum")
+
+
+def run_ablation(machine, offline):
+    curves = []
+    for name in APPS:
+        workload = make_workload(name, machine)
+        real = real_mrc(workload, machine, offline)
+        probe = collect_trace(workload, machine, OnlineProbeConfig(),
+                              ProbeConfig())
+        probe.calibrate(8, real[8])
+        curves.append(probe.result.best_mrc)
+
+    greedy = choose_partition_sizes_multi(curves, machine.num_colors)
+    optimal = choose_partition_sizes_optimal(curves, machine.num_colors)
+
+    def measure(colors_counts):
+        cursor = 0
+        specs = []
+        for name, count in zip(APPS, colors_counts):
+            specs.append(CorunSpec(
+                make_workload(name, machine),
+                colors=list(range(cursor, cursor + count)),
+            ))
+            cursor += count
+        return corun(specs, machine, quota_accesses=16 * machine.l2_lines,
+                     warmup_accesses=6 * machine.l2_lines)
+
+    baseline = corun(
+        [CorunSpec(make_workload(name, machine)) for name in APPS],
+        machine, quota_accesses=16 * machine.l2_lines,
+        warmup_accesses=6 * machine.l2_lines,
+    )
+    measured = {
+        "greedy": normalized_ipc(measure(greedy.colors), baseline),
+        "optimal": normalized_ipc(measure(optimal.colors), baseline),
+    }
+    return greedy, optimal, measured
+
+
+def test_partition_selector_ablation(benchmark, bench_machine, bench_offline,
+                                     save_report):
+    greedy, optimal, measured = benchmark.pedantic(
+        run_ablation, args=(bench_machine, bench_offline),
+        rounds=1, iterations=1,
+    )
+    save_report(
+        "ablation_partitioning",
+        "Partition-selector ablation (4 apps: " + ", ".join(APPS) + ")\n\n"
+        + render_table(
+            ["selector", "colors", "predicted MPKI", "mean norm IPC %"],
+            [
+                ["greedy", str(greedy.colors), greedy.total_mpki,
+                 sum(measured["greedy"]) / len(measured["greedy"])],
+                ["optimal DP", str(optimal.colors), optimal.total_mpki,
+                 sum(measured["optimal"]) / len(measured["optimal"])],
+            ],
+        ),
+    )
+    # The DP is never worse in predicted misses.
+    assert optimal.total_mpki <= greedy.total_mpki + 1e-9
+    # Both decisions allocate every color.
+    assert sum(greedy.colors) == bench_machine.num_colors
+    assert sum(optimal.colors) == bench_machine.num_colors

@@ -1,0 +1,140 @@
+"""The intro's other online uses, validated against the simulator.
+
+Beyond unit tests, two of the :mod:`repro.apps` policies make claims the
+machine can check:
+
+- **co-scheduling** (intro iii): with four applications and two shared
+  caches, the MRC-predicted pairing should be (near-)best among all
+  three possible pairings when each pair is actually co-run;
+- **energy** (intro i): powering down the colors the sizing decision
+  releases must not raise the application's measured miss rate beyond
+  the guardrail.
+"""
+
+import itertools
+
+from repro.analysis.report import render_table
+from repro.apps.coscheduling import pair_for_coscheduling
+from repro.apps.energy import choose_energy_size
+from repro.core.rapidmrc import ProbeConfig
+from repro.runner.corun import CorunSpec, corun
+from repro.runner.offline import measure_mpki, real_mrc
+from repro.runner.online import OnlineProbeConfig, collect_trace
+from repro.workloads import make_workload
+
+APPS = ("mcf_2k6", "twolf", "libquantum", "povray")
+
+
+def probe_curves(machine, offline):
+    curves = {}
+    for name in APPS:
+        workload = make_workload(name, machine)
+        probe = collect_trace(workload, machine, OnlineProbeConfig(),
+                              ProbeConfig())
+        real = real_mrc(workload, machine, offline, sizes=[8])
+        probe.calibrate(8, real[8])
+        curves[name] = probe.result.best_mrc
+    return curves
+
+
+def run_coscheduling_validation(machine, offline):
+    curves = probe_curves(machine, offline)
+    pairing = pair_for_coscheduling(curves, machine.num_colors)
+
+    def measure_pairing(pairs):
+        total_mpki = 0.0
+        for a, b in pairs:
+            result = corun(
+                [CorunSpec(make_workload(a, machine)),
+                 CorunSpec(make_workload(b, machine))],
+                machine, quota_accesses=10 * machine.l2_lines,
+                warmup_accesses=4 * machine.l2_lines,
+            )
+            total_mpki += sum(result.mpki)
+        return total_mpki
+
+    names = list(APPS)
+    all_pairings = [
+        ((names[0], names[1]), (names[2], names[3])),
+        ((names[0], names[2]), (names[1], names[3])),
+        ((names[0], names[3]), (names[1], names[2])),
+    ]
+    measured = {pairs: measure_pairing(pairs) for pairs in all_pairings}
+    chosen_key = tuple(
+        tuple(sorted(pair)) for pair in pairing.pairs
+    )
+    normalized = {
+        tuple(tuple(sorted(p)) for p in pairs): value
+        for pairs, value in measured.items()
+    }
+    chosen_set = frozenset(chosen_key)
+    chosen_cost = next(
+        value for key, value in normalized.items()
+        if frozenset(key) == chosen_set
+    )
+    return pairing, normalized, chosen_cost
+
+
+def test_coscheduling_validated_by_corun(benchmark, bench_machine,
+                                         bench_offline, save_report):
+    pairing, measured, chosen_cost = benchmark.pedantic(
+        run_coscheduling_validation, args=(bench_machine, bench_offline),
+        rounds=1, iterations=1,
+    )
+    rows = [
+        [" + ".join("/".join(p) for p in key), value]
+        for key, value in measured.items()
+    ]
+    save_report(
+        "apps_coscheduling",
+        "Co-scheduling validation: measured combined MPKI per pairing\n\n"
+        + render_table(["pairing", "measured total MPKI"], rows)
+        + f"\n\nchosen: {pairing.pairs} "
+        f"(predicted {pairing.predicted_total_mpki:.2f}, "
+        f"measured {chosen_cost:.2f})",
+    )
+    best = min(measured.values())
+    worst = max(measured.values())
+    # The decision matters (pairings genuinely differ)...
+    assert worst > best * 1.02
+    # ... and the MRC-chosen pairing is at or near the measured best.
+    assert chosen_cost <= best + 0.35 * (worst - best), (chosen_cost, measured)
+
+
+def run_energy_validation(machine, offline):
+    rows = {}
+    for name in ("povray", "libquantum"):
+        workload = make_workload(name, machine)
+        real = real_mrc(workload, machine, offline)
+        decision = choose_energy_size(real, tolerance_mpki=0.5)
+        confined = measure_mpki(
+            workload, machine, colors=list(range(decision.size)),
+            config=offline,
+        )
+        rows[name] = (decision, real[16], confined)
+    return rows
+
+
+def test_energy_sizing_validated(benchmark, bench_machine, bench_offline,
+                                 save_report):
+    rows = benchmark.pedantic(
+        run_energy_validation, args=(bench_machine, bench_offline),
+        rounds=1, iterations=1,
+    )
+    table = [
+        [name, decision.size, full_mpki, confined_mpki]
+        for name, (decision, full_mpki, confined_mpki) in rows.items()
+    ]
+    save_report(
+        "apps_energy",
+        "Energy sizing validation: MPKI at full size vs chosen size\n\n"
+        + render_table(
+            ["workload", "chosen colors", "MPKI @16", "MPKI @chosen"],
+            table,
+        ),
+    )
+    for name, (decision, full_mpki, confined_mpki) in rows.items():
+        # Shrinking saves colors for these insensitive apps...
+        assert decision.size <= 4, (name, decision)
+        # ... without hurting the measured miss rate beyond guardrail+noise.
+        assert confined_mpki <= full_mpki + 1.5, (name, full_mpki, confined_mpki)

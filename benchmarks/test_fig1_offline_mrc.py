@@ -1,0 +1,37 @@
+"""Figure 1: offline L2 MRC of mcf over 16 partition sizes.
+
+Paper shape: MPKI falls steeply from ~45 at 1 partition and keeps
+falling across the full size range (mcf never saturates at 16).
+Reproduction target: a strictly large dynamic range with most of the
+drop in the first half of the sizes.
+"""
+
+from repro.analysis.report import render_curves
+from repro.runner.experiments import fig1_offline_mrc
+
+
+def test_fig1_offline_mrc(benchmark, bench_machine, bench_offline, save_report):
+    mrc = benchmark.pedantic(
+        fig1_offline_mrc,
+        kwargs={"machine": bench_machine, "config": bench_offline},
+        rounds=1, iterations=1,
+    )
+
+    report = [
+        "Figure 1: offline L2 MRC of mcf",
+        f"machine: {bench_machine.name}",
+        "",
+        render_curves({"mcf (real)": mrc}),
+    ]
+    save_report("fig1_offline_mrc", "\n".join(report))
+
+    # Shape assertions (paper Figure 1): monotone-ish steep decline.
+    # (The mcf model's streaming component sets a floor at large sizes,
+    # so the ratio is bounded at ~1.8x here vs the paper's larger span;
+    # steepness, monotonicity and no-saturation are the shape targets.)
+    assert mrc[1] > 1.6 * mrc[16], "mcf must be strongly cache-sensitive"
+    assert mrc.dynamic_range() > 20.0
+    assert mrc.monotone_violations() <= 2
+    # The curve must keep improving in the second half too (no early
+    # saturation -- mcf's defining property).
+    assert mrc[8] > mrc[16] * 1.1

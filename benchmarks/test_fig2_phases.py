@@ -1,0 +1,68 @@
+"""Figure 2: phase transitions in mcf and their impact on the MRC.
+
+Paper content: (a) the per-interval L2 miss rate alternates between two
+levels at every partition size; (b) the two phases have substantially
+different MRCs; (c) the detected phase boundaries coincide with the true
+alternation and are insensitive to the configured cache size.
+"""
+
+from repro.analysis.report import render_ascii_chart, render_curves
+from repro.runner.experiments import fig2_phases
+
+
+def _boundary_recall(detected, truth, tolerance=1):
+    """Fraction of true boundaries matched by a detection within
+    ``tolerance`` intervals."""
+    if not truth:
+        return 1.0
+    hits = sum(
+        1 for t in truth if any(abs(t - d) <= tolerance for d in detected)
+    )
+    return hits / len(truth)
+
+
+def test_fig2_phases(benchmark, bench_machine, save_report):
+    result = benchmark.pedantic(
+        fig2_phases,
+        kwargs={"machine": bench_machine, "phase_cycles": 3},
+        rounds=1, iterations=1,
+    )
+
+    sizes = sorted(result.timelines)
+    report = [
+        "Figure 2: phase transitions in mcf",
+        f"machine: {bench_machine.name}",
+        "",
+        "(a) per-interval MPKI timelines (subset of sizes):",
+        render_ascii_chart(
+            {f"{s} colors": result.timelines[s] for s in (1, 8, 16)},
+            height=10,
+        ),
+        "",
+        "(b) per-phase MRCs vs whole-run average:",
+        render_curves(result.phase_mrcs),
+        "",
+        "(c) phase boundaries (interval index):",
+        f"  truth: {result.true_boundaries}",
+    ]
+    for size in sizes:
+        report.append(f"  @{size:2d} colors: {result.detected_boundaries[size]}")
+    save_report("fig2_phases", "\n".join(report))
+
+    # (a) both phases visible: the 1-color timeline has a large swing.
+    series = result.timelines[1]
+    assert max(series) > 1.3 * min(series)
+
+    # (b) the two phases have substantially different MRCs.
+    phases = [v for k, v in result.phase_mrcs.items() if k != "average"]
+    assert len(phases) == 2
+    heavy, light = sorted(phases, key=lambda m: m[1], reverse=True)
+    assert heavy[1] > 1.3 * light[1]
+
+    # (c) boundaries detected at (nearly) every size, matching truth.
+    recalls = [
+        _boundary_recall(result.detected_boundaries[size],
+                         result.true_boundaries)
+        for size in sizes
+    ]
+    assert sum(r >= 0.8 for r in recalls) >= int(0.8 * len(sizes)), recalls

@@ -1,0 +1,64 @@
+"""Table 2: per-application RapidMRC statistics.
+
+Paper content, per application: trace-logging cycles (a), calculation
+cycles (b), probe instructions (c), average phase length (d), prefetch
+conversion % (e), warmup % (f), LRU stack hit rate (g), vertical shift
+(h), MPKI distance at the standard log (i) and the 10x log (j).
+
+Reproduction targets (structural, not absolute): logging dominates
+calculation the way the paper's 221M vs 124M do at similar order; small
+working sets show high stack hit rates; streaming apps show high
+prefetch-conversion; the overall mean distance stays low.
+"""
+
+import statistics
+
+from repro.analysis.tables import table2_averages, table2_text
+from repro.runner.experiments import table2_statistics
+from repro.workloads.spec import WORKLOAD_NAMES
+
+#: Subset for the expensive 10x-log column (paper column j).
+LONG_LOG_APPS = ("mcf", "swim", "twolf")
+
+
+def test_table2_statistics(benchmark, bench_machine, bench_offline, save_report):
+    rows = benchmark.pedantic(
+        table2_statistics,
+        kwargs={"machine": bench_machine, "offline": bench_offline},
+        rounds=1, iterations=1,
+    )
+    text = table2_text(rows)
+    save_report("table2_statistics",
+                f"Table 2: RapidMRC statistics\nmachine: {bench_machine.name}\n\n"
+                + text)
+
+    assert len(rows) == len(WORKLOAD_NAMES)
+    by_name = {row.workload: row for row in rows}
+
+    # Column g: tiny-working-set applications barely spill the stack.
+    assert by_name["crafty"].stack_hit_rate > 0.9
+    assert by_name["povray"].stack_hit_rate > 0.9
+    # ... while streaming applications mostly miss it (paper: libquantum
+    # 0%; here a repaired stale entry followed by the late-prefetch
+    # demand miss yields one short-distance duplicate per line, so the
+    # floor is above zero but still far below every cache-friendly app).
+    assert by_name["libquantum"].stack_hit_rate < 0.4
+
+    # Column e: prefetch-heavy streaming shows high conversion; pointer
+    # chasing shows low conversion (paper: libquantum 96%, mcf 2%).
+    assert (by_name["libquantum"].prefetch_conversion_fraction
+            > by_name["mcf"].prefetch_conversion_fraction)
+
+    # Column f: warmup never exceeds the static fallback half-log.
+    assert all(row.warmup_fraction <= 0.51 for row in rows)
+
+    # Columns a/b: logging and calculation are the same order of
+    # magnitude, logging larger (paper: 221M vs 124M cycles).
+    average = table2_averages(rows)
+    assert average.trace_logging_cycles > average.mrc_calculation_cycles
+    assert (average.trace_logging_cycles
+            < 50 * average.mrc_calculation_cycles)
+
+    # Column i average: the paper reports 1.02 MPKI over 30 apps; stay
+    # within a loose factor on the scaled machine.
+    assert average.distance_standard_log < 3.0, average.distance_standard_log

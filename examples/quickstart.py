@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Quickstart: approximate one application's L2 MRC online.
+
+This walks the full RapidMRC flow on the simulated machine:
+
+1. build a (scaled) POWER5-like machine and an application model;
+2. run a probing period -- the PMU samples every L1D miss into a trace
+   log until it fills;
+3. feed the log to the MRC calculation engine (correction + LRU stack);
+4. measure one real point with the miss-rate counters and v-offset match;
+5. compare against the exhaustive offline real MRC.
+
+Run:  python examples/quickstart.py [workload] [scale]
+"""
+
+import sys
+
+from repro import MachineConfig, make_workload, mpki_distance
+from repro.analysis.report import render_ascii_chart, render_curves
+from repro.runner.offline import OfflineConfig, real_mrc
+from repro.runner.online import collect_trace
+
+
+def main() -> int:
+    workload_name = sys.argv[1] if len(sys.argv) > 1 else "mcf"
+    scale = int(sys.argv[2]) if len(sys.argv) > 2 else 16
+
+    machine = MachineConfig.scaled(scale)
+    print(f"machine: {machine.name} -- L2 {machine.l2_lines} lines, "
+          f"{machine.num_colors} colors of {machine.lines_per_color} lines")
+
+    workload = make_workload(workload_name, machine)
+    print(f"workload: {workload.name} -- {workload.description}")
+
+    # --- the online probe -------------------------------------------------
+    probe = collect_trace(workload, machine)
+    stats = probe.probe
+    print(f"\nprobe: {len(stats.entries)} trace entries over "
+          f"{stats.instructions} instructions "
+          f"({stats.exceptions} PMU exceptions, {stats.dropped_events} "
+          f"events lost to dual-LSU collisions, {stats.stale_entries} "
+          f"stale prefetch entries)")
+    result = probe.result
+    print(f"stack hit rate {result.stack_hit_rate:.0%}, "
+          f"warmup used {result.warmup_fraction:.0%} of the log, "
+          f"{result.prefetch_conversion_fraction:.1%} of entries repaired")
+
+    # --- ground truth + calibration --------------------------------------
+    print("\nmeasuring the exhaustive offline real MRC (16 runs)...")
+    real = real_mrc(workload, machine, OfflineConfig())
+    anchor = 8
+    probe.calibrate(anchor, real[anchor])
+    calculated = result.best_mrc
+    print(f"v-offset shift applied: {result.vertical_shift:+.2f} MPKI "
+          f"(anchored at {anchor} colors)")
+
+    print()
+    print(render_curves({"real": real, "rapidmrc": calculated}))
+    print()
+    print(render_ascii_chart({
+        "real": [real[s] for s in real.sizes],
+        "rapidmrc": [calculated[s] for s in real.sizes],
+    }))
+    print(f"\nMPKI distance (Table 2 metric): "
+          f"{mpki_distance(real, calculated):.3f}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,58 @@
+"""RapidMRC reproduction.
+
+A full-system reproduction of *RapidMRC: Approximating L2 Miss Rate
+Curves on Commodity Systems for Online Optimizations* (Tam, Azimi,
+Soares, Stumm -- ASPLOS 2009) over a simulated POWER5-like substrate.
+
+Quick start::
+
+    from repro import MachineConfig, make_workload, ProbeConfig
+    from repro.runner import collect_trace, real_mrc
+    from repro.core.mrc import mpki_distance
+
+    machine = MachineConfig.scaled(16)
+    workload = make_workload("mcf", machine)
+    probe = collect_trace(workload, machine)          # online RapidMRC
+    real = real_mrc(workload, machine)                 # exhaustive truth
+    probe.calibrate(8, real[8])                        # v-offset match
+    print(mpki_distance(real, probe.result.best_mrc))  # Table 2 metric
+
+Package map (see DESIGN.md for the full inventory):
+
+- :mod:`repro.core` -- the paper's contribution: stack engines, trace
+  correction, the RapidMRC pipeline, phase detection, partition sizing.
+- :mod:`repro.sim` -- the machine: caches, hierarchy, coloring, cost model.
+- :mod:`repro.pmu` -- the (imperfect) PMU trace channel.
+- :mod:`repro.workloads` -- the 30 synthetic application models.
+- :mod:`repro.runner` -- offline/online/co-run experiment drivers.
+- :mod:`repro.dinero` -- the trace-driven associativity study simulator.
+- :mod:`repro.analysis` -- cost model, Table 2, reporting.
+"""
+
+from repro.core import (
+    MissRateCurve,
+    PhaseDetector,
+    ProbeConfig,
+    RapidMRC,
+    RapidMRCResult,
+    choose_partition_sizes,
+    mpki_distance,
+)
+from repro.sim.machine import MachineConfig
+from repro.workloads import WORKLOAD_NAMES, make_workload
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "MissRateCurve",
+    "PhaseDetector",
+    "ProbeConfig",
+    "RapidMRC",
+    "RapidMRCResult",
+    "choose_partition_sizes",
+    "mpki_distance",
+    "MachineConfig",
+    "WORKLOAD_NAMES",
+    "make_workload",
+    "__version__",
+]

@@ -1,0 +1,22 @@
+"""Analysis, cost modeling and reporting.
+
+- :mod:`repro.analysis.overhead` -- the simulated-cycle cost model for
+  trace logging and MRC calculation (Table 2 columns a-d and the
+  Section 5.2.2 overhead discussion).
+- :mod:`repro.analysis.tables` -- Table 2 row/table generation.
+- :mod:`repro.analysis.report` -- ASCII rendering of curves and tables
+  for the benchmark harness output.
+"""
+
+from repro.analysis.overhead import OverheadModel, ProbeOverhead
+from repro.analysis.report import render_curves, render_table
+from repro.analysis.tables import Table2Row, table2_text
+
+__all__ = [
+    "OverheadModel",
+    "ProbeOverhead",
+    "render_curves",
+    "render_table",
+    "Table2Row",
+    "table2_text",
+]

@@ -1,0 +1,93 @@
+"""ASCII rendering of curves and generic tables for harness output.
+
+The benchmark harness prints the same series the paper plots; these
+helpers keep that output legible in a terminal: aligned numeric tables
+and a coarse ASCII chart for eyeballing curve shapes.
+"""
+
+from __future__ import annotations
+
+from typing import List, Mapping, Optional, Sequence
+
+from repro.core.mrc import MissRateCurve
+
+__all__ = ["render_table", "render_curves", "render_ascii_chart"]
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    float_format: str = "{:.2f}",
+) -> str:
+    """Render an aligned text table."""
+    def fmt(value: object) -> str:
+        if isinstance(value, float):
+            return float_format.format(value)
+        return str(value)
+
+    text_rows = [[fmt(cell) for cell in row] for row in rows]
+    widths = [len(str(header)) for header in headers]
+    for row in text_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = [
+        "  ".join(str(header).ljust(width) for header, width in zip(headers, widths)),
+        "  ".join("-" * width for width in widths),
+    ]
+    for row in text_rows:
+        lines.append("  ".join(cell.rjust(width) for cell, width in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_curves(curves: Mapping[str, MissRateCurve]) -> str:
+    """Tabulate several MRCs side by side (sizes as rows)."""
+    if not curves:
+        return "(no curves)"
+    names = list(curves)
+    sizes = sorted(set().union(*(set(curve.sizes) for curve in curves.values())))
+    headers = ["size"] + names
+    rows: List[List[object]] = []
+    for size in sizes:
+        row: List[object] = [size]
+        for name in names:
+            curve = curves[name]
+            row.append(curve[size] if size in curve else float("nan"))
+        rows.append(row)
+    return render_table(headers, rows)
+
+
+def render_ascii_chart(
+    series: Mapping[str, Sequence[float]],
+    height: int = 12,
+    width: Optional[int] = None,
+) -> str:
+    """A coarse ASCII line chart of one or more equal-length series."""
+    if not series:
+        return "(no data)"
+    lengths = {len(values) for values in series.values()}
+    if len(lengths) != 1:
+        raise ValueError("all series must have the same length")
+    (length,) = lengths
+    if length == 0:
+        return "(empty series)"
+    width = width or length
+    flat = [v for values in series.values() for v in values]
+    low, high = min(flat), max(flat)
+    span = (high - low) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    markers = "*+ox#@%&"
+    for index, (name, values) in enumerate(series.items()):
+        marker = markers[index % len(markers)]
+        for x in range(width):
+            value = values[int(x * length / width)]
+            y = int((value - low) / span * (height - 1))
+            grid[height - 1 - y][x] = marker
+    lines = [f"{high:10.2f} |" + "".join(grid[0])]
+    for row in grid[1:-1]:
+        lines.append(" " * 10 + " |" + "".join(row))
+    lines.append(f"{low:10.2f} |" + "".join(grid[-1]))
+    legend = "   ".join(
+        f"{markers[i % len(markers)]}={name}" for i, name in enumerate(series)
+    )
+    lines.append(" " * 12 + legend)
+    return "\n".join(lines)

@@ -1,0 +1,103 @@
+"""Table 2 generation: per-application RapidMRC statistics.
+
+Table 2 of the paper has, per application: (a) trace-logging cycles,
+(b) MRC-calculation cycles, (c) probe instructions, (d) average phase
+length, (e) prefetch-conversion fraction of the log, (f) log fraction
+used for warmup, (g) LRU stack hit rate, (h) vertical shift applied,
+(i) MPKI distance at the standard log size and (j) at the 10x log size.
+
+:class:`Table2Row` carries one application's numbers; :func:`table2_text`
+renders the table in the paper's layout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+__all__ = ["Table2Row", "table2_text", "table2_averages"]
+
+
+@dataclass
+class Table2Row:
+    """One application's Table 2 statistics (see module docstring)."""
+
+    workload: str
+    trace_logging_cycles: float = 0.0
+    mrc_calculation_cycles: float = 0.0
+    probe_instructions: int = 0
+    avg_phase_length_instructions: float = 0.0
+    prefetch_conversion_fraction: float = 0.0
+    warmup_fraction: float = 0.0
+    stack_hit_rate: float = 0.0
+    vertical_shift_mpki: float = 0.0
+    distance_standard_log: float = 0.0
+    distance_long_log: Optional[float] = None
+
+
+_HEADER = (
+    f"{'Workload':<12} {'Log(cyc)':>10} {'Calc(cyc)':>10} {'Instr':>10} "
+    f"{'Phase':>10} {'Pref%':>6} {'Warm%':>6} {'Hit%':>6} "
+    f"{'Shift':>7} {'Dist':>6} {'Dist10x':>8}"
+)
+
+
+def _fmt_row(row: Table2Row) -> str:
+    long_dist = (
+        f"{row.distance_long_log:8.2f}" if row.distance_long_log is not None
+        else f"{'-':>8}"
+    )
+    return (
+        f"{row.workload:<12} "
+        f"{row.trace_logging_cycles:10.3g} "
+        f"{row.mrc_calculation_cycles:10.3g} "
+        f"{row.probe_instructions:10d} "
+        f"{row.avg_phase_length_instructions:10.3g} "
+        f"{100 * row.prefetch_conversion_fraction:6.1f} "
+        f"{100 * row.warmup_fraction:6.1f} "
+        f"{100 * row.stack_hit_rate:6.1f} "
+        f"{row.vertical_shift_mpki:7.2f} "
+        f"{row.distance_standard_log:6.2f} "
+        f"{long_dist}"
+    )
+
+
+def table2_averages(rows: Sequence[Table2Row]) -> Table2Row:
+    """The paper's 'Average' row.  Note the vertical shift averages
+    absolute values (paper footnote 1)."""
+    if not rows:
+        raise ValueError("no rows to average")
+    n = len(rows)
+    long_values = [
+        row.distance_long_log for row in rows if row.distance_long_log is not None
+    ]
+    return Table2Row(
+        workload="Average",
+        trace_logging_cycles=sum(r.trace_logging_cycles for r in rows) / n,
+        mrc_calculation_cycles=sum(r.mrc_calculation_cycles for r in rows) / n,
+        probe_instructions=int(sum(r.probe_instructions for r in rows) / n),
+        avg_phase_length_instructions=(
+            sum(r.avg_phase_length_instructions for r in rows) / n
+        ),
+        prefetch_conversion_fraction=(
+            sum(r.prefetch_conversion_fraction for r in rows) / n
+        ),
+        warmup_fraction=sum(r.warmup_fraction for r in rows) / n,
+        stack_hit_rate=sum(r.stack_hit_rate for r in rows) / n,
+        vertical_shift_mpki=sum(abs(r.vertical_shift_mpki) for r in rows) / n,
+        distance_standard_log=sum(r.distance_standard_log for r in rows) / n,
+        distance_long_log=(
+            sum(long_values) / len(long_values) if long_values else None
+        ),
+    )
+
+
+def table2_text(rows: Sequence[Table2Row], with_average: bool = True) -> str:
+    """Render rows in the paper's Table 2 layout."""
+    lines = [_HEADER, "-" * len(_HEADER)]
+    for row in rows:
+        lines.append(_fmt_row(row))
+    if with_average and rows:
+        lines.append("-" * len(_HEADER))
+        lines.append(_fmt_row(table2_averages(rows)))
+    return "\n".join(lines)

@@ -1,0 +1,60 @@
+"""Curve-comparison metrics beyond the paper's MPKI distance.
+
+Table 2's distance metric (mean absolute MPKI gap) mixes *shape* error
+with residual *level* error.  These metrics separate the two, which the
+accuracy reports use to say precisely how a calculated curve fails:
+
+- :func:`shape_correlation` -- Pearson correlation of the two curves'
+  values across sizes; insensitive to any affine offset/scale, so it
+  isolates shape tracking.
+- :func:`knee_error` -- disagreement in the working-set knee position
+  (in colors), the feature partition sizing actually consumes.
+- :func:`classification_agreement` -- do both curves classify the
+  application the same way (flat vs sensitive)?  This is the bit the
+  pooling heuristic and the pollute buffer rely on.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+from repro.core.mrc import MissRateCurve
+
+__all__ = ["shape_correlation", "knee_error", "classification_agreement"]
+
+
+def shape_correlation(a: MissRateCurve, b: MissRateCurve) -> float:
+    """Pearson correlation over the common sizes.
+
+    Returns 1.0 for perfectly parallel curves (including after any
+    v-offset), 0 for unrelated shapes.  Degenerate (constant) curves
+    correlate 1.0 with other constant curves and 0.0 otherwise.
+    """
+    common = sorted(set(a.sizes) & set(b.sizes))
+    if len(common) < 2:
+        raise ValueError("need at least two common sizes")
+    xs = [a[size] for size in common]
+    ys = [b[size] for size in common]
+    mean_x = sum(xs) / len(xs)
+    mean_y = sum(ys) / len(ys)
+    var_x = sum((x - mean_x) ** 2 for x in xs)
+    var_y = sum((y - mean_y) ** 2 for y in ys)
+    if var_x == 0 and var_y == 0:
+        return 1.0
+    if var_x == 0 or var_y == 0:
+        return 0.0
+    cov = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    return cov / math.sqrt(var_x * var_y)
+
+
+def knee_error(a: MissRateCurve, b: MissRateCurve, fraction: float = 0.9) -> int:
+    """Absolute difference of the two curves' knee positions, in colors."""
+    return abs(a.knee(fraction) - b.knee(fraction))
+
+
+def classification_agreement(
+    a: MissRateCurve, b: MissRateCurve, tolerance_mpki: float = 0.5
+) -> bool:
+    """True when both curves agree on flat-vs-sensitive."""
+    return a.is_flat(tolerance_mpki) == b.is_flat(tolerance_mpki)

@@ -1,0 +1,27 @@
+"""Online optimizations built on RapidMRC beyond partition sizing.
+
+The paper's introduction lists further uses of online MRCs; this package
+implements the ones that are pure consumers of curves:
+
+- :mod:`repro.apps.energy` -- (i) shrink the cache to the smallest size
+  that keeps performance, to save power;
+- :mod:`repro.apps.coscheduling` -- (iii) choose which applications to
+  co-schedule so each pair fits the shared L2;
+- :mod:`repro.apps.global_mrc` -- (iv) predict the combined MRC of N
+  applications sharing the cache without partitioning;
+- :mod:`repro.apps.pollute_buffer` -- (v) confine low-reuse applications
+  to a small shared pollute buffer.
+"""
+
+from repro.apps.coscheduling import pair_for_coscheduling
+from repro.apps.energy import EnergyModel, choose_energy_size
+from repro.apps.global_mrc import predict_shared_mrc
+from repro.apps.pollute_buffer import plan_pollute_buffer
+
+__all__ = [
+    "pair_for_coscheduling",
+    "EnergyModel",
+    "choose_energy_size",
+    "predict_shared_mrc",
+    "plan_pollute_buffer",
+]

@@ -1,0 +1,128 @@
+"""MRC-guided co-scheduling (paper intro use (iii), refs [14, 32, 36, 43]).
+
+On a machine with several shared-L2 chips, *which* applications share a
+cache matters as much as how the cache is split.  With an MRC per
+application, the combined cost of any pairing can be predicted (the
+paper's own two-way utility), turning co-scheduling into a matching
+problem: pair the applications so the sum of per-pair best-split miss
+rates is minimal.
+
+For the small N of a scheduling quantum, exact matching by dynamic
+programming over subsets is affordable (O(2^N * N^2), N <= ~16); a
+greedy fallback handles larger sets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Tuple
+
+from repro.core.mrc import MissRateCurve
+from repro.core.partition import choose_partition_sizes
+
+__all__ = ["Pairing", "pair_for_coscheduling"]
+
+
+@dataclass(frozen=True)
+class Pairing:
+    """A co-scheduling decision."""
+
+    pairs: Tuple[Tuple[str, str], ...]
+    predicted_total_mpki: float
+    #: best partition split per pair, aligned with ``pairs``.
+    splits: Tuple[Tuple[int, int], ...]
+
+
+def _pair_cost(
+    mrc_a: MissRateCurve, mrc_b: MissRateCurve, total_colors: int
+) -> Tuple[float, Tuple[int, int]]:
+    decision = choose_partition_sizes(mrc_a, mrc_b, total_colors)
+    return decision.total_mpki, decision.colors
+
+
+def pair_for_coscheduling(
+    mrcs: Mapping[str, MissRateCurve],
+    total_colors: int = 16,
+    exact_limit: int = 14,
+) -> Pairing:
+    """Pair applications to minimize predicted total misses.
+
+    Args:
+        mrcs: per-application curves; the count must be even (pad with a
+            synthetic idle application if needed).
+        total_colors: colors per shared cache.
+        exact_limit: up to this many applications, solve the matching
+            exactly by subset DP; beyond it, greedily take the cheapest
+            remaining pair.
+    """
+    names = sorted(mrcs)
+    count = len(names)
+    if count == 0 or count % 2 != 0:
+        raise ValueError("need an even, non-zero number of applications")
+
+    cost: Dict[Tuple[int, int], Tuple[float, Tuple[int, int]]] = {}
+    for i in range(count):
+        for j in range(i + 1, count):
+            cost[(i, j)] = _pair_cost(
+                mrcs[names[i]], mrcs[names[j]], total_colors
+            )
+
+    if count <= exact_limit:
+        pairs_idx, total = _exact_matching(count, cost)
+    else:
+        pairs_idx, total = _greedy_matching(count, cost)
+
+    pairs = tuple((names[i], names[j]) for i, j in pairs_idx)
+    splits = tuple(cost[(i, j)][1] for i, j in pairs_idx)
+    return Pairing(pairs=pairs, predicted_total_mpki=total, splits=splits)
+
+
+def _exact_matching(count, cost):
+    """Minimum-weight perfect matching by DP over bitmasks."""
+    infinity = float("inf")
+    full = (1 << count) - 1
+    best = [infinity] * (full + 1)
+    parent: List[Tuple[int, int, int]] = [(-1, -1, -1)] * (full + 1)
+    best[0] = 0.0
+    for mask in range(full + 1):
+        if best[mask] == infinity:
+            continue
+        # Always match the lowest unpaired index: avoids revisiting
+        # permutations of the same pairing.
+        try:
+            first = next(
+                i for i in range(count) if not mask & (1 << i)
+            )
+        except StopIteration:
+            continue
+        for j in range(first + 1, count):
+            if mask & (1 << j):
+                continue
+            next_mask = mask | (1 << first) | (1 << j)
+            total = best[mask] + cost[(first, j)][0]
+            if total < best[next_mask]:
+                best[next_mask] = total
+                parent[next_mask] = (mask, first, j)
+    pairs: List[Tuple[int, int]] = []
+    mask = full
+    while mask:
+        previous, i, j = parent[mask]
+        pairs.append((i, j))
+        mask = previous
+    pairs.reverse()
+    return pairs, best[full]
+
+
+def _greedy_matching(count, cost):
+    """Cheapest-pair-first approximation for large N."""
+    unpaired = set(range(count))
+    ordered = sorted(cost.items(), key=lambda item: item[1][0])
+    pairs: List[Tuple[int, int]] = []
+    total = 0.0
+    for (i, j), (pair_cost, _split) in ordered:
+        if i in unpaired and j in unpaired:
+            pairs.append((i, j))
+            total += pair_cost
+            unpaired.discard(i)
+            unpaired.discard(j)
+    return pairs, total

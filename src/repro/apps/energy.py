@@ -1,0 +1,106 @@
+"""Cache downsizing for energy (paper intro use (i), refs [1, 5, 26]).
+
+Selective-cache-ways-style proposals power down part of the cache when
+the running workload does not need it.  The decision input they lack on
+commodity hardware is exactly what RapidMRC provides: the full
+size/miss-rate trade-off.  Given an MRC, pick the smallest size whose
+miss rate is within a tolerance of the full-size miss rate, and estimate
+the static-energy saving net of the extra miss energy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.mrc import MissRateCurve
+
+__all__ = ["EnergyModel", "EnergyDecision", "choose_energy_size"]
+
+
+@dataclass(frozen=True)
+class EnergyModel:
+    """First-order cache energy accounting.
+
+    Args:
+        static_power_per_color: leakage burned per powered color per
+            kilo-instruction of execution (arbitrary energy units --
+            only ratios matter to the decision).
+        energy_per_miss: energy cost of one L2 miss (DRAM access plus
+            stall overhead), in the same units.
+    """
+
+    static_power_per_color: float = 1.0
+    energy_per_miss: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.static_power_per_color < 0 or self.energy_per_miss < 0:
+            raise ValueError("energy parameters must be non-negative")
+
+    def energy_per_kilo_instruction(
+        self, mrc: MissRateCurve, size: int
+    ) -> float:
+        """Total cache-related energy per kilo-instruction at ``size``."""
+        static = self.static_power_per_color * size
+        dynamic = self.energy_per_miss * mrc.value_at(size)
+        return static + dynamic
+
+
+@dataclass(frozen=True)
+class EnergyDecision:
+    """Outcome of the downsizing decision."""
+
+    size: int
+    full_size: int
+    mpki_at_size: float
+    mpki_at_full: float
+    energy_saving_fraction: float
+
+    @property
+    def colors_powered_down(self) -> int:
+        return self.full_size - self.size
+
+
+def choose_energy_size(
+    mrc: MissRateCurve,
+    model: EnergyModel = EnergyModel(),
+    tolerance_mpki: float = 0.5,
+    full_size: Optional[int] = None,
+) -> EnergyDecision:
+    """Smallest cache size whose miss rate stays near the full-size one.
+
+    Args:
+        mrc: the application's curve.
+        model: energy accounting used to report the saving.
+        tolerance_mpki: acceptable miss-rate increase over the full
+            size (performance guardrail).
+        full_size: the baseline size; defaults to the curve's largest.
+
+    The decision is performance-first: among sizes meeting the
+    guardrail, the smallest is chosen (it always minimizes static
+    energy; the reported saving nets out the extra miss energy).
+    """
+    if tolerance_mpki < 0:
+        raise ValueError("tolerance must be non-negative")
+    sizes = mrc.sizes
+    full = full_size if full_size is not None else sizes[-1]
+    baseline_mpki = mrc.value_at(full)
+    chosen = full
+    for size in sizes:
+        if size > full:
+            break
+        if mrc.value_at(size) <= baseline_mpki + tolerance_mpki:
+            chosen = size
+            break
+    baseline_energy = model.energy_per_kilo_instruction(mrc, full)
+    chosen_energy = model.energy_per_kilo_instruction(mrc, chosen)
+    saving = 0.0
+    if baseline_energy > 0:
+        saving = (baseline_energy - chosen_energy) / baseline_energy
+    return EnergyDecision(
+        size=chosen,
+        full_size=full,
+        mpki_at_size=mrc.value_at(chosen),
+        mpki_at_full=baseline_mpki,
+        energy_saving_fraction=saving,
+    )

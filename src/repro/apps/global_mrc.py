@@ -1,0 +1,93 @@
+"""Predicting the shared-cache MRC of co-running applications
+(paper intro use (iv), refs [8, 11]).
+
+When N applications share an LRU cache *without* partitioning, each
+effectively receives space in proportion to its access intensity: an
+application issuing fraction ``f`` of the combined L2 accesses sees its
+reuse distances inflated by roughly ``1/f`` (the other streams' accesses
+interleave into its reuse windows).  Chandra et al.'s inductive model
+and Berg et al.'s statistical model formalize this; we implement the
+proportional-dilution approximation, which needs exactly the inputs
+RapidMRC provides online: each application's solo MRC and its access
+rate.
+
+The prediction: application ``i`` behaves at shared size ``C`` like it
+would alone at size ``f_i * C``; the global MPKI is the rate-weighted
+sum.  Tests validate against the simulator's measured co-runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping
+
+from repro.core.mrc import MissRateCurve
+
+__all__ = ["SharedPrediction", "predict_shared_mrc"]
+
+
+@dataclass(frozen=True)
+class SharedPrediction:
+    """Predicted behaviour of an uncontrolled shared cache."""
+
+    #: predicted per-application MPKI at full shared size, by name.
+    per_app_mpki: Dict[str, float]
+    #: combined MPKI (weighted by instruction share).
+    global_mpki: float
+    #: effective cache fraction each application captures.
+    effective_fraction: Dict[str, float]
+
+
+def predict_shared_mrc(
+    solo_mrcs: Mapping[str, MissRateCurve],
+    access_rates: Mapping[str, float],
+    total_colors: int = 16,
+    instruction_shares: Mapping[str, float] = None,
+) -> SharedPrediction:
+    """Predict uncontrolled-sharing behaviour from solo MRCs.
+
+    Args:
+        solo_mrcs: per-application curves measured (or probed) alone.
+        access_rates: each application's L2 access intensity (accesses
+            per unit time; any common unit).  Space capture follows
+            these proportions under LRU.
+        total_colors: the shared cache size in colors.
+        instruction_shares: weights for the combined MPKI; defaults to
+            equal shares.
+    """
+    names = sorted(solo_mrcs)
+    if set(names) != set(access_rates):
+        raise ValueError("solo_mrcs and access_rates must cover the same apps")
+    total_rate = sum(access_rates[name] for name in names)
+    if total_rate <= 0:
+        raise ValueError("total access rate must be positive")
+
+    if instruction_shares is None:
+        instruction_shares = {name: 1.0 / len(names) for name in names}
+    share_total = sum(instruction_shares[name] for name in names)
+    if share_total <= 0:
+        raise ValueError("instruction shares must sum to a positive value")
+
+    fractions: Dict[str, float] = {}
+    per_app: Dict[str, float] = {}
+    for name in names:
+        fraction = access_rates[name] / total_rate
+        fractions[name] = fraction
+        effective_size = max(1.0, fraction * total_colors)
+        # value_at interpolates; fractional effective sizes are fine.
+        lower = int(effective_size)
+        upper = min(total_colors, lower + 1)
+        blend = effective_size - lower
+        mrc = solo_mrcs[name]
+        per_app[name] = (
+            (1 - blend) * mrc.value_at(lower) + blend * mrc.value_at(upper)
+        )
+    global_mpki = sum(
+        per_app[name] * instruction_shares[name] / share_total
+        for name in names
+    )
+    return SharedPrediction(
+        per_app_mpki=per_app,
+        global_mpki=global_mpki,
+        effective_fraction=fractions,
+    )

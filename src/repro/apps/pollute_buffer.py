@@ -1,0 +1,88 @@
+"""Pollute-buffer planning (paper intro use (v), ref [37]).
+
+Soares et al. (the same group's MICRO'08 work) confine applications with
+low cache reuse to a small shared partition -- a *pollute buffer* -- so
+their streaming traffic stops evicting everyone else's useful lines.
+The missing online ingredient is identifying the polluters; a flat
+RapidMRC is precisely that signal (more cache does not help them), as
+the paper's footnote 4 also exploits.
+
+:func:`plan_pollute_buffer` splits a set of applications into polluters
+(pooled into a small buffer) and protected applications (who share the
+rest, sized by the multi-way selector).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Tuple
+
+from repro.core.mrc import MissRateCurve
+from repro.core.partition import choose_partition_sizes_multi, pool_insensitive
+
+__all__ = ["PolluteBufferPlan", "plan_pollute_buffer"]
+
+
+@dataclass(frozen=True)
+class PolluteBufferPlan:
+    """A pollute-buffer configuration.
+
+    Attributes:
+        buffer_colors: colors assigned to the shared pollute buffer.
+        polluters: applications confined to the buffer.
+        protected_colors: colors per protected application, by name.
+    """
+
+    buffer_colors: int
+    polluters: Tuple[str, ...]
+    protected_colors: Dict[str, int]
+
+    @property
+    def total_colors(self) -> int:
+        return self.buffer_colors + sum(self.protected_colors.values())
+
+
+def plan_pollute_buffer(
+    mrcs: Mapping[str, MissRateCurve],
+    total_colors: int = 16,
+    flatness_tolerance_mpki: float = 0.5,
+    buffer_colors: int = 1,
+) -> PolluteBufferPlan:
+    """Build a pollute-buffer plan from per-application MRCs.
+
+    Applications with flat curves (within ``flatness_tolerance_mpki``)
+    are polluters and share ``buffer_colors`` colors; the remaining
+    colors are distributed over the cache-sensitive applications with
+    the greedy multi-way selector.  With no polluters the buffer is
+    dissolved (0 colors); with only polluters everything pools.
+    """
+    if buffer_colors < 1:
+        raise ValueError("the pollute buffer needs at least one color")
+    if not mrcs:
+        raise ValueError("need at least one application")
+    sensitive, polluters = pool_insensitive(mrcs, flatness_tolerance_mpki)
+
+    if not polluters:
+        buffer = 0
+    else:
+        buffer = buffer_colors
+    remaining = total_colors - buffer
+    if sensitive and remaining < len(sensitive):
+        raise ValueError(
+            "not enough colors left for the protected applications"
+        )
+
+    protected: Dict[str, int] = {}
+    if sensitive:
+        decision = choose_partition_sizes_multi(
+            [mrcs[name] for name in sensitive], remaining
+        )
+        protected = dict(zip(sensitive, decision.colors))
+    elif polluters:
+        # Everyone is a polluter: the buffer is the whole cache.
+        buffer = total_colors
+    return PolluteBufferPlan(
+        buffer_colors=buffer,
+        polluters=tuple(polluters),
+        protected_colors=protected,
+    )

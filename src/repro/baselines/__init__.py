@@ -1,0 +1,22 @@
+"""Baseline techniques the paper compares RapidMRC against.
+
+- :mod:`repro.baselines.trial_search` -- the trial-and-error partition
+  sizing that software schemes used before RapidMRC (Section 2.3:
+  'only trial and error techniques have been employed so far, although
+  they typically use a form of binary search' [19, 22]).  Each trial is
+  a real (simulated) co-run measurement; the cost RapidMRC eliminates.
+- :mod:`repro.baselines.statcache` -- Berg & Hagersten's StatCache
+  (Section 2.2 [6, 7]): sparse random sampling of reuse *times* over the
+  whole execution plus a statistical cache model, in contrast to
+  RapidMRC's complete capture of a short window.
+"""
+
+from repro.baselines.statcache import StatCacheEstimator, StatCacheSampler
+from repro.baselines.trial_search import TrialSearchResult, binary_search_partition
+
+__all__ = [
+    "StatCacheEstimator",
+    "StatCacheSampler",
+    "TrialSearchResult",
+    "binary_search_partition",
+]

@@ -1,0 +1,206 @@
+"""Command-line interface: probe a workload model and print its MRCs.
+
+Examples::
+
+    rapidmrc probe mcf --scale 16
+    rapidmrc list
+    rapidmrc partition twolf equake --scale 16
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.report import render_curves, render_table
+from repro.core.mrc import mpki_distance
+from repro.core.partition import choose_partition_sizes
+from repro.runner.offline import OfflineConfig, real_mrc
+from repro.runner.online import OnlineProbeConfig, collect_trace
+from repro.sim.machine import MachineConfig
+from repro.workloads import WORKLOAD_NAMES, make_workload
+
+__all__ = ["main"]
+
+
+def _machine(args: argparse.Namespace) -> MachineConfig:
+    return MachineConfig.scaled(args.scale) if args.scale > 1 else MachineConfig()
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    for name in WORKLOAD_NAMES:
+        print(name)
+    return 0
+
+
+def _cmd_probe(args: argparse.Namespace) -> int:
+    machine = _machine(args)
+    workload = make_workload(args.workload, machine)
+    print(f"# machine: {machine.name} (L2 {machine.l2_lines} lines, "
+          f"{machine.num_colors} colors)")
+    probe = collect_trace(workload, machine)
+    curves = {"rapidmrc": probe.result.mrc}
+    if args.real:
+        real = real_mrc(workload, machine, OfflineConfig())
+        probe.calibrate(8, real[8])
+        curves = {"real": real, "rapidmrc": probe.result.best_mrc}
+        print(f"# MPKI distance: {mpki_distance(real, probe.result.best_mrc):.3f}")
+    print(f"# probe: {probe.probe.instructions} instructions, "
+          f"{len(probe.probe.entries)} log entries, "
+          f"{probe.probe.dropped_events} dropped, "
+          f"{probe.probe.stale_entries} stale")
+    print(render_curves(curves))
+    return 0
+
+
+def _cmd_partition(args: argparse.Namespace) -> int:
+    machine = _machine(args)
+    names = [args.workload_a, args.workload_b]
+    curves = {}
+    for name in names:
+        workload = make_workload(name, machine)
+        probe = collect_trace(workload, machine)
+        real = real_mrc(workload, machine, OfflineConfig())
+        probe.calibrate(8, real[8])
+        curves[name] = probe.result.best_mrc
+    decision = choose_partition_sizes(
+        curves[names[0]], curves[names[1]], machine.num_colors
+    )
+    print(render_curves(curves))
+    print(f"# chosen split: {names[0]}={decision.colors[0]} colors, "
+          f"{names[1]}={decision.colors[1]} colors "
+          f"(predicted combined {decision.total_mpki:.2f} MPKI)")
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from repro.core.rapidmrc import ProbeConfig, RapidMRC
+    from repro.io.mrcfile import save_mrc
+    from repro.io.perf_script import parse_perf_script, samples_to_lines
+    from repro.io.tracefile import load_trace
+
+    machine = _machine(args)
+    if args.format == "perf":
+        report = parse_perf_script(args.trace, events=args.event, pid=args.pid)
+        trace = samples_to_lines(report.samples, machine.line_size)
+        print(f"# parsed {len(report.samples)} samples "
+              f"({report.skipped_lines} lines skipped)")
+    else:
+        trace = load_trace(args.trace)
+        print(f"# loaded {len(trace)} trace entries")
+    if not trace:
+        print("no samples to analyze", file=sys.stderr)
+        return 1
+    instructions = args.instructions or 48 * len(trace)
+    engine = RapidMRC(machine, ProbeConfig())
+    result = engine.compute(trace, instructions, label=args.trace)
+    print(f"# stack hit rate {result.stack_hit_rate:.1%}, "
+          f"warmup {result.warmup_fraction:.0%}, "
+          f"repaired {result.prefetch_conversion_fraction:.1%}")
+    print(render_curves({"mrc": result.mrc}))
+    if args.output:
+        save_mrc(args.output, result.mrc, metadata={
+            "source": args.trace,
+            "machine": machine.name,
+            "instructions": instructions,
+            "stack_hit_rate": result.stack_hit_rate,
+        })
+        print(f"# curve written to {args.output}")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    from repro.analysis.validation import knee_error, shape_correlation
+    from repro.io.mrcfile import load_mrc
+
+    curve_a, _meta_a = load_mrc(args.curve_a)
+    curve_b, _meta_b = load_mrc(args.curve_b)
+    if args.anchor is not None:
+        curve_b, shift = curve_b.v_offset_matched(
+            args.anchor, curve_a.value_at(args.anchor)
+        )
+        print(f"# v-offset matched at {args.anchor}: shift {shift:+.3f} MPKI")
+    print(render_curves({
+        curve_a.label or "A": curve_a,
+        curve_b.label or "B": curve_b,
+    }))
+    print(f"# MPKI distance:     {mpki_distance(curve_a, curve_b):.3f}")
+    print(f"# shape correlation: {shape_correlation(curve_a, curve_b):.3f}")
+    print(f"# knee error:        {knee_error(curve_a, curve_b)} colors")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the ``rapidmrc`` argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="rapidmrc",
+        description="RapidMRC reproduction: online L2 MRC approximation",
+    )
+    parser.add_argument(
+        "--scale", type=int, default=16,
+        help="machine scale divisor (1 = full POWER5; default 16)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list workload models").set_defaults(fn=_cmd_list)
+
+    probe = sub.add_parser("probe", help="probe one workload's MRC")
+    probe.add_argument("workload", choices=WORKLOAD_NAMES)
+    probe.add_argument(
+        "--real", action="store_true",
+        help="also measure the exhaustive real MRC and calibrate against it",
+    )
+    probe.set_defaults(fn=_cmd_probe)
+
+    part = sub.add_parser("partition", help="size a 2-way cache partition")
+    part.add_argument("workload_a", choices=WORKLOAD_NAMES)
+    part.add_argument("workload_b", choices=WORKLOAD_NAMES)
+    part.set_defaults(fn=_cmd_partition)
+
+    analyze = sub.add_parser(
+        "analyze",
+        help="compute an MRC offline from a perf-script or native trace file",
+    )
+    analyze.add_argument("trace", help="trace file path")
+    analyze.add_argument(
+        "--format", choices=["perf", "native"], default="perf",
+        help="trace format: 'perf' (perf-script text) or 'native' "
+             "(one line number per line)",
+    )
+    analyze.add_argument(
+        "--event", action="append", default=None,
+        help="perf event filter substring (repeatable)",
+    )
+    analyze.add_argument("--pid", type=int, default=None, help="pid filter")
+    analyze.add_argument(
+        "--instructions", type=int, default=None,
+        help="instructions in the trace window (MPKI denominator); "
+             "defaults to 48 per sample",
+    )
+    analyze.add_argument(
+        "--output", default=None, help="write the curve as JSON here",
+    )
+    analyze.set_defaults(fn=_cmd_analyze)
+
+    compare = sub.add_parser(
+        "compare", help="compare two saved MRC JSON files",
+    )
+    compare.add_argument("curve_a")
+    compare.add_argument("curve_b")
+    compare.add_argument(
+        "--anchor", type=int, default=None,
+        help="v-offset match curve B onto curve A at this size first",
+    )
+    compare.set_defaults(fn=_cmd_compare)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point of the ``rapidmrc`` console script."""
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

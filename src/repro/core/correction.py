@@ -1,0 +1,110 @@
+"""Trace-log corrections for PMU hardware artifacts (paper Section 3.1.1).
+
+Two defects of SDAR-based continuous data sampling are handled here:
+
+1. **Stale-SDAR repetitions.**  A hardware prefetch that fills an L1 miss
+   does not update the SDAR, so the previous value is recorded again; the
+   trace then contains runs of identical consecutive entries.  The paper
+   repairs these by "converting these repetitions into a series of
+   ascending cache line accesses, thus emulating the value that should
+   have been recorded" -- prefetchers on the POWER5 fetch ascending
+   streams, so the most likely true addresses are the next lines.
+
+2. **Missed events.**  With two load-store units, a second in-flight L1D
+   miss can be swallowed when the first one's exception flushes the
+   pipeline (the line is already on its way to L1 and no longer misses on
+   re-issue).  There is no repair -- the events are simply gone -- but
+   Section 5.2.5 studies their impact by *artificially thinning* a trace
+   ("keep every Nth"), which :func:`thin_trace` implements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+__all__ = [
+    "CorrectionResult",
+    "correct_stale_repetitions",
+    "count_repetitions",
+    "thin_trace",
+    "drop_random",
+]
+
+
+@dataclass(frozen=True)
+class CorrectionResult:
+    """Outcome of stale-SDAR repair.
+
+    Attributes:
+        trace: the corrected cache-line trace.
+        converted: number of entries that were rewritten (Table 2 column e
+            reports this as a percentage of the log).
+    """
+
+    trace: List[int]
+    converted: int
+
+    def converted_fraction(self) -> float:
+        """Fraction of the log that required conversion (Table 2 col e)."""
+        if not self.trace:
+            return 0.0
+        return self.converted / len(self.trace)
+
+
+def correct_stale_repetitions(trace: Sequence[int]) -> CorrectionResult:
+    """Rewrite runs of identical consecutive lines as ascending lines.
+
+    A run ``x, x, x, x`` becomes ``x, x+1, x+2, x+3``: the first entry is
+    the genuine access; each repeat is assumed to be a swallowed prefetch
+    of the next sequential cache line (Section 3.1.1).  Only the repeats
+    are counted as converted.
+    """
+    corrected: List[int] = []
+    converted = 0
+    previous = None
+    run = 0
+    for line in trace:
+        if line == previous:
+            run += 1
+            corrected.append(line + run)
+            converted += 1
+        else:
+            previous = line
+            run = 0
+            corrected.append(line)
+    return CorrectionResult(trace=corrected, converted=converted)
+
+
+def count_repetitions(trace: Sequence[int]) -> int:
+    """Number of entries equal to their predecessor (pre-repair)."""
+    return sum(1 for a, b in zip(trace, trace[1:]) if a == b)
+
+
+def thin_trace(trace: Sequence[int], keep_every: int) -> List[int]:
+    """Keep every ``keep_every``-th entry, dropping the rest (Fig 5c).
+
+    ``keep_every=1`` returns the trace unchanged; ``keep_every=4``
+    simulates the PMU dropping 3 of every 4 events ("keep every 4th").
+    """
+    if keep_every < 1:
+        raise ValueError("keep_every must be >= 1")
+    if keep_every == 1:
+        return list(trace)
+    return [line for index, line in enumerate(trace) if index % keep_every == 0]
+
+
+def drop_random(
+    trace: Sequence[int], drop_probability: float, rng
+) -> List[int]:
+    """Drop each entry independently with ``drop_probability``.
+
+    A randomized variant of :func:`thin_trace` used by tests and the
+    missed-event ablation; ``rng`` is a ``random.Random`` so results are
+    reproducible.
+    """
+    if not 0.0 <= drop_probability <= 1.0:
+        raise ValueError("drop_probability must be in [0, 1]")
+    if drop_probability == 0.0:
+        return list(trace)
+    return [line for line in trace if rng.random() >= drop_probability]

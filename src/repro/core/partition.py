@@ -1,0 +1,207 @@
+"""Cache-partition sizing from miss-rate curves (paper Section 4).
+
+Two co-scheduled applications: exhaustively minimize total misses,
+
+    min_{x in [1, C-1]}  MRCa(x) + MRCb(C - x)
+
+which is cheap for C = 16 and is exactly the paper's utility function.
+
+More than two applications make the exact problem NP-hard [31]; the
+paper points to Qureshi & Patt's lookahead approximation [29], which
+:func:`choose_partition_sizes_multi` implements as greedy marginal-utility
+allocation.  The paper's footnote 4 heuristic -- pool all
+cache-insensitive (flat-MRC) applications into one shared partition --
+is :func:`pool_insensitive`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Mapping, Sequence, Tuple
+
+from repro.core.mrc import MissRateCurve
+
+__all__ = [
+    "PartitionAssignment",
+    "choose_partition_sizes",
+    "choose_partition_sizes_multi",
+    "choose_partition_sizes_optimal",
+    "pool_insensitive",
+    "sweep_two_way",
+]
+
+
+@dataclass(frozen=True)
+class PartitionAssignment:
+    """A partitioning decision.
+
+    Attributes:
+        colors: colors allocated per application, in input order.
+        total_mpki: predicted combined miss rate under the assignment.
+    """
+
+    colors: Tuple[int, ...]
+    total_mpki: float
+
+    @property
+    def num_apps(self) -> int:
+        return len(self.colors)
+
+
+def choose_partition_sizes(
+    mrc_a: MissRateCurve,
+    mrc_b: MissRateCurve,
+    total_colors: int = 16,
+) -> PartitionAssignment:
+    """The paper's two-application utility function (Section 4).
+
+    Evaluates every split ``(x, C-x)`` for ``x in [1, C-1]`` and returns
+    the one minimizing ``MRCa(x) + MRCb(C-x)``.  Ties (common with flat
+    MRCs) go to the most balanced split: with no miss-rate signal either
+    way, an even division is the least committal choice.
+    """
+    if total_colors < 2:
+        raise ValueError("need at least 2 colors to split")
+    best_x = None
+    best_total = float("inf")
+    best_imbalance = float("inf")
+    for x in range(1, total_colors):
+        total = mrc_a.value_at(x) + mrc_b.value_at(total_colors - x)
+        imbalance = abs(2 * x - total_colors)
+        if total < best_total - 1e-12 or (
+            abs(total - best_total) <= 1e-12 and imbalance < best_imbalance
+        ):
+            best_total = min(total, best_total)
+            best_imbalance = imbalance
+            best_x = x
+    assert best_x is not None
+    return PartitionAssignment(
+        colors=(best_x, total_colors - best_x), total_mpki=best_total
+    )
+
+
+def sweep_two_way(
+    mrc_a: MissRateCurve,
+    mrc_b: MissRateCurve,
+    total_colors: int = 16,
+) -> List[Tuple[int, float]]:
+    """The full utility spectrum: ``[(x, MRCa(x)+MRCb(C-x)), ...]``.
+
+    Useful for plotting the decision surface the selector works over
+    (the Figure 7 graphs sweep the same axis).
+    """
+    if total_colors < 2:
+        raise ValueError("need at least 2 colors to split")
+    return [
+        (x, mrc_a.value_at(x) + mrc_b.value_at(total_colors - x))
+        for x in range(1, total_colors)
+    ]
+
+
+def choose_partition_sizes_multi(
+    mrcs: Sequence[MissRateCurve],
+    total_colors: int = 16,
+) -> PartitionAssignment:
+    """Greedy marginal-utility allocation for N >= 2 applications.
+
+    Qureshi-style lookahead [29]: every application starts with one
+    color; the remaining colors go one at a time to whichever application
+    gains the largest miss-rate reduction from its next color.  For two
+    applications with convex MRCs this matches the exhaustive optimum;
+    in general it is the standard approximation for the NP-hard problem.
+    """
+    num_apps = len(mrcs)
+    if num_apps < 1:
+        raise ValueError("need at least one application")
+    if total_colors < num_apps:
+        raise ValueError("need at least one color per application")
+    colors = [1] * num_apps
+    remaining = total_colors - num_apps
+    for _ in range(remaining):
+        best_app = 0
+        best_gain = float("-inf")
+        for app, mrc in enumerate(mrcs):
+            gain = mrc.value_at(colors[app]) - mrc.value_at(colors[app] + 1)
+            if gain > best_gain + 1e-12:
+                best_gain = gain
+                best_app = app
+        colors[best_app] += 1
+    total = sum(mrc.value_at(c) for mrc, c in zip(mrcs, colors))
+    return PartitionAssignment(colors=tuple(colors), total_mpki=total)
+
+
+def choose_partition_sizes_optimal(
+    mrcs: Sequence[MissRateCurve],
+    total_colors: int = 16,
+) -> PartitionAssignment:
+    """Exact N-application sizing by dynamic programming.
+
+    The exact problem is NP-hard in general formulations [31], but with
+    a fixed color budget it admits an O(N * C^2) DP over (applications
+    considered, colors spent): the standard resource-allocation DP.  It
+    serves as the ground truth the greedy :func:`choose_partition_sizes_multi`
+    is benchmarked against (the greedy is optimal for convex curves and
+    an approximation otherwise).
+    """
+    num_apps = len(mrcs)
+    if num_apps < 1:
+        raise ValueError("need at least one application")
+    if total_colors < num_apps:
+        raise ValueError("need at least one color per application")
+
+    infinity = float("inf")
+    # best[k] = minimal total MPKI using exactly k colors over the apps
+    # considered so far; choice[i][k] = colors given to app i in that
+    # optimum.
+    best = [infinity] * (total_colors + 1)
+    best[0] = 0.0
+    choices: List[List[int]] = []
+    for app_index, mrc in enumerate(mrcs):
+        remaining_apps = num_apps - app_index - 1
+        new_best = [infinity] * (total_colors + 1)
+        choice = [0] * (total_colors + 1)
+        for spent in range(total_colors + 1):
+            if best[spent] == infinity:
+                continue
+            max_take = total_colors - spent - remaining_apps
+            for take in range(1, max_take + 1):
+                total = best[spent] + mrc.value_at(take)
+                if total < new_best[spent + take] - 1e-15:
+                    new_best[spent + take] = total
+                    choice[spent + take] = take
+        best = new_best
+        choices.append(choice)
+
+    # Backtrack from the full budget.
+    colors = [0] * num_apps
+    spent = total_colors
+    for app_index in range(num_apps - 1, -1, -1):
+        take = choices[app_index][spent]
+        colors[app_index] = take
+        spent -= take
+    assert spent == 0
+    return PartitionAssignment(colors=tuple(colors), total_mpki=best[total_colors])
+
+
+def pool_insensitive(
+    mrcs: Mapping[str, MissRateCurve],
+    tolerance_mpki: float = 0.5,
+) -> Tuple[List[str], List[str]]:
+    """Split applications into (cache-sensitive, cache-insensitive).
+
+    The paper's footnote 4: applications with horizontally-flat MRCs gain
+    nothing from cache space, so they can all share a single partition --
+    this is also how the 3 applu instances of the ammp+3applu workload
+    are confined together (Section 5.3).
+
+    Returns:
+        ``(sensitive_names, insensitive_names)``, each sorted.
+    """
+    sensitive: List[str] = []
+    insensitive: List[str] = []
+    for name, mrc in mrcs.items():
+        if mrc.is_flat(tolerance_mpki):
+            insensitive.append(name)
+        else:
+            sensitive.append(name)
+    return sorted(sensitive), sorted(insensitive)

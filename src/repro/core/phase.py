@@ -1,0 +1,145 @@
+"""Online phase-transition detection (paper Section 5.2.2).
+
+The paper's heuristic, verbatim: divide execution into fixed-instruction
+intervals; at each interval end, compare the interval's L2 miss rate
+(MPKI) against the average of the past ``w`` intervals; declare a phase
+transition when they differ by more than a threshold.  Because a
+transition can span several intervals, the same threshold (scaled by a
+start/end fraction, 50% in the paper) decides when a lengthy transition
+has finished.
+
+Paper parameter values (for Figure 2 / Table 2 column d): interval = 1
+billion instructions, ``w = 3``, threshold = 3 MPKI, start/end = 50%.
+A single MRC point suffices for monitoring: Figure 2c shows boundaries
+are insensitive to the configured cache size.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, List, Optional, Sequence
+
+__all__ = ["PhaseDetectorConfig", "PhaseEvent", "PhaseDetector", "average_phase_length"]
+
+
+@dataclass(frozen=True)
+class PhaseDetectorConfig:
+    """Heuristic parameters (paper defaults in Section 5.2.2)."""
+
+    history: int = 3
+    threshold_mpki: float = 3.0
+    start_end_fraction: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.history < 1:
+            raise ValueError("history must be >= 1")
+        if self.threshold_mpki <= 0:
+            raise ValueError("threshold must be positive")
+        if not 0 < self.start_end_fraction <= 1:
+            raise ValueError("start_end_fraction must be in (0, 1]")
+
+
+@dataclass(frozen=True)
+class PhaseEvent:
+    """A detected transition: the interval index where it began."""
+
+    interval: int
+    mpki_before: float
+    mpki_after: float
+
+    @property
+    def magnitude(self) -> float:
+        return abs(self.mpki_after - self.mpki_before)
+
+
+class PhaseDetector:
+    """Streaming detector: feed per-interval MPKI, get transition events.
+
+    Usage::
+
+        detector = PhaseDetector()
+        for i, mpki in enumerate(interval_mpkis):
+            event = detector.observe(mpki)
+            if event is not None:
+                ...  # phase boundary at interval i
+
+    A new RapidMRC probe should be triggered on each event (the paper's
+    envisioned dynamic mode, Section 5.3 future work).
+    """
+
+    def __init__(self, config: PhaseDetectorConfig = PhaseDetectorConfig()):
+        self.config = config
+        self._history: Deque[float] = deque(maxlen=config.history)
+        self._in_transition = False
+        self._previous: Optional[float] = None
+        self._interval = -1
+        self.events: List[PhaseEvent] = []
+
+    def observe(self, mpki: float) -> Optional[PhaseEvent]:
+        """Feed one interval's miss rate; return an event if a transition
+        began at this interval."""
+        self._interval += 1
+        event: Optional[PhaseEvent] = None
+
+        if self._in_transition:
+            # A lengthy transition ends once the rate stops moving fast:
+            # consecutive intervals differ by less than the start/end
+            # threshold (50% of the main threshold by default).
+            settle = self.config.threshold_mpki * self.config.start_end_fraction
+            if self._previous is not None and abs(mpki - self._previous) < settle:
+                self._in_transition = False
+                self._history.clear()
+                self._history.append(mpki)
+        elif len(self._history) >= 1:
+            baseline = sum(self._history) / len(self._history)
+            if abs(mpki - baseline) > self.config.threshold_mpki:
+                event = PhaseEvent(
+                    interval=self._interval,
+                    mpki_before=baseline,
+                    mpki_after=mpki,
+                )
+                self.events.append(event)
+                self._in_transition = True
+            else:
+                self._history.append(mpki)
+        else:
+            self._history.append(mpki)
+
+        self._previous = mpki
+        return event
+
+    @property
+    def in_transition(self) -> bool:
+        return self._in_transition
+
+    def boundaries(self) -> List[int]:
+        """Interval indices where transitions were detected so far."""
+        return [event.interval for event in self.events]
+
+
+def detect_boundaries(
+    mpki_series: Sequence[float],
+    config: PhaseDetectorConfig = PhaseDetectorConfig(),
+) -> List[int]:
+    """One-shot detection over a complete per-interval MPKI series."""
+    detector = PhaseDetector(config)
+    for mpki in mpki_series:
+        detector.observe(mpki)
+    return detector.boundaries()
+
+
+def average_phase_length(
+    boundaries: Sequence[int],
+    total_intervals: int,
+    instructions_per_interval: int,
+) -> float:
+    """Average phase length in instructions (Table 2 column d).
+
+    Phases are the segments between detected boundaries (plus the leading
+    and trailing segments).
+    """
+    if total_intervals <= 0:
+        return 0.0
+    num_phases = len(boundaries) + 1
+    return total_intervals * instructions_per_interval / num_phases

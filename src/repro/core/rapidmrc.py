@@ -1,0 +1,190 @@
+"""The RapidMRC pipeline: trace log -> calibrated miss-rate curve.
+
+This module is the paper's MRC *calculation engine* (Section 3.2).  It
+takes a raw probe trace (however collected -- the live PMU model in
+:mod:`repro.runner.online`, or a synthetic trace in tests), applies the
+Section 3.1.1 corrections, runs the bounded LRU stack, and produces an
+MPKI curve ready for v-offset calibration, together with the per-probe
+statistics that populate Table 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.core.correction import CorrectionResult, correct_stale_repetitions
+from repro.core.histogram import StackDistanceHistogram
+from repro.core.mrc import MissRateCurve
+from repro.core.stack import LRUStackSimulator
+from repro.core.warmup import HybridWarmup, NoWarmup, StaticWarmup, warmup_fraction_used
+from repro.sim.machine import MachineConfig
+
+__all__ = ["ProbeConfig", "RapidMRCResult", "RapidMRC"]
+
+
+@dataclass(frozen=True)
+class ProbeConfig:
+    """Tunables of one RapidMRC probe.
+
+    Args:
+        log_entries: trace-log length.  The paper's default is ~10x the
+            LRU stack depth (160k entries for a 15360-line stack,
+            Section 5.2.3); ``None`` derives that default from the
+            machine.
+        warmup: ``"hybrid"`` (automatic with static fallback -- the
+            Table 2 policy), ``"static"`` (always half the log),
+            ``"none"``, or an integer for an explicit static entry count.
+        stack_engine: ``rangelist`` (paper's choice), ``fenwick`` or
+            ``naive``.
+        correct_prefetch_repetitions: apply the stale-SDAR repair.
+        anchor_color: cache size (colors) used for v-offset matching; the
+            paper uses the 8-color point (Section 5.2.1).
+    """
+
+    log_entries: Optional[int] = None
+    warmup: object = "hybrid"
+    stack_engine: str = "rangelist"
+    correct_prefetch_repetitions: bool = True
+    anchor_color: int = 8
+
+    def resolved_log_entries(self, machine: MachineConfig) -> int:
+        if self.log_entries is not None:
+            if self.log_entries <= 0:
+                raise ValueError("log_entries must be positive")
+            return self.log_entries
+        return 10 * machine.l2_lines
+
+    def make_warmup(self, log_entries: int):
+        if self.warmup == "none" or self.warmup is None:
+            return NoWarmup()
+        if self.warmup == "static":
+            return StaticWarmup(log_entries // 2)
+        if self.warmup == "hybrid":
+            return HybridWarmup(fallback_entries=log_entries // 2)
+        if isinstance(self.warmup, int):
+            return StaticWarmup(self.warmup)
+        raise ValueError(f"unknown warmup spec {self.warmup!r}")
+
+
+@dataclass
+class RapidMRCResult:
+    """A computed (and optionally calibrated) RapidMRC.
+
+    Attributes map onto Table 2: ``instructions`` (col c), prefetch
+    conversion fraction (col e, via ``correction``), ``warmup_fraction``
+    (col f), ``stack_hit_rate`` (col g), ``vertical_shift`` (col h).
+    """
+
+    mrc: MissRateCurve
+    histogram: StackDistanceHistogram
+    instructions: int
+    trace_length: int
+    recorded_entries: int
+    warmup_fraction: float
+    stack_hit_rate: float
+    correction: Optional[CorrectionResult] = None
+    calibrated_mrc: Optional[MissRateCurve] = None
+    vertical_shift: float = 0.0
+
+    @property
+    def prefetch_conversion_fraction(self) -> float:
+        """Fraction of the log rewritten by stale-SDAR repair (col e)."""
+        if self.correction is None:
+            return 0.0
+        return self.correction.converted_fraction()
+
+    def calibrate(self, anchor_color: int, measured_mpki: float) -> MissRateCurve:
+        """V-offset match against a measured point and remember the result."""
+        matched, shift = self.mrc.v_offset_matched(anchor_color, measured_mpki)
+        self.calibrated_mrc = matched
+        self.vertical_shift = shift
+        return matched
+
+    @property
+    def best_mrc(self) -> MissRateCurve:
+        """The calibrated curve when available, else the raw one."""
+        return self.calibrated_mrc if self.calibrated_mrc is not None else self.mrc
+
+
+class RapidMRC:
+    """MRC calculation engine bound to a machine geometry.
+
+    Args:
+        machine: supplies the stack bound (L2 lines), the 16 partition
+            boundaries and lines-per-color scaling.
+        config: probe tunables.
+    """
+
+    def __init__(self, machine: MachineConfig, config: ProbeConfig = ProbeConfig()):
+        self.machine = machine
+        self.config = config
+
+    def compute(
+        self,
+        trace: Sequence[int],
+        instructions: int,
+        label: str = "",
+    ) -> RapidMRCResult:
+        """Turn a raw trace log into an MRC.
+
+        Args:
+            trace: sampled cache-line numbers, in arrival order, as read
+                from the trace log (*uncorrected*).
+            instructions: instructions completed during the probe window
+                (the MPKI denominator).
+            label: label for the produced curve.
+        """
+        if instructions <= 0:
+            raise ValueError("instructions must be positive")
+        correction = None
+        lines: Sequence[int] = trace
+        if self.config.correct_prefetch_repetitions:
+            correction = correct_stale_repetitions(trace)
+            lines = correction.trace
+
+        boundaries = self.machine.color_sizes_in_lines()
+        simulator = LRUStackSimulator(
+            max_depth=self.machine.l2_lines,
+            engine=self.config.stack_engine,
+            boundaries=boundaries,
+        )
+        warmup = self.config.make_warmup(len(lines))
+        histogram = simulator.process(lines, warmup=warmup)
+
+        warmup_fraction = warmup_fraction_used(warmup, len(lines))
+        recorded = histogram.total_accesses
+        # The histogram covers only post-warmup entries; scale the MPKI
+        # denominator to the same window so shape is unbiased (the
+        # absolute level is recalibrated by v-offset matching anyway).
+        effective_instructions = max(
+            1, round(instructions * (recorded / max(1, len(lines))))
+        )
+        mrc = histogram.to_mrc(
+            lines_per_color=self.machine.lines_per_color,
+            num_colors=self.machine.num_colors,
+            instructions=effective_instructions,
+            label=label or "rapidmrc",
+        )
+        return RapidMRCResult(
+            mrc=mrc,
+            histogram=histogram,
+            instructions=instructions,
+            trace_length=len(trace),
+            recorded_entries=recorded,
+            warmup_fraction=warmup_fraction,
+            stack_hit_rate=histogram.hit_rate(),
+            correction=correction,
+        )
+
+    def compute_calibrated(
+        self,
+        trace: Sequence[int],
+        instructions: int,
+        measured_anchor_mpki: float,
+        label: str = "",
+    ) -> RapidMRCResult:
+        """Compute and immediately v-offset match at the anchor color."""
+        result = self.compute(trace, instructions, label=label)
+        result.calibrate(self.config.anchor_color, measured_anchor_mpki)
+        return result

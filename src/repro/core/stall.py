@@ -1,0 +1,98 @@
+"""Stall-cycle extension of MRCs (paper Section 7 future work).
+
+'We would like to explore extending L2 MRCs to account for the impact
+of non-uniform miss latencies in addition to predicting the impact of
+misses on processor stall cycles.'
+
+An MPKI curve weights every miss equally, but a miss that hits the L3
+victim cache costs a fraction of a memory access.  This module converts
+an MPKI curve into a *stall-cycle curve* (stall cycles per kilo
+instruction, SPKI) using the machine's latency ladder and an estimate of
+where misses land, and provides partition sizing on stall cycles --
+usually a better proxy for IPC than raw miss counts.
+
+The L3-absorption estimate is deliberately simple: a fixed fraction of
+L2 misses hit the victim L3 (measurable online from PMU counters, like
+the MPKI anchor point).  Sizing with SPKI reduces to MPKI sizing when
+all misses cost the same -- a property the tests pin down.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.mrc import MissRateCurve
+from repro.core.partition import PartitionAssignment, choose_partition_sizes
+from repro.sim.cpu import IssueMode
+from repro.sim.machine import MachineConfig
+
+__all__ = ["StallModel", "stall_curve", "choose_partition_sizes_by_stall"]
+
+
+@dataclass(frozen=True)
+class StallModel:
+    """Latency weighting for misses.
+
+    Args:
+        machine: supplies the L3/memory latencies.
+        l3_hit_fraction: fraction of L2 misses absorbed by the victim L3
+            (0 when the L3 is disabled, as in Section 5.3's first two
+            workloads).
+        issue_mode: out-of-order cores overlap part of the stall.
+    """
+
+    machine: MachineConfig
+    l3_hit_fraction: float = 0.0
+    issue_mode: IssueMode = IssueMode.COMPLEX
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.l3_hit_fraction <= 1.0:
+            raise ValueError("l3_hit_fraction must be in [0, 1]")
+        if not self.machine.has_l3 and self.l3_hit_fraction > 0:
+            raise ValueError("machine has no L3 to absorb misses")
+
+    @property
+    def cycles_per_miss(self) -> float:
+        """Average exposed stall cycles per L2 miss."""
+        raw = (
+            self.l3_hit_fraction * self.machine.l3_latency
+            + (1.0 - self.l3_hit_fraction) * self.machine.memory_latency
+        )
+        return self.issue_mode.overlap_factor * raw
+
+
+def stall_curve(mrc: MissRateCurve, model: StallModel) -> MissRateCurve:
+    """Convert an MPKI curve into an SPKI (stall cycles per kilo
+    instruction) curve.
+
+    The result reuses :class:`MissRateCurve` -- it is the same
+    size-indexed shape, just in stall-cycle units.
+    """
+    weight = model.cycles_per_miss
+    return MissRateCurve(
+        {size: value * weight for size, value in mrc},
+        label=(mrc.label + ":stall") if mrc.label else "stall",
+    )
+
+
+def choose_partition_sizes_by_stall(
+    mrc_a: MissRateCurve,
+    mrc_b: MissRateCurve,
+    model_a: StallModel,
+    model_b: StallModel,
+    total_colors: int = 16,
+) -> PartitionAssignment:
+    """Two-way sizing minimizing combined *stall cycles* instead of
+    misses.
+
+    With equal per-miss costs this reduces exactly to the paper's
+    MPKI-based utility; with unequal costs (one application's misses
+    mostly hit the L3, the other's go to memory) the split shifts toward
+    the application whose misses hurt more -- the Section 7 idea.
+    """
+    return choose_partition_sizes(
+        stall_curve(mrc_a, model_a),
+        stall_curve(mrc_b, model_b),
+        total_colors,
+    )

@@ -1,0 +1,128 @@
+"""LRU-stack warmup policies (paper Sections 5.2.1 and 5.2.4).
+
+The stack needs to be populated before distances are meaningful: an
+unwarmed stack mis-reports both stack positions and cold misses.  The
+paper uses two policies:
+
+- *automatic*: record nothing until every entry of the bounded LRU stack
+  is occupied (Section 5.2.4: "we waited until all entries in the LRU
+  stack were occupied before switching out of warm up mode").
+- *static*: record nothing for a fixed fraction of the trace log (one
+  half -- 80k of 160k entries -- for applications whose working set is
+  too small to ever fill the stack; Table 2 column f).
+
+The hybrid policy used for Table 2 is: automatic, but fall back to the
+static cutoff if the stack has still not filled by then.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "NoWarmup",
+    "AutomaticWarmup",
+    "StaticWarmup",
+    "HybridWarmup",
+    "warmup_fraction_used",
+]
+
+
+class NoWarmup:
+    """Record every access (Figure 5b's ``0 warmup`` series)."""
+
+    def should_record(self, index: int, stack) -> bool:
+        return True
+
+    def describe(self) -> str:
+        return "none"
+
+
+@dataclass
+class StaticWarmup:
+    """Skip a fixed number of leading trace entries.
+
+    Args:
+        entries: number of accesses consumed for warmup before recording
+            starts (the paper's default static setting is half the log).
+    """
+
+    entries: int
+
+    def __post_init__(self) -> None:
+        if self.entries < 0:
+            raise ValueError("warmup entries must be non-negative")
+
+    def should_record(self, index: int, stack) -> bool:
+        return index >= self.entries
+
+    def describe(self) -> str:
+        return f"static({self.entries})"
+
+
+class AutomaticWarmup:
+    """Record only once the bounded LRU stack is fully occupied.
+
+    The transition is one-way: once the stack has filled, recording stays
+    on even if (impossibly, for LRU) occupancy later dropped.
+    """
+
+    def __init__(self) -> None:
+        self._warmed = False
+        self.warmup_entries = 0
+
+    def should_record(self, index: int, stack) -> bool:
+        if not self._warmed:
+            if stack.is_full:
+                self._warmed = True
+            else:
+                self.warmup_entries = index + 1
+                return False
+        return True
+
+    def describe(self) -> str:
+        return "automatic"
+
+
+class HybridWarmup:
+    """Automatic warmup with a static fallback cutoff (the Table 2 policy).
+
+    Records once the stack fills *or* ``fallback_entries`` accesses have
+    been consumed, whichever comes first.  Applications with working sets
+    far smaller than the L2 never fill the stack (Table 2 column g shows
+    their high stack hit rates), so the fallback guarantees the probe
+    still yields a histogram.
+    """
+
+    def __init__(self, fallback_entries: int):
+        if fallback_entries < 0:
+            raise ValueError("fallback_entries must be non-negative")
+        self.fallback_entries = fallback_entries
+        self._warmed = False
+        self.warmup_entries = 0
+        self.automatic_triggered = False
+
+    def should_record(self, index: int, stack) -> bool:
+        if not self._warmed:
+            if stack.is_full:
+                self._warmed = True
+                self.automatic_triggered = True
+            elif index >= self.fallback_entries:
+                self._warmed = True
+            else:
+                self.warmup_entries = index + 1
+                return False
+        return True
+
+    def describe(self) -> str:
+        return f"hybrid(fallback={self.fallback_entries})"
+
+
+def warmup_fraction_used(warmup, trace_length: int) -> float:
+    """Fraction of the trace log consumed by warmup (Table 2 column f)."""
+    if trace_length <= 0:
+        return 0.0
+    entries = getattr(warmup, "warmup_entries", None)
+    if entries is None:
+        entries = getattr(warmup, "entries", 0)
+    return min(1.0, entries / trace_length)

@@ -1,0 +1,11 @@
+"""Dinero-style trace-driven single-cache simulator.
+
+The paper feeds its trace logs through the Dinero IV simulator [13] to
+study the impact of set associativity (Figure 5d: 10-way vs 32-way vs
+64-way vs fully associative).  This package is our equivalent: a small,
+configurable, trace-in/miss-rate-out cache simulator.
+"""
+
+from repro.dinero.simulator import DineroResult, simulate_trace, associativity_sweep
+
+__all__ = ["DineroResult", "simulate_trace", "associativity_sweep"]

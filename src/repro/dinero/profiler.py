@@ -1,0 +1,105 @@
+"""One-pass set-associative miss profiling (Mattson/Hill style).
+
+The Figure 5d study re-simulates the trace once per (size,
+associativity) point.  The classic alternative -- the reason Mattson's
+algorithm matters -- is *stack profiling*: one pass with per-set LRU
+stacks yields the miss count for **every** way-count simultaneously,
+because an access hitting at per-set stack depth ``d`` hits in any
+W-way cache of that set arrangement with ``W >= d``.
+
+:class:`SetAssociativeProfiler` implements this for a fixed set mapping:
+one pass, per-set unbounded-ish stacks (bounded by the largest way
+count of interest), and a histogram over per-set stack depth.  Tests
+cross-validate it against the direct cache simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List
+
+from repro.core.histogram import COLD_MISS
+from repro.core.stack import NaiveLRUStack
+
+__all__ = ["SetAssociativeProfile", "SetAssociativeProfiler"]
+
+
+@dataclass
+class SetAssociativeProfile:
+    """Result of a profiling pass.
+
+    ``depth_counts[d]`` = accesses that hit at per-set LRU depth ``d``
+    (1-based); ``cold`` = accesses that missed every tracked depth.
+    """
+
+    num_sets: int
+    max_ways: int
+    depth_counts: Dict[int, int]
+    cold: int
+    accesses: int
+
+    def misses_at_ways(self, ways: int) -> int:
+        """Misses of a ``ways``-way cache with this set mapping."""
+        if not 1 <= ways <= self.max_ways:
+            raise ValueError(f"ways must be in [1, {self.max_ways}]")
+        deeper = sum(
+            count for depth, count in self.depth_counts.items() if depth > ways
+        )
+        return deeper + self.cold
+
+    def miss_rate_at_ways(self, ways: int) -> float:
+        if self.accesses == 0:
+            return 0.0
+        return self.misses_at_ways(ways) / self.accesses
+
+    def miss_rates(self) -> List[float]:
+        """Miss rate per way count, index 0 = 1-way."""
+        return [
+            self.miss_rate_at_ways(ways)
+            for ways in range(1, self.max_ways + 1)
+        ]
+
+
+class SetAssociativeProfiler:
+    """Profiles one trace against one set mapping, all way-counts at once.
+
+    Args:
+        num_sets: sets of the cache organization under study.
+        max_ways: largest associativity of interest (per-set stacks are
+            bounded to this depth; anything deeper is a miss at every
+            tracked associativity).
+    """
+
+    def __init__(self, num_sets: int, max_ways: int):
+        if num_sets < 1 or max_ways < 1:
+            raise ValueError("num_sets and max_ways must be positive")
+        self.num_sets = num_sets
+        self.max_ways = max_ways
+        self._stacks = [NaiveLRUStack(max_ways) for _ in range(num_sets)]
+        self._depth_counts: Dict[int, int] = {}
+        self._cold = 0
+        self._accesses = 0
+
+    def access(self, line: int) -> int:
+        """Feed one access; returns its per-set depth or ``COLD_MISS``."""
+        self._accesses += 1
+        depth = self._stacks[line % self.num_sets].access(line)
+        if depth == COLD_MISS:
+            self._cold += 1
+        else:
+            self._depth_counts[depth] = self._depth_counts.get(depth, 0) + 1
+        return depth
+
+    def process(self, trace: Iterable[int]) -> SetAssociativeProfile:
+        for line in trace:
+            self.access(line)
+        return self.profile()
+
+    def profile(self) -> SetAssociativeProfile:
+        return SetAssociativeProfile(
+            num_sets=self.num_sets,
+            max_ways=self.max_ways,
+            depth_counts=dict(self._depth_counts),
+            cold=self._cold,
+            accesses=self._accesses,
+        )

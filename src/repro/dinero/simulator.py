@@ -1,0 +1,105 @@
+"""Trace-driven cache simulation (our Dinero IV stand-in).
+
+Given a trace of cache-line numbers and a cache geometry, report the
+miss rate -- that is the whole interface Figure 5d needs.  The cache
+model is shared with the hierarchy simulator
+(:class:`repro.sim.cache.SetAssociativeCache`), so results are mutually
+consistent across the repo.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.sim.cache import CacheConfig, SetAssociativeCache
+
+__all__ = ["DineroResult", "simulate_trace", "associativity_sweep"]
+
+
+@dataclass(frozen=True)
+class DineroResult:
+    """Outcome of one trace-driven simulation."""
+
+    config: CacheConfig
+    accesses: int
+    misses: int
+
+    @property
+    def miss_rate(self) -> float:
+        if self.accesses == 0:
+            return 0.0
+        return self.misses / self.accesses
+
+    @property
+    def hits(self) -> int:
+        return self.accesses - self.misses
+
+
+def simulate_trace(
+    trace: Iterable[int],
+    config: CacheConfig,
+    warmup_entries: int = 0,
+) -> DineroResult:
+    """Run line-number ``trace`` through a cache of ``config`` geometry.
+
+    Args:
+        warmup_entries: leading entries that update state but are not
+            counted (mirrors the LRU-stack warmup so comparisons are
+            apples-to-apples).
+    """
+    cache = SetAssociativeCache(config)
+    accesses = 0
+    misses = 0
+    for index, line in enumerate(trace):
+        hit, _victim = cache.access(line)
+        if index < warmup_entries:
+            continue
+        accesses += 1
+        if not hit:
+            misses += 1
+    return DineroResult(config=config, accesses=accesses, misses=misses)
+
+
+def associativity_sweep(
+    trace: Sequence[int],
+    size_bytes: int,
+    line_size: int,
+    associativities: Sequence[object] = (10, 32, 64, "full"),
+    sizes_bytes: Optional[Sequence[int]] = None,
+    warmup_entries: int = 0,
+) -> Dict[object, List[DineroResult]]:
+    """The Figure 5d experiment: miss rate vs cache size per associativity.
+
+    Args:
+        trace: the (corrected) RapidMRC trace log.
+        size_bytes: the full cache size; ``sizes_bytes`` defaults to 16
+            evenly spaced sizes up to this (the 16 partition sizes).
+        associativities: ways per set to try; the string ``"full"`` means
+            fully associative.
+
+    Returns:
+        Mapping from associativity to per-size results, size-ascending.
+        Sizes that cannot host a given associativity (too few lines) are
+        simulated fully-associative at that size, which is what a real
+        cache degenerates to.
+    """
+    if sizes_bytes is None:
+        step = size_bytes // 16
+        sizes_bytes = [step * k for k in range(1, 17)]
+    results: Dict[object, List[DineroResult]] = {}
+    for assoc in associativities:
+        per_size: List[DineroResult] = []
+        for size in sizes_bytes:
+            lines = size // line_size
+            if assoc == "full" or lines <= int(assoc):
+                config = CacheConfig.fully_associative(size, line_size)
+            else:
+                ways = int(assoc)
+                # Shave the size down to a multiple of way*line if needed
+                # so the geometry is valid (partition sizes always are).
+                usable = (size // (line_size * ways)) * line_size * ways
+                config = CacheConfig(usable, line_size, ways)
+            per_size.append(simulate_trace(trace, config, warmup_entries))
+        results[assoc] = per_size
+    return results

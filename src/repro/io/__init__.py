@@ -1,0 +1,27 @@
+"""Trace and curve I/O: the offline analysis path.
+
+On machines without POWER5-style continuous sampling, the practical way
+to use RapidMRC today is offline: record data addresses with an existing
+profiler (e.g. ``perf mem record`` / ``perf script``) and feed the
+parsed trace to the same MRC calculation engine.  This package provides
+that path:
+
+- :mod:`repro.io.perf_script` -- parser for perf-script-style text
+  traces (one sample per line with a data address field);
+- :mod:`repro.io.tracefile` -- the native line-number trace format
+  (plain text, one cache-line number per line, ``#`` comments);
+- :mod:`repro.io.mrcfile` -- JSON persistence for miss-rate curves.
+"""
+
+from repro.io.mrcfile import load_mrc, save_mrc
+from repro.io.perf_script import PerfSample, parse_perf_script
+from repro.io.tracefile import load_trace, save_trace
+
+__all__ = [
+    "load_mrc",
+    "save_mrc",
+    "PerfSample",
+    "parse_perf_script",
+    "load_trace",
+    "save_trace",
+]

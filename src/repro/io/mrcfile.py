@@ -1,0 +1,54 @@
+"""JSON persistence for miss-rate curves.
+
+Stores the size->MPKI mapping, the label, and arbitrary metadata (probe
+statistics, machine name, ...) so that curves measured at different
+times -- or on different machines -- can be compared and fed back into
+the partition selector.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Optional, Tuple
+
+from repro.core.mrc import MissRateCurve
+
+__all__ = ["save_mrc", "load_mrc"]
+
+_FORMAT = "rapidmrc-curve-v1"
+
+
+def save_mrc(
+    path: str,
+    mrc: MissRateCurve,
+    metadata: Optional[Dict[str, Any]] = None,
+) -> None:
+    """Write a curve (and optional metadata) as JSON."""
+    payload = {
+        "format": _FORMAT,
+        "label": mrc.label,
+        "mpki": {str(size): value for size, value in mrc},
+        "metadata": metadata or {},
+    }
+    with open(path, "w") as out:
+        json.dump(payload, out, indent=2, sort_keys=True)
+        out.write("\n")
+
+
+def load_mrc(path: str) -> Tuple[MissRateCurve, Dict[str, Any]]:
+    """Read a curve written by :func:`save_mrc`.
+
+    Returns:
+        ``(curve, metadata)``.
+    """
+    with open(path) as source:
+        payload = json.load(source)
+    if payload.get("format") != _FORMAT:
+        raise ValueError(
+            f"{path}: not a {_FORMAT} file (format={payload.get('format')!r})"
+        )
+    curve = MissRateCurve(
+        {int(size): float(value) for size, value in payload["mpki"].items()},
+        label=payload.get("label", ""),
+    )
+    return curve, payload.get("metadata", {})

@@ -1,0 +1,86 @@
+"""PMU register models: the SDAR and overflow-threshold counters.
+
+These mirror the POWER5 facilities RapidMRC leans on (Section 3.1.1):
+
+- the *Sampled Data Address Register* (SDAR), continuously updated with
+  the data address of the last memory instruction matching the selection
+  criterion (configured here as: L1 D-cache miss);
+- a *performance monitor counter* (PMC) with an overflow threshold, used
+  with a threshold of one so that every counted event raises an
+  exception.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+__all__ = ["SampledDataAddressRegister", "PerformanceCounter"]
+
+
+class SampledDataAddressRegister:
+    """The SDAR: holds the last sampled data address.
+
+    ``update`` is called by the (simulated) hardware when a matching
+    memory operand retires; ``read`` is what the exception handler does.
+    The register starts invalid; reading it before any update returns
+    ``None`` (the real handler would read garbage -- callers discard
+    such entries).
+    """
+
+    def __init__(self) -> None:
+        self._value: Optional[int] = None
+        self.updates = 0
+
+    def update(self, address: int) -> None:
+        self._value = address
+        self.updates += 1
+
+    def read(self) -> Optional[int]:
+        return self._value
+
+    @property
+    def valid(self) -> bool:
+        return self._value is not None
+
+
+class PerformanceCounter:
+    """A PMC with an overflow threshold.
+
+    Counting ``threshold`` events arms an overflow; the caller observes
+    it via :meth:`take_overflow`, which also re-arms the counter --
+    mirroring the interrupt-acknowledge cycle of a real PMU.  RapidMRC
+    uses ``threshold=1`` (an exception on every L1D miss).
+    """
+
+    def __init__(self, threshold: int = 1, name: str = "PMC"):
+        if threshold < 1:
+            raise ValueError("overflow threshold must be >= 1")
+        self.threshold = threshold
+        self.name = name
+        self.total = 0
+        self._since_overflow = 0
+        self._pending = False
+
+    def count(self, events: int = 1) -> None:
+        if events < 0:
+            raise ValueError("cannot count a negative number of events")
+        self.total += events
+        self._since_overflow += events
+        while self._since_overflow >= self.threshold:
+            self._since_overflow -= self.threshold
+            self._pending = True
+
+    @property
+    def overflow_pending(self) -> bool:
+        return self._pending
+
+    def take_overflow(self) -> bool:
+        """Consume a pending overflow (returns whether one was pending)."""
+        pending = self._pending
+        self._pending = False
+        return pending
+
+    def reset(self) -> None:
+        self.total = 0
+        self._since_overflow = 0
+        self._pending = False

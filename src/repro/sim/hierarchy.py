@@ -1,0 +1,281 @@
+"""The composed memory hierarchy: per-core L1s, shared L2, victim L3.
+
+This is the machine the experiments run on.  Each core has a private
+write-through L1 data cache and a private L1 instruction cache; the
+cores share one L2 and one off-chip L3 victim cache (paper Table 1).
+Accesses are *physical* line numbers -- translation and page coloring
+happen upstream in :class:`repro.sim.memory.PageAllocator`, so
+partitioning needs no special support here: a colored process simply
+never touches sets outside its colors.
+
+Hardware prefetching is driven from the core side
+(:class:`repro.runner.driver.Process` owns the stream prefetcher and
+feeds it the access stream); the hierarchy only exposes
+:meth:`MemoryHierarchy.prefetch_fill` for installing prefetched lines.
+Keeping the prefetcher on the virtual access stream ensures prefetches
+respect the process's page colors, as real per-page streams do.
+
+Every access returns an :class:`AccessResult` describing what happened at
+each level; the PMU model (:mod:`repro.pmu`) and the runners consume
+these events.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.sim.cache import CacheConfig, SetAssociativeCache
+from repro.sim.machine import MachineConfig
+from repro.sim.victim import VictimCache
+
+__all__ = ["AccessResult", "CoreCounters", "MemoryHierarchy"]
+
+
+@dataclass
+class AccessResult:
+    """What one demand access did at each level of the hierarchy.
+
+    ``prefetched_lines`` lists the line numbers the core's prefetcher
+    fetched as a side effect of this access (empty for most accesses).
+    """
+
+    core: int
+    line: int
+    is_store: bool = False
+    is_ifetch: bool = False
+    l1_hit: bool = False
+    l2_hit: bool = False
+    l3_hit: bool = False
+    memory_access: bool = False
+    l1_fill_was_prefetched: bool = False
+    prefetched_lines: List[int] = field(default_factory=list)
+
+    @property
+    def l1_miss(self) -> bool:
+        return not self.l1_hit
+
+    @property
+    def l2_miss(self) -> bool:
+        """Demand L2 miss (only meaningful when the L1 missed)."""
+        return self.l1_miss and not self.l2_hit
+
+
+@dataclass
+class CoreCounters:
+    """Per-core event counters (what the PMU's PMCs would count)."""
+
+    instructions: int = 0
+    loads: int = 0
+    stores: int = 0
+    l1d_misses: int = 0
+    l2_demand_accesses: int = 0
+    l2_demand_misses: int = 0
+    l3_hits: int = 0
+    memory_accesses: int = 0
+
+    def mpki(self) -> float:
+        """L2 demand misses per kilo-instruction over the counted window."""
+        if self.instructions == 0:
+            return 0.0
+        return 1000.0 * self.l2_demand_misses / self.instructions
+
+    def reset(self) -> None:
+        self.instructions = 0
+        self.loads = 0
+        self.stores = 0
+        self.l1d_misses = 0
+        self.l2_demand_accesses = 0
+        self.l2_demand_misses = 0
+        self.l3_hits = 0
+        self.memory_accesses = 0
+
+    def snapshot(self) -> "CoreCounters":
+        return CoreCounters(
+            instructions=self.instructions,
+            loads=self.loads,
+            stores=self.stores,
+            l1d_misses=self.l1d_misses,
+            l2_demand_accesses=self.l2_demand_accesses,
+            l2_demand_misses=self.l2_demand_misses,
+            l3_hits=self.l3_hits,
+            memory_accesses=self.memory_accesses,
+        )
+
+
+class MemoryHierarchy:
+    """L1s + shared L2 + victim L3.
+
+    Args:
+        machine: machine geometry.
+        num_cores: cores sharing the L2 (2 per POWER5 chip).
+    """
+
+    def __init__(
+        self,
+        machine: MachineConfig,
+        num_cores: int = 1,
+    ):
+        if num_cores < 1:
+            raise ValueError("need at least one core")
+        self.machine = machine
+        self.num_cores = num_cores
+
+        def l1d() -> SetAssociativeCache:
+            return SetAssociativeCache(
+                CacheConfig(
+                    size_bytes=machine.l1d_size,
+                    line_size=machine.line_size,
+                    associativity=machine.l1d_assoc,
+                    write_through=True,
+                )
+            )
+
+        def l1i() -> SetAssociativeCache:
+            return SetAssociativeCache(
+                CacheConfig(
+                    size_bytes=machine.l1i_size,
+                    line_size=machine.line_size,
+                    associativity=machine.l1i_assoc,
+                )
+            )
+
+        self.l1d = [l1d() for _ in range(num_cores)]
+        self.l1i = [l1i() for _ in range(num_cores)]
+        self.l2 = SetAssociativeCache(
+            CacheConfig(
+                size_bytes=machine.l2_size,
+                line_size=machine.line_size,
+                associativity=machine.l2_assoc,
+            )
+        )
+        self.l3 = VictimCache(
+            size_bytes=machine.l3_size,
+            line_size=machine.l3_line_size,
+            associativity=machine.l3_assoc,
+            l2_line_size=machine.line_size,
+        )
+        self.counters = [CoreCounters() for _ in range(num_cores)]
+        # L1D lines installed by the prefetcher, per core; consulted so a
+        # demand hit on a prefetched line can be distinguished (these are
+        # the accesses the PMU never sees, Section 5.2.7).
+        self._prefetched_l1: List[set] = [set() for _ in range(num_cores)]
+
+    # -- counters ------------------------------------------------------------
+
+    def count_instructions(self, core: int, count: int) -> None:
+        """Advance the instruction counter (non-memory instructions)."""
+        self.counters[core].instructions += count
+
+    def reset_counters(self) -> None:
+        for counter in self.counters:
+            counter.reset()
+
+    # -- the access path ---------------------------------------------------------
+
+    def access(
+        self,
+        core: int,
+        line: int,
+        is_store: bool = False,
+        is_ifetch: bool = False,
+    ) -> AccessResult:
+        """Perform one demand access to physical ``line`` from ``core``."""
+        counters = self.counters[core]
+        result = AccessResult(core=core, line=line, is_store=is_store, is_ifetch=is_ifetch)
+
+        if is_ifetch:
+            return self._ifetch(core, line, result)
+
+        if is_store:
+            counters.stores += 1
+        else:
+            counters.loads += 1
+
+        l1 = self.l1d[core]
+        hit, _ = l1.access(line)
+        if hit:
+            result.l1_hit = True
+            result.l1_fill_was_prefetched = line in self._prefetched_l1[core]
+            if is_store:
+                # Write-through: the store is forwarded to the L2; the line
+                # is normally resident there (inclusive fill on miss path).
+                self.l2.fill(line)
+            return result
+
+        # L1D miss -> the access the PMU can observe.
+        counters.l1d_misses += 1
+        self._prefetched_l1[core].discard(line)
+        self._fetch_into_l2(core, line, result, demand=True)
+        return result
+
+    def _ifetch(self, core: int, line: int, result: AccessResult) -> AccessResult:
+        hit, _ = self.l1i[core].access(line)
+        if hit:
+            result.l1_hit = True
+            return result
+        self._fetch_into_l2(core, line, result, demand=True, instruction=True)
+        return result
+
+    def _fetch_into_l2(
+        self,
+        core: int,
+        line: int,
+        result: AccessResult,
+        demand: bool,
+        instruction: bool = False,
+    ) -> None:
+        counters = self.counters[core]
+        counters.l2_demand_accesses += 1
+        l2_hit, victim = self.l2.access(line)
+        if l2_hit:
+            result.l2_hit = True
+        else:
+            counters.l2_demand_misses += 1
+            if victim is not None:
+                self.l3.insert_victim(victim)
+            if self.l3.lookup(line):
+                result.l3_hit = True
+                counters.l3_hits += 1
+            else:
+                result.memory_access = True
+                counters.memory_accesses += 1
+        if instruction:
+            self.l1i[core].fill(line)
+        else:
+            self.l1d[core].fill(line)
+
+    def prefetch_fill(self, core: int, line: int, install_l1: bool = True) -> None:
+        """Install a prefetched line into the L2 (and optionally the
+        core's L1D).  An L2-only install hides the would-be L2 miss but
+        leaves the later demand L1 miss visible to the PMU."""
+        if not self.l2.probe(line):
+            victim = self.l2.fill(line)
+            if victim is not None:
+                self.l3.insert_victim(victim)
+            # Victim L3: a prefetch that finds its line in L3 consumes it.
+            self.l3.lookup(line)
+        if install_l1:
+            self.l1d[core].fill(line)
+            self._prefetched_l1[core].add(line)
+            self._trim_prefetched(core)
+
+    def _trim_prefetched(self, core: int) -> None:
+        # The prefetched-line set is advisory; bound it to the L1 size so
+        # it cannot grow without limit (stale entries are harmless: they
+        # only matter while the line is still L1-resident).
+        tracked = self._prefetched_l1[core]
+        if len(tracked) > 4 * self.machine.l1d_lines:
+            resident = set(self.l1d[core].resident_lines())
+            tracked.intersection_update(resident)
+
+    # -- maintenance ------------------------------------------------------------
+
+    def flush_l2(self) -> None:
+        """Empty the L2 (used between partitioning configurations)."""
+        self.l2.flush()
+
+    def flush_all(self) -> None:
+        for cache in self.l1d + self.l1i:
+            cache.flush()
+        self.l2.flush()

@@ -1,0 +1,27 @@
+"""Synthetic workload models standing in for the paper's benchmarks.
+
+The paper evaluates 19 SPECcpu2000 applications, 10 SPECcpu2006
+applications and SPECjbb2000.  We cannot run SPEC, but the evaluation
+only depends on each application's *memory access behaviour class* --
+streaming, tiny working set, steep-knee reuse, phased, irregular -- so
+each application is modeled as a parameterized synthetic access stream
+(:mod:`repro.workloads.spec`) composed from reusable pattern primitives
+(:mod:`repro.workloads.patterns`) with optional phase structure
+(:mod:`repro.workloads.phased`).
+
+Footprints are expressed relative to the machine's L2 size so the models
+scale with the simulated machine.
+"""
+
+from repro.workloads.base import MemoryAccess, Workload
+from repro.workloads.phased import Phase, PhasedWorkload
+from repro.workloads.spec import WORKLOAD_NAMES, make_workload
+
+__all__ = [
+    "MemoryAccess",
+    "Workload",
+    "Phase",
+    "PhasedWorkload",
+    "WORKLOAD_NAMES",
+    "make_workload",
+]

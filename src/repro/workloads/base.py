@@ -1,0 +1,100 @@
+"""Workload abstractions: access streams the runners can drive.
+
+A workload is an unbounded, reproducible stream of memory accesses plus
+an instruction-cost model.  The paper observes that roughly one in three
+instructions is a load or store (Section 3.1); our patterns generate
+accesses at cache-line granularity (one access per distinct *touch*), so
+``instructions_per_access`` folds in both the 3:1 instruction mix and
+the within-line spatial locality real code has (a 128-byte line holds 16
+words, each typically touched by its own instruction).
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+from dataclasses import dataclass
+from typing import Iterator
+
+__all__ = ["MemoryAccess", "Workload", "AccessPattern"]
+
+
+@dataclass(frozen=True)
+class MemoryAccess:
+    """One memory operation: a virtual byte address plus load/store kind."""
+
+    vaddr: int
+    is_store: bool = False
+
+
+class AccessPattern(abc.ABC):
+    """A reusable access-stream primitive (see :mod:`repro.workloads.patterns`).
+
+    Patterns are stateless descriptions; :meth:`generate` returns a fresh
+    infinite iterator each call, driven by the supplied RNG so streams
+    are reproducible.
+    """
+
+    @abc.abstractmethod
+    def generate(self, rng: random.Random) -> Iterator[MemoryAccess]:
+        """Yield accesses forever."""
+
+    @abc.abstractmethod
+    def footprint_bytes(self) -> int:
+        """Total bytes the pattern can touch (its working-set bound)."""
+
+
+class Workload:
+    """A named application model: an access pattern plus cost parameters.
+
+    Args:
+        name: the application this models (e.g. ``mcf``).
+        pattern: the access-stream generator.
+        instructions_per_access: instructions retired per memory access
+            emitted (folds in instruction mix and within-line locality).
+        store_fraction: fraction of accesses that are stores (the pattern
+            may also mark stores itself; this is a fallback used by
+            patterns that do not).
+        seed: base RNG seed; every stream from this workload is
+            reproducible given the seed.
+        description: one line on what behaviour class is being modeled.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        pattern: AccessPattern,
+        instructions_per_access: int = 48,
+        store_fraction: float = 0.3,
+        seed: int = 7,
+        description: str = "",
+    ):
+        if instructions_per_access < 1:
+            raise ValueError("instructions_per_access must be >= 1")
+        if not 0.0 <= store_fraction <= 1.0:
+            raise ValueError("store_fraction must be in [0, 1]")
+        self.name = name
+        self.pattern = pattern
+        self.instructions_per_access = instructions_per_access
+        self.store_fraction = store_fraction
+        self.seed = seed
+        self.description = description
+
+    def accesses(self, seed_offset: int = 0) -> Iterator[MemoryAccess]:
+        """A fresh, reproducible infinite access stream."""
+        rng = random.Random(f"{self.seed}/{seed_offset}")
+        store_rng = random.Random(f"{self.seed}/{seed_offset}/stores")
+        for access in self.pattern.generate(rng):
+            if not access.is_store and store_rng.random() < self.store_fraction:
+                yield MemoryAccess(access.vaddr, is_store=True)
+            else:
+                yield access
+
+    def footprint_bytes(self) -> int:
+        return self.pattern.footprint_bytes()
+
+    def __repr__(self) -> str:
+        return (
+            f"Workload({self.name!r}, ipa={self.instructions_per_access}, "
+            f"footprint={self.footprint_bytes()}B)"
+        )

@@ -1,0 +1,444 @@
+"""The 30 application models of the paper's evaluation (Figure 3 / Table 2).
+
+Each SPEC application is modeled by an access-pattern composition chosen
+to reproduce its qualitative MRC class from Figure 3 -- who is flat, who
+declines steeply, who has a knee, who is phased -- not its instruction
+semantics.  Footprints are fractions of the simulated machine's L2 size,
+so the models scale with the machine.
+
+``instructions_per_access`` (ipa) calibrates each model's MPKI scale:
+``MPKI = 1000 * (L2 misses per access) / ipa``, so a smaller ipa means a
+more memory-bound model (mcf: 10; compute-heavy codes: 60+).
+
+The paper's five *problematic* applications (swim, art, apsi, omnetpp,
+ammp -- Section 5.2.1) are deliberately modeled with the traffic that
+breaks RapidMRC's channel: prefetcher-heavy striding (stale entries),
+bursty adjacent misses (dual-LSU drops) and working sets large relative
+to the trace log (insufficient warmup).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.sim.machine import MachineConfig
+from repro.workloads.base import Workload
+from repro.workloads.patterns import (
+    LoopingScan,
+    MixedPattern,
+    PointerChase,
+    RandomWorkingSet,
+    RegionOffset,
+    SequentialStream,
+    StridedSweep,
+    ZipfWorkingSet,
+)
+from repro.workloads.phased import Phase, PhasedWorkload
+
+__all__ = ["WORKLOAD_NAMES", "make_workload", "SPEC2000", "SPEC2006", "PROBLEMATIC"]
+
+_BuilderT = Callable[[MachineConfig, int], Workload]
+_REGISTRY: Dict[str, _BuilderT] = {}
+
+SPEC2000 = (
+    "ammp", "applu", "apsi", "art", "bzip2", "crafty", "equake", "gap",
+    "gzip", "mcf", "mesa", "mgrid", "parser", "sixtrack", "swim", "twolf",
+    "vortex", "vpr", "wupwise",
+)
+SPEC2006 = (
+    "astar", "bwaves", "bzip2_2k6", "gromacs", "libquantum", "mcf_2k6",
+    "omnetpp", "povray", "xalancbmk", "zeusmp",
+)
+#: Applications the paper itself reports as inaccurate (Section 5.2.1).
+PROBLEMATIC = ("swim", "art", "apsi", "omnetpp", "ammp")
+
+
+def _register(name: str) -> Callable[[_BuilderT], _BuilderT]:
+    def wrap(builder: _BuilderT) -> _BuilderT:
+        _REGISTRY[name] = builder
+        return builder
+    return wrap
+
+
+def _l2_frac(machine: MachineConfig, fraction: float) -> int:
+    """A footprint of ``fraction`` L2 sizes, floored at one line."""
+    return max(machine.line_size, int(machine.l2_size * fraction))
+
+
+# ---------------------------------------------------------------------------
+# SPECjbb2000
+# ---------------------------------------------------------------------------
+
+@_register("jbb")
+def _jbb(machine: MachineConfig, seed: int) -> Workload:
+    """Java server workload: skewed object reuse, gradual MRC decline."""
+    pattern = ZipfWorkingSet(_l2_frac(machine, 1.5), alpha=1.0)
+    return Workload("jbb", pattern, instructions_per_access=40, seed=seed,
+                    description="skewed heap reuse; gradual decline to ~1 MPKI")
+
+
+# ---------------------------------------------------------------------------
+# SPECcpu2000
+# ---------------------------------------------------------------------------
+
+@_register("ammp")
+def _ammp(machine: MachineConfig, seed: int) -> Workload:
+    """Molecular dynamics; a paper 'problematic' case: irregular mix of
+    neighbour-list chases and strided force sweeps."""
+    # Mix shares dilute each component's effective cache slice: a chase
+    # with share 0.5 and footprint 0.375 L2 hits once ~12 colors are
+    # allocated, giving the paper's late gradual decline.
+    pattern = MixedPattern([
+        (0.5, PointerChase(_l2_frac(machine, 0.375))),
+        (0.3, StridedSweep(_l2_frac(machine, 1.2), stride_lines=3,
+                           base=1 << 34)),
+        (0.2, RandomWorkingSet(_l2_frac(machine, 0.2), base=1 << 35)),
+    ])
+    return Workload("ammp", pattern, instructions_per_access=44, seed=seed,
+                    description="irregular MD mix (problematic case)")
+
+
+@_register("applu")
+def _applu(machine: MachineConfig, seed: int) -> Workload:
+    """SSOR solver: looping sweeps with a small-cache knee, then flat."""
+    pattern = MixedPattern([
+        (0.7, LoopingScan(_l2_frac(machine, 0.18))),
+        (0.3, SequentialStream(_l2_frac(machine, 4.0), base=1 << 34)),
+    ])
+    return Workload("applu", pattern, instructions_per_access=70, seed=seed,
+                    description="loop nest knee at ~3 colors plus streaming")
+
+
+@_register("apsi")
+def _apsi(machine: MachineConfig, seed: int) -> Workload:
+    """Pollutant modeling; problematic case: rapid phase alternation
+    comparable to the probe length itself."""
+    lines = machine.l2_lines
+    return PhasedWorkload(
+        "apsi",
+        [
+            Phase(ZipfWorkingSet(_l2_frac(machine, 1.2), alpha=0.7),
+                  duration_accesses=6 * lines, label="transport"),
+            Phase(StridedSweep(_l2_frac(machine, 0.9), stride_lines=5,
+                               base=1 << 34),
+                  duration_accesses=4 * lines, label="fft"),
+        ],
+        instructions_per_access=36,
+        seed=seed,
+        description="fast-alternating phases (problematic case)",
+    )
+
+
+@_register("art")
+def _art(machine: MachineConfig, seed: int) -> Workload:
+    """Neural-net simulation; problematic case: high flat-ish MPKI from
+    repeated full sweeps of weight matrices larger than the L2."""
+    pattern = MixedPattern([
+        (0.6, LoopingScan(_l2_frac(machine, 0.5))),
+        (0.4, RandomWorkingSet(_l2_frac(machine, 0.4), base=1 << 34)),
+    ])
+    return Workload("art", pattern, instructions_per_access=14, seed=seed,
+                    description="weight-matrix sweeps; high plateau, late drop")
+
+
+@_register("bzip2")
+def _bzip2(machine: MachineConfig, seed: int) -> Workload:
+    pattern = MixedPattern([
+        (0.6, ZipfWorkingSet(_l2_frac(machine, 0.8), alpha=0.9)),
+        (0.4, SequentialStream(_l2_frac(machine, 2.0), base=1 << 34)),
+    ])
+    return Workload("bzip2", pattern, instructions_per_access=90, seed=seed,
+                    description="compression tables + streaming input")
+
+
+@_register("crafty")
+def _crafty(machine: MachineConfig, seed: int) -> Workload:
+    """Chess: tiny working set, MRC flat at ~0 (Table 2: 98% stack hits)."""
+    pattern = ZipfWorkingSet(_l2_frac(machine, 0.05), alpha=0.8)
+    return Workload("crafty", pattern, instructions_per_access=60, seed=seed,
+                    description="tiny working set; flat near-zero MRC")
+
+
+@_register("equake")
+def _equake(machine: MachineConfig, seed: int) -> Workload:
+    """Seismic FEM: sparse-matrix loop with a mid-size knee."""
+    pattern = MixedPattern([
+        (0.75, LoopingScan(_l2_frac(machine, 0.45))),
+        (0.25, SequentialStream(_l2_frac(machine, 3.0), base=1 << 34)),
+    ])
+    return Workload("equake", pattern, instructions_per_access=56, seed=seed,
+                    description="sparse solver; knee near 7-8 colors")
+
+
+@_register("gap")
+def _gap(machine: MachineConfig, seed: int) -> Workload:
+    pattern = ZipfWorkingSet(_l2_frac(machine, 0.10), alpha=1.1)
+    return Workload("gap", pattern, instructions_per_access=80, seed=seed,
+                    description="group theory; small hot set, flat low MRC")
+
+
+@_register("gzip")
+def _gzip(machine: MachineConfig, seed: int) -> Workload:
+    pattern = MixedPattern([
+        (0.8, LoopingScan(_l2_frac(machine, 0.08))),
+        (0.2, SequentialStream(_l2_frac(machine, 1.5), base=1 << 34)),
+    ])
+    return Workload("gzip", pattern, instructions_per_access=75, seed=seed,
+                    description="window-buffer loop; early step then flat")
+
+
+@_register("mcf")
+def _mcf(machine: MachineConfig, seed: int) -> Workload:
+    """Network simplex: THE steep-decline, two-phase application.
+
+    Phase 'simplex' hammers a pointer-rich structure much larger than the
+    L2 (steep high MRC); phase 'update' works a smaller set (low MRC).
+    Figure 2 is generated from exactly this alternation.
+    """
+    lines = machine.l2_lines
+    return PhasedWorkload(
+        "mcf",
+        [
+            Phase(MixedPattern([
+                (0.85, ZipfWorkingSet(_l2_frac(machine, 3.0), alpha=0.75)),
+                (0.15, SequentialStream(_l2_frac(machine, 4.0), base=1 << 36)),
+            ]), duration_accesses=60 * lines, label="simplex"),
+            Phase(MixedPattern([
+                (0.7, ZipfWorkingSet(_l2_frac(machine, 0.5), alpha=0.9,
+                                     base=1 << 34)),
+                (0.3, SequentialStream(_l2_frac(machine, 2.0), base=1 << 35)),
+            ]), duration_accesses=40 * lines, label="update"),
+        ],
+        instructions_per_access=10,
+        seed=seed,
+        description="two-phase pointer code; 65->15 MPKI steep decline",
+    )
+
+
+@_register("mesa")
+def _mesa(machine: MachineConfig, seed: int) -> Workload:
+    pattern = LoopingScan(_l2_frac(machine, 0.04))
+    return Workload("mesa", pattern, instructions_per_access=85, seed=seed,
+                    description="software rendering; flat ~0 MRC")
+
+
+@_register("mgrid")
+def _mgrid(machine: MachineConfig, seed: int) -> Workload:
+    pattern = MixedPattern([
+        (0.6, StridedSweep(_l2_frac(machine, 0.3), stride_lines=2)),
+        (0.4, SequentialStream(_l2_frac(machine, 2.5), base=1 << 34)),
+    ])
+    return Workload("mgrid", pattern, instructions_per_access=95, seed=seed,
+                    description="multigrid strides; shallow knee, low MPKI")
+
+
+@_register("parser")
+def _parser(machine: MachineConfig, seed: int) -> Workload:
+    pattern = ZipfWorkingSet(_l2_frac(machine, 0.9), alpha=1.0)
+    return Workload("parser", pattern, instructions_per_access=85, seed=seed,
+                    description="dictionary walks; gentle decline")
+
+
+@_register("sixtrack")
+def _sixtrack(machine: MachineConfig, seed: int) -> Workload:
+    pattern = LoopingScan(_l2_frac(machine, 0.05))
+    return Workload("sixtrack", pattern, instructions_per_access=90, seed=seed,
+                    description="particle tracking; flat ~0 MRC")
+
+
+@_register("swim")
+def _swim(machine: MachineConfig, seed: int) -> Workload:
+    """Shallow-water stencils; problematic case: several same-sized arrays
+    swept with strides, footprint >> trace log coverage (needed the 1600k
+    log in Figure 4a)."""
+    # swim alternates stencil passes over different array sets with a
+    # period comparable to the standard trace log: a 160k-entry probe
+    # samples the passes lopsidedly (hence Figure 4a's need for the
+    # 1600k log, which averages over many passes).
+    lines = machine.l2_lines
+    pass_a = MixedPattern([
+        (0.6, LoopingScan(_l2_frac(machine, 0.18))),
+        (0.4, StridedSweep(_l2_frac(machine, 2.4), stride_lines=7,
+                           base=1 << 34)),
+    ])
+    pass_b = MixedPattern([
+        (0.6, LoopingScan(_l2_frac(machine, 0.07), base=1 << 35)),
+        (0.4, StridedSweep(_l2_frac(machine, 2.4), stride_lines=3,
+                           base=1 << 36)),
+    ])
+    return PhasedWorkload(
+        "swim",
+        [
+            Phase(pass_a, duration_accesses=20 * lines, label="pass-a"),
+            Phase(pass_b, duration_accesses=20 * lines, label="pass-b"),
+        ],
+        instructions_per_access=30,
+        seed=seed,
+        description="alternating stencil passes over large arrays "
+                    "(problematic case; needs the 10x log)",
+    )
+
+
+@_register("twolf")
+def _twolf(machine: MachineConfig, seed: int) -> Workload:
+    """Place & route: uniform reuse over ~an L2 of state -- the long
+    gradual decline that makes partitioning interesting (Figure 7a)."""
+    pattern = RandomWorkingSet(_l2_frac(machine, 1.05))
+    return Workload("twolf", pattern, instructions_per_access=42, seed=seed,
+                    description="uniform reuse; near-linear 22->2 decline")
+
+
+@_register("vortex")
+def _vortex(machine: MachineConfig, seed: int) -> Workload:
+    pattern = ZipfWorkingSet(_l2_frac(machine, 0.12), alpha=1.0)
+    return Workload("vortex", pattern, instructions_per_access=85, seed=seed,
+                    description="OO database; small hot set, flat low")
+
+
+@_register("vpr")
+def _vpr(machine: MachineConfig, seed: int) -> Workload:
+    """FPGA place (the paper uses the 'place' phase): like twolf, a
+    gradual decline over the full size range (Figure 7b)."""
+    pattern = MixedPattern([
+        (0.8, RandomWorkingSet(_l2_frac(machine, 1.0))),
+        (0.2, ZipfWorkingSet(_l2_frac(machine, 0.3), alpha=1.0, base=1 << 34)),
+    ])
+    return Workload("vpr", pattern, instructions_per_access=48, seed=seed,
+                    description="placement annealing; gradual decline")
+
+
+@_register("wupwise")
+def _wupwise(machine: MachineConfig, seed: int) -> Workload:
+    pattern = MixedPattern([
+        (0.7, LoopingScan(_l2_frac(machine, 0.06))),
+        (0.3, SequentialStream(_l2_frac(machine, 3.0), base=1 << 34)),
+    ])
+    return Workload("wupwise", pattern, instructions_per_access=120, seed=seed,
+                    description="lattice QCD; flat near-zero MRC")
+
+
+# ---------------------------------------------------------------------------
+# SPECcpu2006
+# ---------------------------------------------------------------------------
+
+@_register("astar")
+def _astar(machine: MachineConfig, seed: int) -> Workload:
+    pattern = MixedPattern([
+        (0.6, ZipfWorkingSet(_l2_frac(machine, 1.6), alpha=0.8)),
+        (0.4, PointerChase(_l2_frac(machine, 0.33), base=1 << 34)),
+    ])
+    return Workload("astar", pattern, instructions_per_access=30, seed=seed,
+                    description="path search; moderate steady decline")
+
+
+@_register("bwaves")
+def _bwaves(machine: MachineConfig, seed: int) -> Workload:
+    pattern = SequentialStream(_l2_frac(machine, 6.0))
+    return Workload("bwaves", pattern, instructions_per_access=220, seed=seed,
+                    description="blast-wave solver; prefetch-friendly streams")
+
+
+@_register("bzip2_2k6")
+def _bzip2_2k6(machine: MachineConfig, seed: int) -> Workload:
+    pattern = MixedPattern([
+        (0.6, ZipfWorkingSet(_l2_frac(machine, 0.9), alpha=0.85)),
+        (0.4, SequentialStream(_l2_frac(machine, 2.5), base=1 << 34)),
+    ])
+    return Workload("bzip2_2k6", pattern, instructions_per_access=65, seed=seed,
+                    description="2006 bzip2; gentle decline")
+
+
+@_register("gromacs")
+def _gromacs(machine: MachineConfig, seed: int) -> Workload:
+    pattern = ZipfWorkingSet(_l2_frac(machine, 0.15), alpha=0.9)
+    return Workload("gromacs", pattern, instructions_per_access=110, seed=seed,
+                    description="MD with compact neighbour lists; flat low")
+
+
+@_register("libquantum")
+def _libquantum(machine: MachineConfig, seed: int) -> Workload:
+    """Quantum register simulation: pure streaming over a huge vector;
+    the canonical cache-insensitive, flat-at-high-MPKI application."""
+    pattern = SequentialStream(_l2_frac(machine, 10.0))
+    return Workload("libquantum", pattern, instructions_per_access=32, seed=seed,
+                    description="pure streaming; flat ~30 MPKI at every size")
+
+
+@_register("mcf_2k6")
+def _mcf_2k6(machine: MachineConfig, seed: int) -> Workload:
+    pattern = MixedPattern([
+        (0.75, ZipfWorkingSet(_l2_frac(machine, 3.5), alpha=0.8)),
+        (0.25, PointerChase(_l2_frac(machine, 1.2), base=1 << 34)),
+    ])
+    return Workload("mcf_2k6", pattern, instructions_per_access=22, seed=seed,
+                    description="2006 mcf; steep early knee")
+
+
+@_register("omnetpp")
+def _omnetpp(machine: MachineConfig, seed: int) -> Workload:
+    """Discrete-event simulation; problematic case: allocation-churn
+    traffic where the hot set drifts during the probe itself."""
+    lines = machine.l2_lines
+    return PhasedWorkload(
+        "omnetpp",
+        [
+            Phase(ZipfWorkingSet(_l2_frac(machine, 1.1), alpha=0.9),
+                  duration_accesses=3 * lines, label="events-a"),
+            Phase(ZipfWorkingSet(_l2_frac(machine, 1.1), alpha=0.9,
+                                 base=1 << 34),
+                  duration_accesses=3 * lines, label="events-b"),
+            Phase(SequentialStream(_l2_frac(machine, 2.0), base=1 << 35),
+                  duration_accesses=2 * lines, label="gc"),
+        ],
+        instructions_per_access=55,
+        seed=seed,
+        description="drifting hot set (problematic case)",
+    )
+
+
+@_register("povray")
+def _povray(machine: MachineConfig, seed: int) -> Workload:
+    pattern = ZipfWorkingSet(_l2_frac(machine, 0.04), alpha=1.0)
+    return Workload("povray", pattern, instructions_per_access=100, seed=seed,
+                    description="ray tracing; flat zero MRC (0.00 distance)")
+
+
+@_register("xalancbmk")
+def _xalancbmk(machine: MachineConfig, seed: int) -> Workload:
+    pattern = MixedPattern([
+        (0.7, ZipfWorkingSet(_l2_frac(machine, 1.3), alpha=0.95)),
+        (0.3, PointerChase(_l2_frac(machine, 0.4), base=1 << 34)),
+    ])
+    return Workload("xalancbmk", pattern, instructions_per_access=60, seed=seed,
+                    description="XSLT; DOM-walk decline")
+
+
+@_register("zeusmp")
+def _zeusmp(machine: MachineConfig, seed: int) -> Workload:
+    pattern = MixedPattern([
+        (0.65, LoopingScan(_l2_frac(machine, 0.25))),
+        (0.35, SequentialStream(_l2_frac(machine, 3.5), base=1 << 34)),
+    ])
+    return Workload("zeusmp", pattern, instructions_per_access=90, seed=seed,
+                    description="CFD; small knee then flat")
+
+
+WORKLOAD_NAMES = tuple(sorted(_REGISTRY))
+
+
+def make_workload(name: str, machine: MachineConfig, seed: int = 7) -> Workload:
+    """Build the named application model for the given machine.
+
+    Args:
+        name: one of :data:`WORKLOAD_NAMES` (paper Figure 3 naming, with
+            ``bzip2_2k6``/``mcf_2k6`` for the 2006 editions).
+        machine: machine geometry; footprints scale with its L2.
+        seed: reproducibility seed for the access stream.
+    """
+    try:
+        builder = _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown workload {name!r}; options: {', '.join(WORKLOAD_NAMES)}"
+        ) from None
+    return builder(machine, seed)

@@ -1,0 +1,66 @@
+"""Tests for ASCII reporting helpers."""
+
+import pytest
+
+from repro.analysis.report import render_ascii_chart, render_curves, render_table
+from repro.core.mrc import MissRateCurve
+
+
+class TestRenderTable:
+    def test_alignment_and_content(self):
+        text = render_table(["name", "value"], [["mcf", 1.234], ["art", 10.0]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "mcf" in lines[2]
+        assert "1.23" in lines[2]
+
+    def test_float_format(self):
+        text = render_table(["v"], [[1.23456]], float_format="{:.4f}")
+        assert "1.2346" in text
+
+    def test_empty_rows(self):
+        text = render_table(["a"], [])
+        assert "a" in text
+
+
+class TestRenderCurves:
+    def test_side_by_side(self):
+        curves = {
+            "real": MissRateCurve({1: 10.0, 2: 5.0}),
+            "calc": MissRateCurve({1: 9.0, 2: 6.0}),
+        }
+        text = render_curves(curves)
+        assert "real" in text and "calc" in text
+        assert "10.00" in text
+
+    def test_disjoint_sizes_render_nan(self):
+        curves = {
+            "a": MissRateCurve({1: 1.0}),
+            "b": MissRateCurve({2: 2.0}),
+        }
+        text = render_curves(curves)
+        assert "nan" in text
+
+    def test_empty(self):
+        assert "no curves" in render_curves({})
+
+
+class TestAsciiChart:
+    def test_renders_all_series(self):
+        text = render_ascii_chart({"a": [1, 2, 3], "b": [3, 2, 1]})
+        assert "a" in text and "b" in text
+        assert "*" in text and "+" in text
+
+    def test_empty(self):
+        assert "no data" in render_ascii_chart({})
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            render_ascii_chart({"a": [1], "b": [1, 2]})
+
+    def test_constant_series(self):
+        text = render_ascii_chart({"flat": [5.0, 5.0, 5.0]})
+        assert "5.00" in text
+
+    def test_empty_series(self):
+        assert "empty" in render_ascii_chart({"a": []})

@@ -1,0 +1,65 @@
+"""Tests for Table 2 row formatting and averaging."""
+
+import pytest
+
+from repro.analysis.tables import Table2Row, table2_averages, table2_text
+
+
+def row(name="mcf", shift=0.0, dist=1.0, long_dist=None):
+    return Table2Row(
+        workload=name,
+        trace_logging_cycles=1e6,
+        mrc_calculation_cycles=5e5,
+        probe_instructions=100_000,
+        avg_phase_length_instructions=1e9,
+        prefetch_conversion_fraction=0.02,
+        warmup_fraction=0.5,
+        stack_hit_rate=0.8,
+        vertical_shift_mpki=shift,
+        distance_standard_log=dist,
+        distance_long_log=long_dist,
+    )
+
+
+class TestAverages:
+    def test_simple_mean(self):
+        avg = table2_averages([row(dist=1.0), row(dist=3.0)])
+        assert avg.distance_standard_log == pytest.approx(2.0)
+        assert avg.workload == "Average"
+
+    def test_shift_averages_absolute_values(self):
+        """Paper footnote 1: 'The average is calculated using absolute
+        values.'"""
+        avg = table2_averages([row(shift=-10.0), row(shift=10.0)])
+        assert avg.vertical_shift_mpki == pytest.approx(10.0)
+
+    def test_long_log_average_ignores_missing(self):
+        avg = table2_averages([row(long_dist=2.0), row(long_dist=None)])
+        assert avg.distance_long_log == pytest.approx(2.0)
+
+    def test_all_long_missing(self):
+        avg = table2_averages([row(), row()])
+        assert avg.distance_long_log is None
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            table2_averages([])
+
+
+class TestRendering:
+    def test_contains_all_workloads(self):
+        text = table2_text([row("mcf"), row("twolf")])
+        assert "mcf" in text and "twolf" in text
+        assert "Average" in text
+
+    def test_without_average(self):
+        text = table2_text([row("mcf")], with_average=False)
+        assert "Average" not in text
+
+    def test_missing_long_distance_rendered_as_dash(self):
+        text = table2_text([row(long_dist=None)], with_average=False)
+        assert "-" in text.splitlines()[-1]
+
+    def test_percentages_scaled(self):
+        text = table2_text([row()], with_average=False)
+        assert "50.0" in text  # warmup 0.5 -> 50.0%

@@ -1,0 +1,86 @@
+"""Tests for the extra curve-comparison metrics."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analysis.validation import (
+    classification_agreement,
+    knee_error,
+    shape_correlation,
+)
+from repro.core.mrc import MissRateCurve
+
+
+def curve(values):
+    return MissRateCurve({i + 1: v for i, v in enumerate(values)})
+
+
+class TestShapeCorrelation:
+    def test_identical_curves(self):
+        mrc = curve([10.0, 5.0, 2.0, 1.0])
+        assert shape_correlation(mrc, mrc) == pytest.approx(1.0)
+
+    def test_v_offset_invariant(self):
+        mrc = curve([10.0, 5.0, 2.0, 1.0])
+        shifted = mrc.shifted(7.0)
+        assert shape_correlation(mrc, shifted) == pytest.approx(1.0)
+
+    def test_opposite_shapes_anticorrelate(self):
+        down = curve([3.0, 2.0, 1.0])
+        up = curve([1.0, 2.0, 3.0])
+        assert shape_correlation(down, up) == pytest.approx(-1.0)
+
+    def test_flat_vs_flat(self):
+        assert shape_correlation(curve([2.0] * 4), curve([9.0] * 4)) == 1.0
+
+    def test_flat_vs_sloped(self):
+        assert shape_correlation(curve([2.0] * 4), curve([4.0, 3, 2, 1])) == 0.0
+
+    def test_requires_two_common_sizes(self):
+        with pytest.raises(ValueError):
+            shape_correlation(
+                MissRateCurve({1: 1.0}), MissRateCurve({1: 2.0})
+            )
+
+    @given(
+        values=st.lists(st.floats(min_value=0, max_value=50),
+                        min_size=3, max_size=16),
+        scale=st.floats(min_value=0.1, max_value=10),
+        offset=st.floats(min_value=0, max_value=50),
+    )
+    def test_property_affine_invariance(self, values, scale, offset):
+        base = curve(values)
+        transformed = curve([scale * v + offset for v in values])
+        r = shape_correlation(base, transformed)
+        if max(values) - min(values) > 1e-6:
+            assert r == pytest.approx(1.0, abs=1e-4)
+        else:
+            # Near-constant curves: correlation is numerically fragile;
+            # only require it stays in the valid range.
+            assert -1.0 - 1e-9 <= r <= 1.0 + 1e-9
+
+
+class TestKneeError:
+    def test_same_knee(self):
+        a = curve([10.0] * 7 + [1.0] * 9)
+        assert knee_error(a, a) == 0
+
+    def test_shifted_knee(self):
+        a = curve([10.0] * 7 + [1.0] * 9)   # knee at 8
+        b = curve([10.0] * 11 + [1.0] * 5)  # knee at 12
+        assert knee_error(a, b) == 4
+
+
+class TestClassificationAgreement:
+    def test_both_flat(self):
+        assert classification_agreement(curve([1.0] * 4), curve([2.0] * 4))
+
+    def test_both_sensitive(self):
+        assert classification_agreement(
+            curve([10.0, 1.0]), curve([20.0, 2.0])
+        )
+
+    def test_disagreement(self):
+        assert not classification_agreement(
+            curve([1.0] * 4), curve([10.0, 8.0, 4.0, 1.0])
+        )

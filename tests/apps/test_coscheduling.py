@@ -1,0 +1,88 @@
+"""Tests for MRC-guided co-scheduling."""
+
+import pytest
+
+from repro.apps.coscheduling import pair_for_coscheduling
+from repro.core.mrc import MissRateCurve
+
+
+def curve(values):
+    return MissRateCurve({i + 1: v for i, v in enumerate(values)})
+
+
+def hungry(top=40.0):
+    return curve([top * (16 - i) / 16 for i in range(16)])
+
+
+def flat(value=5.0):
+    return curve([value] * 16)
+
+
+class TestPairing:
+    def test_hungry_apps_paired_with_flat_apps(self):
+        """Two cache-hungry + two insensitive apps: pairing each hungry
+        app with a flat one lets both hungry apps get big partitions --
+        the classic symbiotic schedule."""
+        mrcs = {
+            "mcf": hungry(60.0),
+            "twolf": hungry(40.0),
+            "libquantum": flat(8.0),
+            "povray": flat(0.1),
+        }
+        pairing = pair_for_coscheduling(mrcs)
+        for a, b in pairing.pairs:
+            kinds = {a in ("mcf", "twolf"), b in ("mcf", "twolf")}
+            assert kinds == {True, False}, pairing.pairs
+
+    def test_splits_accompany_pairs(self):
+        mrcs = {"a": hungry(), "b": flat(), "c": hungry(), "d": flat()}
+        pairing = pair_for_coscheduling(mrcs)
+        assert len(pairing.splits) == len(pairing.pairs)
+        for split in pairing.splits:
+            assert sum(split) == 16
+
+    def test_two_apps_single_pair(self):
+        pairing = pair_for_coscheduling({"a": hungry(), "b": flat()})
+        assert pairing.pairs == (("a", "b"),)
+
+    def test_odd_count_rejected(self):
+        with pytest.raises(ValueError):
+            pair_for_coscheduling({"a": flat()})
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            pair_for_coscheduling({})
+
+    def test_exact_matches_greedy_on_easy_instance(self):
+        mrcs = {
+            "a": hungry(50.0), "b": flat(1.0),
+            "c": hungry(48.0), "d": flat(1.2),
+        }
+        exact = pair_for_coscheduling(mrcs, exact_limit=14)
+        greedy = pair_for_coscheduling(mrcs, exact_limit=0)
+        assert exact.predicted_total_mpki <= greedy.predicted_total_mpki + 1e-9
+
+    def test_exact_beats_or_ties_greedy_always(self):
+        # A crafted instance where cheapest-pair-first is suboptimal.
+        mrcs = {
+            "a": curve([30.0] * 8 + [0.0] * 8),   # needs 9 colors
+            "b": curve([30.0] * 8 + [0.0] * 8),
+            "c": flat(2.0),
+            "d": flat(2.0),
+        }
+        exact = pair_for_coscheduling(mrcs, exact_limit=14)
+        greedy = pair_for_coscheduling(mrcs, exact_limit=0)
+        assert exact.predicted_total_mpki <= greedy.predicted_total_mpki + 1e-9
+        # Optimal pairing separates the two step apps.
+        for a, b in exact.pairs:
+            assert {a, b} != {"a", "b"}
+
+    def test_six_apps_exact(self):
+        mrcs = {
+            "a": hungry(60.0), "b": hungry(30.0), "c": hungry(10.0),
+            "x": flat(9.0), "y": flat(5.0), "z": flat(1.0),
+        }
+        pairing = pair_for_coscheduling(mrcs)
+        assert len(pairing.pairs) == 3
+        names = sorted(n for pair in pairing.pairs for n in pair)
+        assert names == ["a", "b", "c", "x", "y", "z"]

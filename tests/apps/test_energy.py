@@ -1,0 +1,66 @@
+"""Tests for energy-driven cache downsizing."""
+
+import pytest
+
+from repro.apps.energy import EnergyModel, choose_energy_size
+from repro.core.mrc import MissRateCurve
+
+
+def curve(values):
+    return MissRateCurve({i + 1: v for i, v in enumerate(values)})
+
+
+class TestEnergyModel:
+    def test_energy_accounting(self):
+        model = EnergyModel(static_power_per_color=2.0, energy_per_miss=1.0)
+        mrc = curve([10.0, 4.0])
+        assert model.energy_per_kilo_instruction(mrc, 1) == pytest.approx(12.0)
+        assert model.energy_per_kilo_instruction(mrc, 2) == pytest.approx(8.0)
+
+    def test_negative_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            EnergyModel(static_power_per_color=-1.0)
+
+
+class TestChooseEnergySize:
+    def test_flat_curve_shrinks_to_minimum(self):
+        decision = choose_energy_size(curve([1.0] * 16))
+        assert decision.size == 1
+        assert decision.colors_powered_down == 15
+        assert decision.energy_saving_fraction > 0.5
+
+    def test_steep_curve_keeps_full_size(self):
+        steep = curve([float(160 - 10 * i) for i in range(16)])
+        decision = choose_energy_size(steep, tolerance_mpki=0.5)
+        assert decision.size == 16
+        assert decision.colors_powered_down == 0
+
+    def test_knee_curve_shrinks_to_knee(self):
+        knee = curve([20.0] * 7 + [2.0] * 9)
+        decision = choose_energy_size(knee, tolerance_mpki=0.5)
+        assert decision.size == 8
+
+    def test_tolerance_trades_performance_for_energy(self):
+        gentle = curve([float(16 - i) for i in range(16)])
+        tight = choose_energy_size(gentle, tolerance_mpki=0.5)
+        loose = choose_energy_size(gentle, tolerance_mpki=5.0)
+        assert loose.size < tight.size
+
+    def test_explicit_full_size(self):
+        decision = choose_energy_size(curve([1.0] * 16), full_size=8)
+        assert decision.full_size == 8
+        assert decision.size <= 8
+
+    def test_negative_tolerance_rejected(self):
+        with pytest.raises(ValueError):
+            choose_energy_size(curve([1.0]), tolerance_mpki=-1)
+
+    def test_saving_nets_out_miss_energy(self):
+        # Shrinking adds misses: with very expensive misses, the
+        # *reported* saving can go negative even though the guardrail
+        # admitted the size.
+        knee = curve([3.0] * 15 + [2.0])
+        costly = EnergyModel(static_power_per_color=0.01, energy_per_miss=100.0)
+        decision = choose_energy_size(knee, costly, tolerance_mpki=1.5)
+        assert decision.size == 1
+        assert decision.energy_saving_fraction < 0

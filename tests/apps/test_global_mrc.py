@@ -1,0 +1,99 @@
+"""Tests for the shared-cache MRC prediction."""
+
+import pytest
+
+from repro.apps.global_mrc import predict_shared_mrc
+from repro.core.mrc import MissRateCurve
+
+
+def curve(values):
+    return MissRateCurve({i + 1: v for i, v in enumerate(values)})
+
+
+def linear(top):
+    return curve([top * (16 - i) / 16 for i in range(16)])
+
+
+class TestPrediction:
+    def test_equal_rates_split_evenly(self):
+        prediction = predict_shared_mrc(
+            {"a": linear(32.0), "b": linear(32.0)},
+            {"a": 1.0, "b": 1.0},
+        )
+        assert prediction.effective_fraction["a"] == pytest.approx(0.5)
+        # Each behaves like it had 8 of the 16 colors.
+        assert prediction.per_app_mpki["a"] == pytest.approx(
+            linear(32.0).value_at(8)
+        )
+
+    def test_aggressive_app_captures_more(self):
+        prediction = predict_shared_mrc(
+            {"loud": linear(32.0), "quiet": linear(32.0)},
+            {"loud": 3.0, "quiet": 1.0},
+        )
+        assert prediction.effective_fraction["loud"] == pytest.approx(0.75)
+        assert (prediction.per_app_mpki["loud"]
+                < prediction.per_app_mpki["quiet"])
+
+    def test_global_is_weighted_sum(self):
+        prediction = predict_shared_mrc(
+            {"a": linear(32.0), "b": curve([4.0] * 16)},
+            {"a": 1.0, "b": 1.0},
+            instruction_shares={"a": 0.75, "b": 0.25},
+        )
+        expected = 0.75 * prediction.per_app_mpki["a"] + \
+            0.25 * prediction.per_app_mpki["b"]
+        assert prediction.global_mpki == pytest.approx(expected)
+
+    def test_mismatched_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            predict_shared_mrc({"a": linear(1.0)}, {"b": 1.0})
+
+    def test_zero_rates_rejected(self):
+        with pytest.raises(ValueError):
+            predict_shared_mrc({"a": linear(1.0)}, {"a": 0.0})
+
+    def test_tiny_fraction_floors_at_one_color(self):
+        prediction = predict_shared_mrc(
+            {"whale": linear(10.0), "shrimp": linear(10.0)},
+            {"whale": 1000.0, "shrimp": 1.0},
+        )
+        # Even a negligible-rate app is modeled with >= 1 color's worth.
+        assert prediction.per_app_mpki["shrimp"] <= linear(10.0).value_at(1)
+
+
+class TestAgainstSimulator:
+    def test_prediction_tracks_measured_corun(self, tiny_machine):
+        """The proportional model should predict the simulator's
+        uncontrolled co-run MPKI within coarse error for uniform-reuse
+        workloads."""
+        from repro.runner.corun import CorunSpec, corun
+        from repro.runner.offline import OfflineConfig, real_mrc
+        from repro.workloads.base import Workload
+        from repro.workloads.patterns import RandomWorkingSet
+
+        def app(name, frac, base=0):
+            return Workload(
+                name, RandomWorkingSet(int(tiny_machine.l2_size * frac),
+                                       base=base),
+                instructions_per_access=10, store_fraction=0.0,
+            )
+
+        fast = OfflineConfig(warmup_accesses=2000, measure_accesses=5000,
+                             prefetch_enabled=False)
+        solo = {
+            "a": real_mrc(app("a", 0.9), tiny_machine, fast),
+            "b": real_mrc(app("b", 0.9, base=1 << 34), tiny_machine, fast),
+        }
+        prediction = predict_shared_mrc(solo, {"a": 1.0, "b": 1.0})
+        measured = corun(
+            [CorunSpec(app("a", 0.9)), CorunSpec(app("b", 0.9, base=1 << 34))],
+            tiny_machine, quota_accesses=6000, warmup_accesses=3000,
+            prefetch_enabled=False,
+        )
+        for index, name in enumerate(["a", "b"]):
+            predicted = prediction.per_app_mpki[name]
+            actual = measured.mpki[index]
+            assert predicted == pytest.approx(actual, rel=0.5), (
+                name, predicted, actual
+            )

@@ -1,0 +1,64 @@
+"""Tests for pollute-buffer planning."""
+
+import pytest
+
+from repro.apps.pollute_buffer import plan_pollute_buffer
+from repro.core.mrc import MissRateCurve
+
+
+def curve(values):
+    return MissRateCurve({i + 1: v for i, v in enumerate(values)})
+
+
+def hungry(top=40.0):
+    return curve([top * (16 - i) / 16 for i in range(16)])
+
+
+def flat(value=5.0):
+    return curve([value] * 16)
+
+
+class TestPlanning:
+    def test_polluters_confined_others_protected(self):
+        plan = plan_pollute_buffer({
+            "mcf": hungry(60.0),
+            "twolf": hungry(30.0),
+            "libquantum": flat(20.0),
+            "bwaves": flat(2.0),
+        })
+        assert set(plan.polluters) == {"libquantum", "bwaves"}
+        assert plan.buffer_colors == 1
+        assert set(plan.protected_colors) == {"mcf", "twolf"}
+        assert plan.total_colors == 16
+
+    def test_protected_shares_by_utility(self):
+        plan = plan_pollute_buffer({
+            "steep": hungry(64.0),
+            "shallow": hungry(4.0),
+            "stream": flat(10.0),
+        })
+        assert plan.protected_colors["steep"] > plan.protected_colors["shallow"]
+
+    def test_no_polluters_dissolves_buffer(self):
+        plan = plan_pollute_buffer({"a": hungry(), "b": hungry(20.0)})
+        assert plan.buffer_colors == 0
+        assert plan.polluters == ()
+        assert plan.total_colors == 16
+
+    def test_all_polluters_pool_everything(self):
+        plan = plan_pollute_buffer({"a": flat(), "b": flat(1.0)})
+        assert plan.buffer_colors == 16
+        assert plan.protected_colors == {}
+
+    def test_bigger_buffer(self):
+        plan = plan_pollute_buffer(
+            {"a": hungry(), "stream": flat()}, buffer_colors=2
+        )
+        assert plan.buffer_colors == 2
+        assert plan.protected_colors["a"] == 14
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            plan_pollute_buffer({}, buffer_colors=1)
+        with pytest.raises(ValueError):
+            plan_pollute_buffer({"a": hungry()}, buffer_colors=0)

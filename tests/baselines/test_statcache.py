@@ -1,0 +1,122 @@
+"""Tests for the StatCache baseline."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.baselines.statcache import (
+    ReuseTimeHistogram,
+    StatCacheEstimator,
+    StatCacheSampler,
+)
+from repro.sim.machine import MachineConfig
+
+
+@pytest.fixture(scope="module")
+def machine():
+    return MachineConfig.scaled(32)
+
+
+class TestSampler:
+    def test_measures_reuse_time_exactly(self):
+        sampler = StatCacheSampler(period=1, seed=0)  # sample everything
+        for line in [7, 1, 2, 7]:
+            sampler.observe(line)
+        hist = sampler.finish()
+        # line 7 re-touched after 3 accesses.
+        assert hist.counts.get(3, 0) >= 1
+
+    def test_sparse_sampling_rate(self):
+        sampler = StatCacheSampler(period=50, seed=1, max_watchpoints=10_000)
+        for line in range(20_000):
+            sampler.observe(line)
+        # ~20k/50 = 400 samples expected; all dangling (no reuse).
+        assert 250 <= sampler.samples_taken <= 600
+
+    def test_watchpoint_budget_respected(self):
+        sampler = StatCacheSampler(period=1, max_watchpoints=4)
+        for line in range(100):
+            sampler.observe(line)  # never reused: watchpoints pile up
+        assert sampler.samples_dropped > 0
+        assert len(sampler._watchpoints) <= 4
+
+    def test_dangling_counted_at_finish(self):
+        sampler = StatCacheSampler(period=1, max_watchpoints=8)
+        for line in range(5):
+            sampler.observe(line)
+        hist = sampler.finish()
+        assert hist.dangling == 5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StatCacheSampler(period=0)
+        with pytest.raises(ValueError):
+            StatCacheSampler(max_watchpoints=0)
+        with pytest.raises(ValueError):
+            ReuseTimeHistogram().record(0)
+
+
+class TestEstimator:
+    def test_tiny_reuse_times_hit_everywhere(self, machine):
+        hist = ReuseTimeHistogram()
+        for _ in range(200):
+            hist.record(2)
+        estimator = StatCacheEstimator(machine)
+        assert estimator.miss_rate(hist, machine.l2_lines) < 0.05
+
+    def test_dangling_samples_always_miss(self, machine):
+        hist = ReuseTimeHistogram()
+        hist.dangling = 100
+        estimator = StatCacheEstimator(machine)
+        assert estimator.miss_rate(hist, machine.l2_lines) > 0.95
+
+    def test_miss_rate_decreases_with_cache_size(self, machine):
+        rng = random.Random(3)
+        hist = ReuseTimeHistogram()
+        for _ in range(500):
+            hist.record(rng.randrange(1, 5000))
+        estimator = StatCacheEstimator(machine)
+        small = estimator.miss_rate(hist, machine.lines_per_color)
+        large = estimator.miss_rate(hist, machine.l2_lines)
+        assert large < small
+
+    def test_empty_histogram(self, machine):
+        estimator = StatCacheEstimator(machine)
+        assert estimator.miss_rate(ReuseTimeHistogram(), 100) == 0.0
+
+    def test_to_mrc_shape(self, machine):
+        rng = random.Random(4)
+        hist = ReuseTimeHistogram()
+        for _ in range(400):
+            hist.record(rng.randrange(1, 3000))
+        mrc = StatCacheEstimator(machine).to_mrc(
+            hist, accesses_per_kilo_instruction=300.0
+        )
+        assert mrc.sizes == tuple(range(1, 17))
+        assert mrc.monotone_violations() == 0
+
+    def test_validation(self, machine):
+        estimator = StatCacheEstimator(machine)
+        with pytest.raises(ValueError):
+            estimator.miss_rate(ReuseTimeHistogram(), 0)
+        with pytest.raises(ValueError):
+            estimator.to_mrc(ReuseTimeHistogram(), 0.0)
+
+
+class TestAgainstGroundTruth:
+    def test_loop_workload_estimate_matches_stack(self, machine):
+        """For a loop over K lines, StatCache must place the miss cliff
+        near K lines, like the exact stack method does."""
+        loop_lines = machine.l2_lines // 2
+        trace = list(range(loop_lines)) * 40
+        sampler = StatCacheSampler(period=10, seed=5, max_watchpoints=4096)
+        for line in trace:
+            sampler.observe(line)
+        hist = sampler.finish()
+        estimator = StatCacheEstimator(machine)
+        # Well below the loop: ~always miss; well above: ~mostly hit.
+        starved = estimator.miss_rate(hist, loop_lines // 4)
+        generous = estimator.miss_rate(hist, 4 * loop_lines)
+        assert starved > 0.7
+        assert generous < 0.3

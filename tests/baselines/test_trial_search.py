@@ -1,0 +1,73 @@
+"""Tests for the trial-and-error partition-search baseline."""
+
+import pytest
+
+from repro.baselines.trial_search import binary_search_partition
+from repro.workloads.base import Workload
+from repro.workloads.patterns import LoopingScan, RandomWorkingSet, SequentialStream
+
+
+def hungry(machine):
+    return Workload(
+        "hungry", RandomWorkingSet(machine.l2_size),
+        instructions_per_access=10, store_fraction=0.0,
+    )
+
+
+def streamer(machine):
+    return Workload(
+        "streamer", SequentialStream(8 * machine.l2_size),
+        instructions_per_access=10, store_fraction=0.0,
+    )
+
+
+class TestSearch:
+    def test_finds_asymmetric_split(self, tiny_machine):
+        result = binary_search_partition(
+            hungry(tiny_machine), streamer(tiny_machine), tiny_machine,
+            quota_accesses=2500, warmup_accesses=1000,
+        )
+        # The hungry app must end with clearly more than half the cache.
+        assert result.split >= 10
+        assert result.colors == (result.split, 16 - result.split)
+
+    def test_trials_bounded(self, tiny_machine):
+        result = binary_search_partition(
+            hungry(tiny_machine), streamer(tiny_machine), tiny_machine,
+            quota_accesses=2000, warmup_accesses=500, max_trials=6,
+        )
+        assert result.trials <= 6
+
+    def test_trial_ledger_consistent(self, tiny_machine):
+        result = binary_search_partition(
+            hungry(tiny_machine), streamer(tiny_machine), tiny_machine,
+            quota_accesses=2000, warmup_accesses=500,
+        )
+        assert len(result.trial_history) == result.trials
+        assert result.accesses_spent > result.trials * 2000
+        assert result.best_cost == min(c for _s, c in result.trial_history)
+
+    def test_each_trial_costs_a_corun(self, tiny_machine):
+        cheap = binary_search_partition(
+            hungry(tiny_machine), streamer(tiny_machine), tiny_machine,
+            quota_accesses=1500, warmup_accesses=0, max_trials=3,
+        )
+        thorough = binary_search_partition(
+            hungry(tiny_machine), streamer(tiny_machine), tiny_machine,
+            quota_accesses=1500, warmup_accesses=0, max_trials=14,
+        )
+        assert thorough.accesses_spent > cheap.accesses_spent
+
+    def test_ipc_metric(self, tiny_machine):
+        result = binary_search_partition(
+            hungry(tiny_machine), streamer(tiny_machine), tiny_machine,
+            quota_accesses=2000, warmup_accesses=500, metric="ipc",
+        )
+        assert 1 <= result.split <= 15
+
+    def test_unknown_metric_rejected(self, tiny_machine):
+        with pytest.raises(ValueError):
+            binary_search_partition(
+                hungry(tiny_machine), streamer(tiny_machine), tiny_machine,
+                quota_accesses=100, metric="throughput",
+            )

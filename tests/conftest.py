@@ -1,0 +1,25 @@
+"""Shared fixtures: small machines so tests stay fast."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.machine import MachineConfig
+
+
+@pytest.fixture(scope="session")
+def tiny_machine() -> MachineConfig:
+    """Smallest valid scaled POWER5 (1/32): L2 = 480 lines, 16 colors."""
+    return MachineConfig.scaled(32)
+
+
+@pytest.fixture(scope="session")
+def small_machine() -> MachineConfig:
+    """1/16-scale POWER5: L2 = 960 lines; used by slower integration tests."""
+    return MachineConfig.scaled(16)
+
+
+@pytest.fixture(scope="session")
+def full_machine() -> MachineConfig:
+    """The Table 1 POWER5 (geometry checks only -- too big to simulate)."""
+    return MachineConfig.power5()

@@ -1,0 +1,136 @@
+"""Tests for the stack-distance histogram and Miss(size) conversion."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.histogram import COLD_MISS, StackDistanceHistogram
+
+
+def make_hist(distances):
+    return StackDistanceHistogram.from_distances(distances)
+
+
+class TestRecording:
+    def test_counts_accumulate(self):
+        hist = make_hist([1, 1, 2, 5])
+        assert hist.counts == {1: 2, 2: 1, 5: 1}
+        assert hist.cold_misses == 0
+
+    def test_cold_miss_sentinel(self):
+        hist = make_hist([COLD_MISS, 1, COLD_MISS])
+        assert hist.cold_misses == 2
+        assert hist.finite_accesses == 1
+
+    def test_zero_distance_rejected(self):
+        hist = StackDistanceHistogram()
+        with pytest.raises(ValueError):
+            hist.record(0)
+
+    def test_total_accesses(self):
+        hist = make_hist([1, 2, COLD_MISS])
+        assert hist.total_accesses == 3
+
+    def test_hit_rate(self):
+        hist = make_hist([1, 2, COLD_MISS, COLD_MISS])
+        assert hist.hit_rate() == pytest.approx(0.5)
+
+    def test_hit_rate_empty(self):
+        assert StackDistanceHistogram().hit_rate() == 0.0
+
+
+class TestMissCounts:
+    def test_mattson_sum(self):
+        # Hist: d=1 x3, d=4 x2, d=10 x1, cold x2
+        hist = make_hist([1, 1, 1, 4, 4, 10, COLD_MISS, COLD_MISS])
+        # Miss(size) = accesses with dist > size, plus cold.
+        assert hist.misses_at(0) == 8
+        assert hist.misses_at(1) == 5
+        assert hist.misses_at(3) == 5
+        assert hist.misses_at(4) == 3
+        assert hist.misses_at(9) == 3
+        assert hist.misses_at(10) == 2
+        assert hist.misses_at(100) == 2
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            make_hist([1]).misses_at(-1)
+
+    def test_vectorized_matches_scalar(self):
+        hist = make_hist([1, 2, 2, 3, 7, 7, 7, COLD_MISS])
+        sizes = [0, 1, 2, 3, 5, 7, 8]
+        assert hist.miss_counts(sizes) == [hist.misses_at(s) for s in sizes]
+
+    def test_vectorized_unsorted_input(self):
+        hist = make_hist([1, 5, 9])
+        assert hist.miss_counts([9, 1, 5]) == [
+            hist.misses_at(9), hist.misses_at(1), hist.misses_at(5)
+        ]
+
+    def test_miss_counts_monotone_nonincreasing(self):
+        hist = make_hist([1, 2, 3, 4, 5, COLD_MISS])
+        counts = hist.miss_counts(list(range(0, 7)))
+        assert all(a >= b for a, b in zip(counts, counts[1:]))
+
+
+class TestToMRC:
+    def test_basic_conversion(self):
+        # distances in lines; 10 lines per color, 2 colors, 1000 instrs.
+        hist = make_hist([5, 15, 15, COLD_MISS])
+        mrc = hist.to_mrc(lines_per_color=10, num_colors=2, instructions=1000)
+        # size 1 color = 10 lines: misses = dist>10 (2) + cold (1) = 3.
+        assert mrc[1] == pytest.approx(3.0)
+        # size 2 colors = 20 lines: misses = cold only = 1.
+        assert mrc[2] == pytest.approx(1.0)
+
+    def test_exclude_cold(self):
+        hist = make_hist([5, COLD_MISS])
+        mrc = hist.to_mrc(10, 1, 1000, include_cold=False)
+        assert mrc[1] == pytest.approx(0.0)
+
+    def test_invalid_args(self):
+        hist = make_hist([1])
+        with pytest.raises(ValueError):
+            hist.to_mrc(0, 2, 100)
+        with pytest.raises(ValueError):
+            hist.to_mrc(10, 0, 100)
+        with pytest.raises(ValueError):
+            hist.to_mrc(10, 2, 0)
+
+    def test_mpki_normalization(self):
+        hist = make_hist([COLD_MISS] * 7)
+        mrc = hist.to_mrc(1, 1, instructions=7000)
+        assert mrc[1] == pytest.approx(1.0)  # 7 misses / 7k instr = 1 MPKI
+
+
+class TestMerge:
+    def test_merged_counts(self):
+        a = make_hist([1, 2, COLD_MISS])
+        b = make_hist([2, 3])
+        merged = a.merged_with(b)
+        assert merged.counts == {1: 1, 2: 2, 3: 1}
+        assert merged.cold_misses == 1
+        # Originals untouched.
+        assert a.counts == {1: 1, 2: 1}
+
+    def test_merge_empty(self):
+        a = make_hist([1])
+        merged = a.merged_with(StackDistanceHistogram())
+        assert merged.counts == a.counts
+
+
+@given(
+    st.lists(
+        st.integers(min_value=-1, max_value=50).filter(lambda d: d != 0),
+        max_size=300,
+    )
+)
+def test_property_misses_monotone_and_bounded(distances):
+    """Miss(size) is non-increasing in size, bounded by total accesses,
+    and reaches exactly the cold-miss count at large sizes."""
+    hist = make_hist(distances)
+    sizes = list(range(0, 60))
+    counts = hist.miss_counts(sizes)
+    assert all(a >= b for a, b in zip(counts, counts[1:]))
+    assert counts[0] == hist.total_accesses
+    assert counts[-1] == hist.cold_misses
+    assert all(0 <= c <= hist.total_accesses for c in counts)

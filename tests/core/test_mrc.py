@@ -1,0 +1,226 @@
+"""Tests for the MissRateCurve value type and curve metrics."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.mrc import MissRateCurve, max_mpki_distance, mpki_distance
+
+
+def curve(values, label=""):
+    return MissRateCurve({i + 1: v for i, v in enumerate(values)}, label=label)
+
+
+class TestConstruction:
+    def test_points_are_sorted_by_size(self):
+        mrc = MissRateCurve({3: 1.0, 1: 3.0, 2: 2.0})
+        assert mrc.sizes == (1, 2, 3)
+
+    def test_empty_curve_rejected(self):
+        with pytest.raises(ValueError):
+            MissRateCurve({})
+
+    def test_negative_mpki_rejected(self):
+        with pytest.raises(ValueError):
+            MissRateCurve({1: -0.5})
+
+    def test_nan_mpki_rejected(self):
+        with pytest.raises(ValueError):
+            MissRateCurve({1: float("nan")})
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(ValueError):
+            MissRateCurve({0: 1.0})
+
+    def test_from_points_round_trips(self):
+        mrc = MissRateCurve.from_points([(1, 5.0), (2, 3.0)], label="x")
+        assert mrc[1] == 5.0
+        assert mrc[2] == 3.0
+        assert mrc.label == "x"
+
+    def test_iteration_yields_pairs(self):
+        mrc = curve([4.0, 2.0])
+        assert list(mrc) == [(1, 4.0), (2, 2.0)]
+
+    def test_contains(self):
+        mrc = curve([4.0, 2.0])
+        assert 1 in mrc and 2 in mrc and 3 not in mrc
+
+    def test_with_label(self):
+        assert curve([1.0]).with_label("mcf").label == "mcf"
+
+
+class TestValueAt:
+    def test_exact_point(self):
+        assert curve([10.0, 5.0, 2.0]).value_at(2) == 5.0
+
+    def test_interpolates_between_points(self):
+        mrc = MissRateCurve({1: 10.0, 3: 6.0})
+        assert mrc.value_at(2) == pytest.approx(8.0)
+
+    def test_clamps_below_range(self):
+        mrc = MissRateCurve({2: 10.0, 4: 6.0})
+        assert mrc.value_at(1) == 10.0
+
+    def test_clamps_above_range(self):
+        mrc = MissRateCurve({2: 10.0, 4: 6.0})
+        assert mrc.value_at(9) == 6.0
+
+
+class TestShifting:
+    def test_shift_is_uniform(self):
+        shifted = curve([10.0, 5.0, 2.0]).shifted(1.5)
+        assert [v for _s, v in shifted] == [11.5, 6.5, 3.5]
+
+    def test_shift_floors_at_zero(self):
+        shifted = curve([10.0, 0.5]).shifted(-1.0)
+        assert shifted[2] == 0.0
+        assert shifted[1] == 9.0
+
+    def test_v_offset_matching_hits_anchor(self):
+        mrc = curve([10.0, 5.0, 2.0])
+        matched, shift = mrc.v_offset_matched(anchor_size=2, anchor_mpki=7.0)
+        assert matched[2] == pytest.approx(7.0)
+        assert shift == pytest.approx(2.0)
+
+    def test_v_offset_preserves_shape(self):
+        mrc = curve([10.0, 5.0, 2.0])
+        matched, _ = mrc.v_offset_matched(1, 20.0)
+        diffs = [matched[s] - mrc[s] for s in mrc.sizes]
+        assert max(diffs) - min(diffs) == pytest.approx(0.0)
+
+    def test_v_offset_matching_original_unchanged(self):
+        mrc = curve([10.0, 5.0])
+        mrc.v_offset_matched(1, 0.0)
+        assert mrc[1] == 10.0
+
+
+class TestAffineMatching:
+    def test_two_points_hit_exactly(self):
+        mrc = curve([20.0, 15.0, 10.0, 5.0])
+        matched, scale, shift = mrc.affine_matched(1, 30.0, 4, 12.0)
+        assert matched[1] == pytest.approx(30.0)
+        assert matched[4] == pytest.approx(12.0)
+
+    def test_recovers_compressed_dynamic_range(self):
+        # A curve whose range was halved (the dropped-events artifact):
+        # two true points recover the original exactly.
+        true = curve([40.0, 30.0, 20.0, 10.0])
+        compressed = curve([25.0, 20.0, 15.0, 10.0])  # scale .5, shift 5
+        matched, scale, shift = compressed.affine_matched(
+            1, true[1], 4, true[4]
+        )
+        assert scale == pytest.approx(2.0)
+        for size in true.sizes:
+            assert matched[size] == pytest.approx(true[size])
+
+    def test_flat_curve_degenerates_to_v_offset(self):
+        flat = curve([3.0, 3.0, 3.0])
+        matched, scale, shift = flat.affine_matched(1, 8.0, 3, 9.0)
+        assert scale == 1.0
+        assert matched[1] == pytest.approx(8.0)
+
+    def test_contradictory_measurements_fall_back_to_shift(self):
+        declining = curve([10.0, 8.0, 6.0])
+        # Measured points *increase* with size: slope disagrees.
+        matched, scale, shift = declining.affine_matched(1, 5.0, 3, 9.0)
+        assert scale == 1.0
+        assert matched[1] == pytest.approx(5.0)
+
+    def test_same_anchor_rejected(self):
+        with pytest.raises(ValueError):
+            curve([1.0, 2.0]).affine_matched(1, 1.0, 1, 2.0)
+
+    def test_values_floored_at_zero(self):
+        mrc = curve([10.0, 6.0, 1.0])
+        matched, _scale, _shift = mrc.affine_matched(1, 9.0, 2, 3.0)
+        assert all(v >= 0 for _s, v in matched)
+
+
+class TestShapeAnalysis:
+    def test_flat_curve_detected(self):
+        assert curve([2.0, 2.2, 1.9]).is_flat(tolerance_mpki=0.5)
+
+    def test_steep_curve_not_flat(self):
+        assert not curve([20.0, 10.0, 1.0]).is_flat(tolerance_mpki=0.5)
+
+    def test_dynamic_range(self):
+        assert curve([9.0, 4.0, 1.0]).dynamic_range() == pytest.approx(8.0)
+
+    def test_knee_of_step_curve(self):
+        # All the drop happens from size 2 to 3.
+        mrc = curve([10.0, 10.0, 1.0, 1.0])
+        assert mrc.knee(0.9) == 3
+
+    def test_knee_of_flat_curve_is_first_size(self):
+        assert curve([2.0, 2.0, 2.0]).knee() == 1
+
+    def test_knee_rejects_bad_fraction(self):
+        with pytest.raises(ValueError):
+            curve([1.0]).knee(0.0)
+
+    def test_monotone_violations_counts_increases(self):
+        assert curve([5.0, 6.0, 4.0, 4.5]).monotone_violations() == 2
+
+    def test_monotone_curve_has_no_violations(self):
+        assert curve([5.0, 4.0, 4.0, 1.0]).monotone_violations() == 0
+
+
+class TestDistance:
+    def test_distance_is_mean_absolute(self):
+        real = curve([10.0, 6.0])
+        calc = curve([8.0, 8.0])
+        assert mpki_distance(real, calc) == pytest.approx(2.0)
+
+    def test_distance_of_identical_curves_is_zero(self):
+        mrc = curve([3.0, 2.0, 1.0])
+        assert mpki_distance(mrc, mrc) == 0.0
+
+    def test_distance_uses_common_sizes_only(self):
+        real = MissRateCurve({1: 10.0, 2: 6.0, 3: 1.0})
+        calc = MissRateCurve({2: 4.0})
+        assert mpki_distance(real, calc) == pytest.approx(2.0)
+
+    def test_distance_no_common_sizes_raises(self):
+        with pytest.raises(ValueError):
+            mpki_distance(MissRateCurve({1: 1.0}), MissRateCurve({2: 1.0}))
+
+    def test_max_distance(self):
+        real = curve([10.0, 6.0])
+        calc = curve([9.0, 1.0])
+        assert max_mpki_distance(real, calc) == pytest.approx(5.0)
+
+    def test_distance_symmetry(self):
+        a, b = curve([4.0, 2.0]), curve([1.0, 9.0])
+        assert mpki_distance(a, b) == pytest.approx(mpki_distance(b, a))
+
+
+@given(
+    values=st.lists(st.floats(min_value=0, max_value=100), min_size=1, max_size=16),
+    delta=st.floats(min_value=-50, max_value=50),
+)
+def test_property_shift_then_distance(values, delta):
+    """|shift| bounds the distance between a curve and its shifted self,
+    with equality when no value clips at zero."""
+    mrc = curve(values)
+    shifted = mrc.shifted(delta)
+    distance = mpki_distance(mrc, shifted)
+    assert distance <= abs(delta) + 1e-9
+    if all(v + delta >= 0 for v in values):
+        assert distance == pytest.approx(abs(delta), abs=1e-9)
+
+
+@given(
+    values=st.lists(st.floats(min_value=0, max_value=100), min_size=2, max_size=16),
+    anchor_mpki=st.floats(min_value=0.5, max_value=200),
+)
+def test_property_v_offset_always_hits_anchor_when_no_clipping(values, anchor_mpki):
+    """After matching, the anchor point equals the measured value whenever
+    the shift does not clip the anchor itself."""
+    mrc = curve(values)
+    anchor = len(values) // 2 + 1
+    matched, shift = mrc.v_offset_matched(anchor, anchor_mpki)
+    # anchor_mpki > 0 and matching sets value to anchor_mpki exactly.
+    assert matched.value_at(anchor) == pytest.approx(anchor_mpki)
+    assert shift == pytest.approx(anchor_mpki - mrc.value_at(anchor))

@@ -1,0 +1,185 @@
+"""Tests for MRC-driven partition sizing (paper Section 4)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.mrc import MissRateCurve
+from repro.core.partition import (
+    choose_partition_sizes,
+    choose_partition_sizes_multi,
+    choose_partition_sizes_optimal,
+    pool_insensitive,
+    sweep_two_way,
+)
+
+
+def curve(values):
+    return MissRateCurve({i + 1: v for i, v in enumerate(values)})
+
+
+def linear_decline(top, total=16):
+    """MPKI falling linearly from `top` to 0 across the sizes."""
+    return curve([top * (total - i) / total for i in range(total)])
+
+
+def flat(value, total=16):
+    return curve([value] * total)
+
+
+class TestTwoWay:
+    def test_greedy_app_vs_flat_app(self):
+        # A cache-hungry app vs a cache-insensitive one: the hungry app
+        # should receive nearly everything.
+        hungry = linear_decline(40.0)
+        insensitive = flat(5.0)
+        decision = choose_partition_sizes(hungry, insensitive, 16)
+        assert decision.colors[0] == 15
+        assert decision.colors[1] == 1
+        assert sum(decision.colors) == 16
+
+    def test_symmetric_apps_split_evenly(self):
+        a = linear_decline(20.0)
+        decision = choose_partition_sizes(a, a, 16)
+        assert sum(decision.colors) == 16
+        assert abs(decision.colors[0] - decision.colors[1]) <= 1
+
+    def test_total_mpki_is_minimal(self):
+        a = curve([30, 20, 12, 8, 6, 5, 4.5, 4, 3.8, 3.6, 3.5, 3.4, 3.3, 3.2, 3.1, 3])
+        b = linear_decline(25.0)
+        decision = choose_partition_sizes(a, b, 16)
+        sweep = sweep_two_way(a, b, 16)
+        assert decision.total_mpki == pytest.approx(min(total for _x, total in sweep))
+
+    def test_every_split_evaluated(self):
+        sweep = sweep_two_way(flat(1.0), flat(1.0), 16)
+        assert [x for x, _t in sweep] == list(range(1, 16))
+
+    def test_minimum_colors_respected(self):
+        decision = choose_partition_sizes(linear_decline(100.0), flat(0.0), 16)
+        assert min(decision.colors) >= 1
+
+    def test_too_few_colors_rejected(self):
+        with pytest.raises(ValueError):
+            choose_partition_sizes(flat(1.0), flat(1.0), 1)
+
+    def test_step_curves_find_the_knee(self):
+        # App A needs exactly 10 colors; app B needs exactly 6: a perfect fit.
+        a = curve([50.0] * 9 + [1.0] * 7)
+        b = curve([30.0] * 5 + [1.0] * 11)
+        decision = choose_partition_sizes(a, b, 16)
+        assert decision.colors == (10, 6)
+
+
+class TestMultiWay:
+    def test_two_apps_matches_exhaustive_for_convex_curves(self):
+        a = curve([float(40 - 2.5 * i) for i in range(16)])
+        b = flat(3.0)
+        greedy = choose_partition_sizes_multi([a, b], 16)
+        exhaustive = choose_partition_sizes(a, b, 16)
+        assert greedy.colors == exhaustive.colors
+
+    def test_every_app_gets_at_least_one_color(self):
+        mrcs = [flat(1.0), flat(2.0), flat(3.0), linear_decline(50.0)]
+        decision = choose_partition_sizes_multi(mrcs, 16)
+        assert all(c >= 1 for c in decision.colors)
+        assert sum(decision.colors) == 16
+
+    def test_greedy_gives_colors_to_steepest(self):
+        steep = linear_decline(64.0)
+        shallow = linear_decline(4.0)
+        decision = choose_partition_sizes_multi([steep, shallow], 16)
+        assert decision.colors[0] > decision.colors[1]
+
+    def test_insufficient_colors_rejected(self):
+        with pytest.raises(ValueError):
+            choose_partition_sizes_multi([flat(1.0)] * 5, 4)
+
+    def test_single_app_gets_everything(self):
+        decision = choose_partition_sizes_multi([linear_decline(10.0)], 16)
+        assert decision.colors == (16,)
+
+
+class TestOptimalDP:
+    def test_matches_exhaustive_two_way(self):
+        a = curve([30, 20, 12, 8, 6, 5, 4.5, 4, 3.8, 3.6, 3.5, 3.4, 3.3,
+                   3.2, 3.1, 3])
+        b = linear_decline(25.0)
+        dp = choose_partition_sizes_optimal([a, b], 16)
+        exhaustive = choose_partition_sizes(a, b, 16)
+        assert dp.total_mpki == pytest.approx(exhaustive.total_mpki)
+
+    def test_beats_greedy_on_nonconvex_curves(self):
+        # Step curves are non-convex: the greedy's marginal-gain rule
+        # sees zero gain until the step and can starve an app.
+        a = curve([50.0] * 9 + [1.0] * 7)    # needs 10 colors
+        b = curve([30.0] * 4 + [1.0] * 12)   # needs 5 colors
+        c = curve([2.0] * 16)                # insensitive
+        dp = choose_partition_sizes_optimal([a, b, c], 16)
+        greedy = choose_partition_sizes_multi([a, b, c], 16)
+        assert dp.total_mpki <= greedy.total_mpki + 1e-9
+        assert dp.colors == (10, 5, 1)
+
+    def test_every_app_gets_a_color(self):
+        mrcs = [curve([1.0] * 16) for _ in range(5)]
+        decision = choose_partition_sizes_optimal(mrcs, 16)
+        assert all(c >= 1 for c in decision.colors)
+        assert sum(decision.colors) == 16
+
+    def test_single_app(self):
+        decision = choose_partition_sizes_optimal([linear_decline(8.0)], 16)
+        assert decision.colors == (16,)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            choose_partition_sizes_optimal([], 16)
+        with pytest.raises(ValueError):
+            choose_partition_sizes_optimal([curve([1.0])] * 5, 4)
+
+    @given(
+        curves=st.lists(
+            st.lists(st.floats(min_value=0, max_value=50),
+                     min_size=16, max_size=16),
+            min_size=2, max_size=4,
+        )
+    )
+    def test_property_dp_lower_bounds_greedy(self, curves):
+        mrcs = [curve(values) for values in curves]
+        dp = choose_partition_sizes_optimal(mrcs, 16)
+        greedy = choose_partition_sizes_multi(mrcs, 16)
+        assert dp.total_mpki <= greedy.total_mpki + 1e-6
+        assert sum(dp.colors) == 16
+
+
+class TestPooling:
+    def test_flat_curves_pooled(self):
+        sensitive, insensitive = pool_insensitive(
+            {
+                "mcf": linear_decline(60.0),
+                "libquantum": flat(30.0),
+                "povray": flat(0.1),
+            }
+        )
+        assert sensitive == ["mcf"]
+        assert insensitive == ["libquantum", "povray"]
+
+    def test_tolerance_controls_pooling(self):
+        wiggle = curve([2.0, 1.6, 1.4, 1.3] + [1.2] * 12)
+        _, insensitive = pool_insensitive({"w": wiggle}, tolerance_mpki=1.0)
+        assert insensitive == ["w"]
+        _, insensitive = pool_insensitive({"w": wiggle}, tolerance_mpki=0.5)
+        assert insensitive == []
+
+
+@given(
+    a=st.lists(st.floats(min_value=0, max_value=100), min_size=16, max_size=16),
+    b=st.lists(st.floats(min_value=0, max_value=100), min_size=16, max_size=16),
+)
+def test_property_two_way_is_exhaustive_minimum(a, b):
+    mrc_a, mrc_b = curve(a), curve(b)
+    decision = choose_partition_sizes(mrc_a, mrc_b, 16)
+    best = min(
+        mrc_a.value_at(x) + mrc_b.value_at(16 - x) for x in range(1, 16)
+    )
+    assert decision.total_mpki == pytest.approx(best)
+    assert sum(decision.colors) == 16
+    assert 1 <= decision.colors[0] <= 15

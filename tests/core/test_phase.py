@@ -1,0 +1,108 @@
+"""Tests for the phase-transition detector (paper Section 5.2.2)."""
+
+import pytest
+
+from repro.core.phase import (
+    PhaseDetector,
+    PhaseDetectorConfig,
+    average_phase_length,
+    detect_boundaries,
+)
+
+
+def flat(value, count):
+    return [value] * count
+
+
+class TestConfig:
+    def test_paper_defaults(self):
+        config = PhaseDetectorConfig()
+        assert config.history == 3
+        assert config.threshold_mpki == 3.0
+        assert config.start_end_fraction == 0.5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PhaseDetectorConfig(history=0)
+        with pytest.raises(ValueError):
+            PhaseDetectorConfig(threshold_mpki=0)
+        with pytest.raises(ValueError):
+            PhaseDetectorConfig(start_end_fraction=0)
+
+
+class TestDetection:
+    def test_stable_series_has_no_events(self):
+        assert detect_boundaries(flat(10.0, 50)) == []
+
+    def test_small_noise_below_threshold_ignored(self):
+        series = [10.0, 11.0, 9.5, 10.5, 11.5, 9.0] * 5
+        assert detect_boundaries(series) == []
+
+    def test_single_step_detected_at_right_interval(self):
+        series = flat(10.0, 10) + flat(30.0, 10)
+        boundaries = detect_boundaries(series)
+        assert boundaries == [10]
+
+    def test_step_down_detected(self):
+        series = flat(40.0, 8) + flat(5.0, 8)
+        assert detect_boundaries(series) == [8]
+
+    def test_two_phases_alternating(self):
+        series = (flat(10.0, 10) + flat(40.0, 10)) * 3
+        boundaries = detect_boundaries(series)
+        assert boundaries == [10, 20, 30, 40, 50]
+
+    def test_event_carries_magnitudes(self):
+        detector = PhaseDetector()
+        for mpki in flat(10.0, 5):
+            detector.observe(mpki)
+        event = detector.observe(20.0)
+        assert event is not None
+        assert event.mpki_before == pytest.approx(10.0)
+        assert event.mpki_after == pytest.approx(20.0)
+        assert event.magnitude == pytest.approx(10.0)
+
+    def test_lengthy_transition_reported_once(self):
+        # A ramp spanning several intervals: one event at the start, and
+        # no retrigger until the rate settles.
+        series = flat(10.0, 6) + [20.0, 30.0, 40.0, 50.0] + flat(50.0, 6)
+        boundaries = detect_boundaries(series)
+        assert boundaries == [6]
+
+    def test_detector_rearms_after_settling(self):
+        series = flat(10.0, 6) + [30.0] + flat(30.0, 6) + [10.0] + flat(10.0, 4)
+        boundaries = detect_boundaries(series)
+        assert len(boundaries) == 2
+
+    def test_in_transition_flag(self):
+        detector = PhaseDetector()
+        for mpki in flat(10.0, 4):
+            detector.observe(mpki)
+        detector.observe(50.0)
+        assert detector.in_transition
+        detector.observe(50.0)  # settles: consecutive diff < 1.5
+        assert not detector.in_transition
+
+    def test_threshold_is_strict(self):
+        config = PhaseDetectorConfig(threshold_mpki=5.0)
+        series = flat(10.0, 5) + flat(15.0, 5)  # exactly threshold: no event
+        assert detect_boundaries(series, config) == []
+
+    def test_history_window_tracks_recent_values(self):
+        # Slow drift: each interval moves by 1 MPKI, so the gap to the
+        # mean of the last 3 intervals stays at 2 MPKI -- under the
+        # 3-MPKI threshold, no transition is declared.
+        config = PhaseDetectorConfig(history=3, threshold_mpki=3.0)
+        series = [10.0 + 1.0 * i for i in range(20)]
+        assert detect_boundaries(series, config) == []
+
+
+class TestAveragePhaseLength:
+    def test_no_boundaries_single_phase(self):
+        assert average_phase_length([], 10, 1000) == pytest.approx(10_000)
+
+    def test_boundaries_split_phases(self):
+        assert average_phase_length([5], 10, 1000) == pytest.approx(5_000)
+
+    def test_zero_intervals(self):
+        assert average_phase_length([], 0, 1000) == 0.0

@@ -1,0 +1,86 @@
+"""Tests for the stall-cycle MRC extension (Section 7 future work)."""
+
+import pytest
+
+from repro.core.mrc import MissRateCurve
+from repro.core.partition import choose_partition_sizes
+from repro.core.stall import (
+    StallModel,
+    choose_partition_sizes_by_stall,
+    stall_curve,
+)
+from repro.sim.cpu import IssueMode
+from repro.sim.machine import MachineConfig
+
+
+@pytest.fixture(scope="module")
+def machine():
+    return MachineConfig.scaled(16)
+
+
+def curve(values):
+    return MissRateCurve({i + 1: v for i, v in enumerate(values)})
+
+
+class TestStallModel:
+    def test_memory_only_cost(self, machine):
+        model = StallModel(machine, l3_hit_fraction=0.0,
+                           issue_mode=IssueMode.SIMPLIFIED)
+        assert model.cycles_per_miss == machine.memory_latency
+
+    def test_l3_absorption_reduces_cost(self, machine):
+        near = StallModel(machine, l3_hit_fraction=0.9,
+                          issue_mode=IssueMode.SIMPLIFIED)
+        far = StallModel(machine, l3_hit_fraction=0.1,
+                         issue_mode=IssueMode.SIMPLIFIED)
+        assert near.cycles_per_miss < far.cycles_per_miss
+
+    def test_overlap_discounts_stall(self, machine):
+        ooo = StallModel(machine, issue_mode=IssueMode.COMPLEX)
+        inorder = StallModel(machine, issue_mode=IssueMode.SIMPLIFIED)
+        assert ooo.cycles_per_miss < inorder.cycles_per_miss
+
+    def test_fraction_validated(self, machine):
+        with pytest.raises(ValueError):
+            StallModel(machine, l3_hit_fraction=1.5)
+
+    def test_no_l3_machine_rejects_absorption(self, machine):
+        with pytest.raises(ValueError):
+            StallModel(machine.without_l3(), l3_hit_fraction=0.5)
+
+
+class TestStallCurve:
+    def test_uniform_scaling(self, machine):
+        model = StallModel(machine, issue_mode=IssueMode.SIMPLIFIED)
+        mrc = curve([10.0, 5.0, 2.0])
+        spki = stall_curve(mrc, model)
+        for size in mrc.sizes:
+            assert spki[size] == pytest.approx(
+                mrc[size] * machine.memory_latency
+            )
+
+    def test_label_suffix(self, machine):
+        mrc = curve([1.0]).with_label("mcf")
+        assert stall_curve(mrc, StallModel(machine)).label == "mcf:stall"
+
+
+class TestStallSizing:
+    def test_equal_costs_reduce_to_mpki_sizing(self, machine):
+        a = curve([float(30 - i) for i in range(16)])
+        b = curve([float(20 - i) for i in range(16)])
+        model = StallModel(machine, l3_hit_fraction=0.3)
+        by_stall = choose_partition_sizes_by_stall(a, b, model, model)
+        by_mpki = choose_partition_sizes(a, b)
+        assert by_stall.colors == by_mpki.colors
+
+    def test_expensive_misses_pull_the_split(self, machine):
+        # Identical MRCs, but app A's misses all go to memory while app
+        # B's mostly hit the L3: A's misses hurt more, so stall-based
+        # sizing gives A more colors than miss-based sizing would.
+        shape = curve([float(40 - 2 * i) for i in range(16)])
+        memory_bound = StallModel(machine, l3_hit_fraction=0.0)
+        l3_friendly = StallModel(machine, l3_hit_fraction=0.95)
+        decision = choose_partition_sizes_by_stall(
+            shape, shape, memory_bound, l3_friendly
+        )
+        assert decision.colors[0] > decision.colors[1]

@@ -1,0 +1,113 @@
+"""Tests for warmup policies (paper Sections 5.2.1 / 5.2.4)."""
+
+import pytest
+
+from repro.core.stack import NaiveLRUStack
+from repro.core.warmup import (
+    AutomaticWarmup,
+    HybridWarmup,
+    NoWarmup,
+    StaticWarmup,
+    warmup_fraction_used,
+)
+
+
+class TestNoWarmup:
+    def test_always_records(self):
+        policy = NoWarmup()
+        stack = NaiveLRUStack(4)
+        assert policy.should_record(0, stack)
+        assert policy.should_record(10_000, stack)
+
+    def test_describe(self):
+        assert NoWarmup().describe() == "none"
+
+
+class TestStaticWarmup:
+    def test_skips_exact_prefix(self):
+        policy = StaticWarmup(3)
+        stack = NaiveLRUStack(4)
+        decisions = [policy.should_record(i, stack) for i in range(5)]
+        assert decisions == [False, False, False, True, True]
+
+    def test_zero_entries_records_immediately(self):
+        assert StaticWarmup(0).should_record(0, NaiveLRUStack(2))
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            StaticWarmup(-1)
+
+    def test_describe(self):
+        assert StaticWarmup(5).describe() == "static(5)"
+
+
+class TestAutomaticWarmup:
+    def test_waits_for_full_stack(self):
+        policy = AutomaticWarmup()
+        stack = NaiveLRUStack(2)
+        assert not policy.should_record(0, stack)  # empty
+        stack.access(1)
+        assert not policy.should_record(1, stack)  # 1/2
+        stack.access(2)
+        assert policy.should_record(2, stack)  # full
+
+    def test_one_way_transition(self):
+        policy = AutomaticWarmup()
+        stack = NaiveLRUStack(1)
+        stack.access(1)
+        assert policy.should_record(0, stack)
+        # Stays recording regardless afterwards.
+        assert policy.should_record(1, stack)
+
+    def test_warmup_entries_tracked(self):
+        policy = AutomaticWarmup()
+        stack = NaiveLRUStack(2)
+        policy.should_record(0, stack)
+        stack.access(1)
+        policy.should_record(1, stack)
+        assert policy.warmup_entries == 2
+
+
+class TestHybridWarmup:
+    def test_automatic_path(self):
+        policy = HybridWarmup(fallback_entries=1000)
+        stack = NaiveLRUStack(1)
+        stack.access(1)
+        assert policy.should_record(0, stack)
+        assert policy.automatic_triggered
+
+    def test_fallback_path(self):
+        policy = HybridWarmup(fallback_entries=2)
+        stack = NaiveLRUStack(100)  # never fills in this test
+        assert not policy.should_record(0, stack)
+        assert not policy.should_record(1, stack)
+        assert policy.should_record(2, stack)
+        assert not policy.automatic_triggered
+
+    def test_negative_fallback_rejected(self):
+        with pytest.raises(ValueError):
+            HybridWarmup(-1)
+
+    def test_describe(self):
+        assert "fallback=8" in HybridWarmup(8).describe()
+
+
+class TestFractionUsed:
+    def test_static_fraction(self):
+        assert warmup_fraction_used(StaticWarmup(50), 100) == pytest.approx(0.5)
+
+    def test_consumed_automatic_fraction(self):
+        policy = AutomaticWarmup()
+        stack = NaiveLRUStack(2)
+        policy.should_record(0, stack)
+        stack.access(1)
+        policy.should_record(1, stack)
+        stack.access(2)
+        policy.should_record(2, stack)
+        assert warmup_fraction_used(policy, 10) == pytest.approx(0.2)
+
+    def test_empty_trace(self):
+        assert warmup_fraction_used(StaticWarmup(5), 0) == 0.0
+
+    def test_capped_at_one(self):
+        assert warmup_fraction_used(StaticWarmup(500), 100) == 1.0

@@ -1,0 +1,77 @@
+"""Tests for the one-pass set-associative profiler."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dinero.profiler import SetAssociativeProfiler
+from repro.dinero.simulator import simulate_trace
+from repro.sim.cache import CacheConfig
+
+LINE = 128
+
+
+class TestProfiler:
+    def test_single_pass_covers_all_ways(self):
+        profiler = SetAssociativeProfiler(num_sets=4, max_ways=8)
+        trace = [random.Random(0).randrange(64) for _ in range(500)]
+        profile = profiler.process(trace)
+        rates = profile.miss_rates()
+        assert len(rates) == 8
+        # LRU inclusion per set: more ways never miss more.
+        assert all(a >= b - 1e-12 for a, b in zip(rates, rates[1:]))
+
+    def test_matches_direct_simulation(self):
+        rng = random.Random(1)
+        trace = [rng.randrange(100) for _ in range(2000)]
+        num_sets = 8
+        profile = SetAssociativeProfiler(num_sets, max_ways=6).process(trace)
+        for ways in (1, 2, 4, 6):
+            direct = simulate_trace(
+                trace,
+                CacheConfig(
+                    size_bytes=LINE * ways * num_sets,
+                    line_size=LINE,
+                    associativity=ways,
+                ),
+            )
+            assert profile.misses_at_ways(ways) == direct.misses, ways
+
+    def test_ways_bounds_checked(self):
+        profile = SetAssociativeProfiler(2, 4).process([1, 2, 3])
+        with pytest.raises(ValueError):
+            profile.misses_at_ways(0)
+        with pytest.raises(ValueError):
+            profile.misses_at_ways(5)
+
+    def test_empty_trace(self):
+        profile = SetAssociativeProfiler(2, 2).process([])
+        assert profile.miss_rate_at_ways(1) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SetAssociativeProfiler(0, 4)
+        with pytest.raises(ValueError):
+            SetAssociativeProfiler(4, 0)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    trace=st.lists(st.integers(min_value=0, max_value=80), max_size=300),
+    num_sets=st.sampled_from([1, 2, 4]),
+    ways=st.integers(min_value=1, max_value=6),
+)
+def test_property_profile_equals_direct_cache(trace, num_sets, ways):
+    """For every organization, the one-pass profile and the direct
+    simulator must agree exactly on the miss count."""
+    profile = SetAssociativeProfiler(num_sets, max_ways=8).process(trace)
+    direct = simulate_trace(
+        trace,
+        CacheConfig(
+            size_bytes=LINE * ways * num_sets,
+            line_size=LINE,
+            associativity=ways,
+        ),
+    )
+    assert profile.misses_at_ways(ways) == direct.misses

@@ -1,0 +1,91 @@
+"""Tests for the Dinero-style trace-driven simulator."""
+
+import random
+
+import pytest
+
+from repro.dinero.simulator import associativity_sweep, simulate_trace
+from repro.sim.cache import CacheConfig
+
+LINE = 128
+
+
+class TestSimulateTrace:
+    def test_empty_trace(self):
+        result = simulate_trace([], CacheConfig(1024, LINE, 2))
+        assert result.accesses == 0
+        assert result.miss_rate == 0.0
+
+    def test_all_cold_misses(self):
+        result = simulate_trace(range(100), CacheConfig(8 * LINE, LINE, 2))
+        assert result.misses == 100
+        assert result.miss_rate == 1.0
+
+    def test_loop_within_cache_hits(self):
+        trace = list(range(4)) * 10
+        result = simulate_trace(trace, CacheConfig.fully_associative(8 * LINE, LINE))
+        assert result.misses == 4  # only the cold pass
+
+    def test_warmup_entries_excluded(self):
+        trace = list(range(4)) * 10
+        result = simulate_trace(
+            trace, CacheConfig.fully_associative(8 * LINE, LINE), warmup_entries=4
+        )
+        assert result.accesses == 36
+        assert result.misses == 0
+
+    def test_hits_property(self):
+        trace = [1, 1, 1]
+        result = simulate_trace(trace, CacheConfig.fully_associative(8 * LINE, LINE))
+        assert result.hits == 2
+
+
+class TestAssociativitySweep:
+    def test_shape_of_output(self):
+        trace = [random.Random(0).randrange(64) for _ in range(500)]
+        sweep = associativity_sweep(
+            trace, size_bytes=32 * LINE, line_size=LINE,
+            associativities=(2, "full"),
+        )
+        assert set(sweep) == {2, "full"}
+        assert len(sweep[2]) == 16
+
+    def test_sizes_ascending_miss_rates_nonincreasing_for_full(self):
+        rng = random.Random(1)
+        trace = [rng.randrange(100) for _ in range(3000)]
+        sweep = associativity_sweep(
+            trace, size_bytes=128 * LINE, line_size=LINE,
+            associativities=("full",),
+        )
+        rates = [r.miss_rate for r in sweep["full"]]
+        # Fully-associative LRU obeys inclusion: more cache, fewer misses.
+        assert all(a >= b - 1e-12 for a, b in zip(rates, rates[1:]))
+
+    def test_high_associativity_close_to_full(self):
+        """The Figure 5d conclusion: 10-way behaves like fully
+        associative for realistic traffic."""
+        rng = random.Random(2)
+        trace = [rng.randrange(200) for _ in range(5000)]
+        sweep = associativity_sweep(
+            trace, size_bytes=160 * LINE, line_size=LINE,
+            associativities=(10, "full"), warmup_entries=500,
+        )
+        for ten_way, full in zip(sweep[10], sweep["full"]):
+            assert abs(ten_way.miss_rate - full.miss_rate) < 0.05
+
+    def test_custom_sizes(self):
+        trace = list(range(50))
+        sweep = associativity_sweep(
+            trace, size_bytes=64 * LINE, line_size=LINE,
+            associativities=("full",), sizes_bytes=[16 * LINE, 64 * LINE],
+        )
+        assert len(sweep["full"]) == 2
+
+    def test_tiny_size_degenerates_to_fully_associative(self):
+        # A 2-line cache cannot be 10-way; it must still simulate.
+        trace = [0, 1, 0, 1]
+        sweep = associativity_sweep(
+            trace, size_bytes=32 * LINE, line_size=LINE,
+            associativities=(10,), sizes_bytes=[2 * LINE],
+        )
+        assert sweep[10][0].accesses == 4

@@ -1,0 +1,46 @@
+"""Smoke tests: the example scripts must actually run.
+
+Each example is executed as a subprocess at the smallest machine scale
+with a fast workload, checking exit status and headline output.  The
+heavyweight examples (full partitioning and phase studies) are covered
+by the benchmarks; here we run the quick ones end-to-end.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name, *args, timeout=240):
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True, text=True, timeout=timeout,
+    )
+
+
+class TestExamples:
+    def test_quickstart(self):
+        result = run_example("quickstart.py", "crafty", "32")
+        assert result.returncode == 0, result.stderr
+        assert "MPKI distance" in result.stdout
+
+    def test_overhead_study(self):
+        result = run_example("overhead_study.py", "32")
+        assert result.returncode == 0, result.stderr
+        assert "amortized overhead" in result.stdout
+
+    def test_offline_perf_analysis(self):
+        result = run_example("offline_perf_analysis.py", "crafty", "32")
+        assert result.returncode == 0, result.stderr
+        assert "MPKI distance" in result.stdout
+        assert "reloaded" in result.stdout
+
+    def test_dynamic_management(self):
+        result = run_example("dynamic_management.py", "32")
+        assert result.returncode == 0, result.stderr
+        assert "decision log" in result.stdout
+        assert "final allocation" in result.stdout

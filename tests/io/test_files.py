@@ -1,0 +1,73 @@
+"""Tests for native trace files and MRC JSON persistence."""
+
+import pytest
+
+from repro.core.mrc import MissRateCurve
+from repro.io.mrcfile import load_mrc, save_mrc
+from repro.io.tracefile import load_trace, save_trace
+
+
+class TestTraceFile:
+    def test_round_trip(self, tmp_path):
+        path = str(tmp_path / "trace.txt")
+        written = save_trace(path, [5, 9, 5, 1])
+        assert written == 4
+        assert load_trace(path) == [5, 9, 5, 1]
+
+    def test_header_preserved_as_comments(self, tmp_path):
+        path = str(tmp_path / "trace.txt")
+        save_trace(path, [1], header={"machine": "POWER5/16", "log": 160})
+        text = open(path).read()
+        assert "# machine: POWER5/16" in text
+        assert load_trace(path) == [1]
+
+    def test_blank_lines_ignored(self, tmp_path):
+        path = str(tmp_path / "trace.txt")
+        path_obj = tmp_path / "trace.txt"
+        path_obj.write_text("1\n\n2\n# note\n3\n")
+        assert load_trace(path) == [1, 2, 3]
+
+    def test_malformed_entry_raises_with_location(self, tmp_path):
+        path_obj = tmp_path / "trace.txt"
+        path_obj.write_text("1\nxyz\n")
+        with pytest.raises(ValueError, match=":2:"):
+            load_trace(str(path_obj))
+
+    def test_empty_trace(self, tmp_path):
+        path = str(tmp_path / "empty.txt")
+        save_trace(path, [])
+        assert load_trace(path) == []
+
+
+class TestMRCFile:
+    def test_round_trip(self, tmp_path):
+        path = str(tmp_path / "curve.json")
+        mrc = MissRateCurve({1: 10.5, 8: 3.25, 16: 1.0}, label="mcf")
+        save_mrc(path, mrc, metadata={"machine": "POWER5/16"})
+        loaded, metadata = load_mrc(path)
+        assert loaded.mpki == mrc.mpki
+        assert loaded.label == "mcf"
+        assert metadata == {"machine": "POWER5/16"}
+
+    def test_no_metadata(self, tmp_path):
+        path = str(tmp_path / "curve.json")
+        save_mrc(path, MissRateCurve({1: 1.0}))
+        _curve, metadata = load_mrc(path)
+        assert metadata == {}
+
+    def test_wrong_format_rejected(self, tmp_path):
+        path_obj = tmp_path / "bogus.json"
+        path_obj.write_text('{"format": "something-else"}')
+        with pytest.raises(ValueError):
+            load_mrc(str(path_obj))
+
+    def test_loaded_curve_is_usable(self, tmp_path):
+        from repro.core.partition import choose_partition_sizes
+
+        path = str(tmp_path / "curve.json")
+        save_mrc(path, MissRateCurve(
+            {size: float(32 - 2 * size) for size in range(1, 17)}
+        ))
+        curve, _meta = load_mrc(path)
+        decision = choose_partition_sizes(curve, curve, 16)
+        assert sum(decision.colors) == 16

@@ -1,0 +1,105 @@
+"""Tests for the perf-script trace parser."""
+
+import io
+
+import pytest
+
+from repro.io.perf_script import PerfSample, parse_perf_script, samples_to_lines
+
+CLASSIC = """\
+# captured with: perf mem record ./mcf
+mcf  1234 [002] 12345.678901:  mem-loads:  ffff8800deadbe00 level hit
+mcf  1234 [002] 12345.678930:  mem-loads:  ffff8800deadbe80
+mcf  1234 [002] 12345.679001:  mem-stores: ffff8800cafe0000
+"""
+
+MODERN = """\
+mcf 1234/1234 4021.662435: cpu/mem-loads,ldlat=30/P: 7f2c10a040
+swim 77 mem-stores: 0x7fffdeadbeef
+"""
+
+
+class TestParsing:
+    def test_classic_format(self):
+        report = parse_perf_script(io.StringIO(CLASSIC))
+        assert len(report.samples) == 3
+        first = report.samples[0]
+        assert first.comm == "mcf"
+        assert first.pid == 1234
+        assert first.event == "mem-loads"
+        assert first.address == 0xFFFF8800DEADBE00
+        assert first.time == pytest.approx(12345.678901)
+
+    def test_modern_format(self):
+        report = parse_perf_script(io.StringIO(MODERN))
+        assert len(report.samples) == 2
+        assert report.samples[0].event == "cpu/mem-loads,ldlat=30/P"
+        assert report.samples[0].address == 0x7F2C10A040
+        assert report.samples[1].pid == 77
+
+    def test_comments_and_blanks_ignored(self):
+        report = parse_perf_script(io.StringIO("# header\n\n"))
+        assert report.samples == []
+        assert report.total_lines == 0
+
+    def test_event_filter(self):
+        report = parse_perf_script(
+            io.StringIO(CLASSIC), events=["mem-loads"]
+        )
+        assert len(report.samples) == 2
+        assert all("mem-loads" in s.event for s in report.samples)
+
+    def test_pid_filter(self):
+        report = parse_perf_script(io.StringIO(MODERN), pid=77)
+        assert len(report.samples) == 1
+        assert report.samples[0].comm == "swim"
+
+    def test_unparseable_lines_skipped_and_counted(self):
+        junk = "not a perf line at all\n" + CLASSIC
+        report = parse_perf_script(io.StringIO(junk))
+        assert report.skipped_lines == 1
+        assert len(report.samples) == 3
+        assert report.skipped_fraction() == pytest.approx(1 / 4)
+
+    def test_strict_mode_raises(self):
+        with pytest.raises(ValueError):
+            parse_perf_script(io.StringIO("garbage\n"), strict=True)
+
+    def test_from_path(self, tmp_path):
+        path = tmp_path / "trace.txt"
+        path.write_text(CLASSIC)
+        report = parse_perf_script(str(path))
+        assert len(report.samples) == 3
+
+
+class TestConversion:
+    def test_samples_to_lines(self):
+        samples = [
+            PerfSample("a", 1, "mem-loads", 0),
+            PerfSample("a", 1, "mem-loads", 127),
+            PerfSample("a", 1, "mem-loads", 128),
+        ]
+        assert samples_to_lines(samples, line_size=128) == [0, 0, 1]
+
+    def test_bad_line_size(self):
+        with pytest.raises(ValueError):
+            samples_to_lines([], line_size=0)
+
+    def test_end_to_end_into_engine(self, tiny_machine):
+        """A perf trace of a small loop yields the loop's step MRC."""
+        from repro.core.rapidmrc import ProbeConfig, RapidMRC
+
+        loop_lines = 2 * tiny_machine.lines_per_color
+        lines = []
+        for _ in range(30):
+            for index in range(loop_lines):
+                address = index * tiny_machine.line_size
+                lines.append(
+                    f"app 1 1.0: mem-loads: {address:x}"
+                )
+        report = parse_perf_script(iter(lines))
+        trace = samples_to_lines(report.samples, tiny_machine.line_size)
+        engine = RapidMRC(tiny_machine, ProbeConfig(warmup="static"))
+        mrc = engine.compute(trace, instructions=48 * len(trace)).mrc
+        assert mrc[1] > 0
+        assert mrc[2] == pytest.approx(0.0)

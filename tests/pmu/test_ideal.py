@@ -1,0 +1,99 @@
+"""Tests for the Section 6 proposed-PMU model."""
+
+import pytest
+
+from repro.pmu.ideal import IdealTraceCollector
+from repro.sim.hierarchy import AccessResult
+
+
+def miss(line, prefetched=()):
+    return AccessResult(
+        core=0, line=line, l1_hit=False, prefetched_lines=list(prefetched)
+    )
+
+
+def hit(line):
+    return AccessResult(core=0, line=line, l1_hit=True)
+
+
+class TestCompleteness:
+    def test_no_drops_ever(self):
+        collector = IdealTraceCollector(log_capacity=100)
+        for line in range(50):
+            collector.observe(miss(line))
+        probe = collector.finish()
+        assert probe.dropped_events == 0
+        assert probe.entries == list(range(50))
+
+    def test_prefetches_recorded_with_true_addresses(self):
+        collector = IdealTraceCollector(log_capacity=100)
+        collector.observe(miss(10, prefetched=[11, 12]))
+        assert collector.log.entries() == [10, 11, 12]
+        assert collector.stale_entries == 0
+
+    def test_prefetch_recording_optional(self):
+        collector = IdealTraceCollector(log_capacity=100,
+                                        record_prefetches=False)
+        collector.observe(miss(10, prefetched=[11, 12]))
+        assert collector.log.entries() == [10]
+
+    def test_hits_and_ifetches_ignored(self):
+        collector = IdealTraceCollector(log_capacity=10)
+        collector.observe(hit(1))
+        collector.observe(AccessResult(core=0, line=2, is_ifetch=True))
+        assert len(collector.log) == 0
+
+
+class TestAmortizedExceptions:
+    def test_one_exception_per_buffer(self):
+        collector = IdealTraceCollector(log_capacity=100, buffer_entries=10)
+        for line in range(100):
+            collector.observe(miss(line))
+        probe = collector.finish()
+        assert probe.exceptions == 10
+
+    def test_partial_buffer_drained_at_finish(self):
+        collector = IdealTraceCollector(log_capacity=100, buffer_entries=10)
+        for line in range(15):
+            collector.observe(miss(line))
+        probe = collector.finish()
+        assert probe.exceptions == 2  # one overflow + one final drain
+
+    def test_exception_reduction_vs_real_pmu(self):
+        """Wishlist item 1's point: ~buffer_entries-fold fewer
+        exceptions than the threshold-1 channel."""
+        from repro.pmu.sampling import TraceCollector
+        from repro.sim.cpu import IssueMode
+
+        real = TraceCollector(
+            log_capacity=256, issue_mode=IssueMode.SIMPLIFIED,
+            drop_probability=0.0,
+        )
+        ideal = IdealTraceCollector(log_capacity=256, buffer_entries=64)
+        for line in range(256):
+            real.observe(miss(line))
+            ideal.observe(miss(line))
+        assert ideal.finish().exceptions * 32 <= real.finish().exceptions
+
+    def test_buffer_validated(self):
+        with pytest.raises(ValueError):
+            IdealTraceCollector(log_capacity=10, buffer_entries=0)
+
+
+class TestIntegration:
+    def test_online_probe_with_ideal_pmu(self, tiny_machine):
+        from repro.core.rapidmrc import ProbeConfig
+        from repro.runner.online import OnlineProbeConfig, collect_trace
+        from repro.workloads import make_workload
+
+        workload = make_workload("twolf", tiny_machine)
+        probe = collect_trace(
+            workload, tiny_machine,
+            OnlineProbeConfig(warmup_accesses=500, use_ideal_pmu=True,
+                              ideal_buffer_entries=64),
+            ProbeConfig(log_entries=2000),
+        )
+        assert probe.log_filled
+        assert probe.probe.dropped_events == 0
+        assert probe.probe.stale_entries == 0
+        assert probe.probe.exceptions <= 2000 // 64 + 1

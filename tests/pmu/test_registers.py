@@ -1,0 +1,74 @@
+"""Tests for the SDAR and PMC register models."""
+
+import pytest
+
+from repro.pmu.registers import PerformanceCounter, SampledDataAddressRegister
+
+
+class TestSDAR:
+    def test_starts_invalid(self):
+        sdar = SampledDataAddressRegister()
+        assert not sdar.valid
+        assert sdar.read() is None
+
+    def test_update_then_read(self):
+        sdar = SampledDataAddressRegister()
+        sdar.update(0xBEEF)
+        assert sdar.valid
+        assert sdar.read() == 0xBEEF
+
+    def test_read_is_nondestructive(self):
+        sdar = SampledDataAddressRegister()
+        sdar.update(1)
+        assert sdar.read() == 1
+        assert sdar.read() == 1
+
+    def test_latest_value_wins(self):
+        sdar = SampledDataAddressRegister()
+        sdar.update(1)
+        sdar.update(2)
+        assert sdar.read() == 2
+        assert sdar.updates == 2
+
+
+class TestPMC:
+    def test_threshold_one_overflows_every_event(self):
+        pmc = PerformanceCounter(threshold=1)
+        pmc.count()
+        assert pmc.overflow_pending
+        assert pmc.take_overflow()
+        assert not pmc.overflow_pending
+        pmc.count()
+        assert pmc.take_overflow()
+
+    def test_threshold_n(self):
+        pmc = PerformanceCounter(threshold=3)
+        pmc.count()
+        pmc.count()
+        assert not pmc.overflow_pending
+        pmc.count()
+        assert pmc.take_overflow()
+
+    def test_bulk_count_can_cross_multiple_thresholds(self):
+        pmc = PerformanceCounter(threshold=2)
+        pmc.count(5)
+        assert pmc.total == 5
+        assert pmc.take_overflow()
+
+    def test_take_without_pending(self):
+        assert not PerformanceCounter().take_overflow()
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            PerformanceCounter(threshold=0)
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            PerformanceCounter().count(-1)
+
+    def test_reset(self):
+        pmc = PerformanceCounter(threshold=1)
+        pmc.count()
+        pmc.reset()
+        assert pmc.total == 0
+        assert not pmc.overflow_pending

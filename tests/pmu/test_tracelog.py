@@ -1,0 +1,46 @@
+"""Tests for the bounded trace log."""
+
+import pytest
+
+from repro.pmu.tracelog import TraceLog
+
+
+class TestTraceLog:
+    def test_append_until_full(self):
+        log = TraceLog(3)
+        assert log.append(1)
+        assert log.append(2)
+        assert log.append(3)
+        assert log.is_full
+        assert not log.append(4)  # dropped
+        assert log.entries() == [1, 2, 3]
+
+    def test_len_and_iteration(self):
+        log = TraceLog(5)
+        for value in [7, 8]:
+            log.append(value)
+        assert len(log) == 2
+        assert list(log) == [7, 8]
+
+    def test_entries_returns_copy(self):
+        log = TraceLog(2)
+        log.append(1)
+        entries = log.entries()
+        entries.append(99)
+        assert len(log) == 1
+
+    def test_fill_fraction(self):
+        log = TraceLog(4)
+        log.append(0)
+        assert log.fill_fraction() == pytest.approx(0.25)
+
+    def test_clear(self):
+        log = TraceLog(2)
+        log.append(1)
+        log.clear()
+        assert len(log) == 0
+        assert not log.is_full
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            TraceLog(0)

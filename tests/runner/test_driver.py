@@ -1,0 +1,146 @@
+"""Tests for the process driver."""
+
+import pytest
+
+from repro.runner.driver import Process, drive
+from repro.sim.cpu import IssueMode
+from repro.sim.hierarchy import MemoryHierarchy
+from repro.sim.memory import PageAllocator
+from repro.sim.prefetcher import PrefetcherConfig
+from repro.workloads.base import Workload
+from repro.workloads.patterns import LoopingScan, SequentialStream
+
+LINE = 128
+
+
+def make_env(machine, workload, colors=None, issue_mode=IssueMode.COMPLEX,
+             prefetch=False):
+    hierarchy = MemoryHierarchy(machine)
+    allocator = PageAllocator(machine)
+    process = Process(
+        pid=0, workload=workload, core=0, allocator=allocator,
+        colors=colors, issue_mode=issue_mode,
+        prefetcher=PrefetcherConfig(enabled=prefetch),
+    )
+    return hierarchy, process
+
+
+def small_workload(ipa=10):
+    return Workload(
+        "loop", LoopingScan(64 * LINE), instructions_per_access=ipa,
+        store_fraction=0.0,
+    )
+
+
+class TestProcess:
+    def test_step_advances_counters(self, tiny_machine):
+        hierarchy, process = make_env(tiny_machine, small_workload(ipa=10))
+        process.step(hierarchy)
+        assert process.accesses == 1
+        assert process.instructions == 10
+        assert hierarchy.counters[0].instructions == 10
+
+    def test_cycles_accumulate(self, tiny_machine):
+        hierarchy, process = make_env(tiny_machine, small_workload())
+        process.step(hierarchy)
+        assert process.cycles > 0
+
+    def test_misses_cost_more_than_hits(self, tiny_machine):
+        hierarchy, process = make_env(tiny_machine, small_workload())
+        process.step(hierarchy)            # cold miss
+        cost_miss = process.cycles
+        # Re-access same first line of the loop after it completes a lap.
+        drive(process, hierarchy, 63)
+        before = process.cycles
+        process.step(hierarchy)            # L1 hit (loop of 64 > L1?) --
+        # guard: just assert hits are cheaper than the first cold miss.
+        cost_hit = process.cycles - before
+        assert cost_hit <= cost_miss
+
+    def test_ipc_positive(self, tiny_machine):
+        hierarchy, process = make_env(tiny_machine, small_workload())
+        drive(process, hierarchy, 100)
+        assert 0 < process.ipc < 2.0
+
+    def test_simplified_mode_lower_ipc(self, tiny_machine):
+        workload = Workload(
+            "stream", SequentialStream(tiny_machine.l2_size * 4),
+            instructions_per_access=10, store_fraction=0.0,
+        )
+        results = {}
+        for mode in (IssueMode.COMPLEX, IssueMode.SIMPLIFIED):
+            hierarchy, process = make_env(tiny_machine, workload, issue_mode=mode)
+            drive(process, hierarchy, 500)
+            results[mode] = process.ipc
+        assert results[IssueMode.SIMPLIFIED] < results[IssueMode.COMPLEX]
+
+    def test_color_confinement_applied(self, tiny_machine):
+        hierarchy, process = make_env(tiny_machine, small_workload(), colors=[0])
+        drive(process, hierarchy, 200)
+        assert process.allocator.colors_of(0) == [0]
+        footprint = process.allocator.footprint_colors(0)
+        assert set(footprint) == {0}
+
+    def test_reset_metrics_keeps_clock(self, tiny_machine):
+        hierarchy, process = make_env(tiny_machine, small_workload())
+        drive(process, hierarchy, 10)
+        clock = process.cycles
+        process.reset_metrics()
+        assert process.instructions == 0
+        assert process.cycles == clock
+
+
+class TestProcessPrefetching:
+    def test_sequential_stream_prefetches_within_colors(self, tiny_machine):
+        """Prefetches follow the virtual stream and are translated, so a
+        color-confined process's prefetches stay inside its partition."""
+        from repro.sim.coloring import ColorMapper
+
+        workload = Workload(
+            "stream", SequentialStream(4 * tiny_machine.l2_size),
+            instructions_per_access=10, store_fraction=0.0,
+        )
+        hierarchy, process = make_env(
+            tiny_machine, workload, colors=[3], prefetch=True
+        )
+        mapper = ColorMapper(tiny_machine)
+        prefetched = []
+        for _ in range(300):
+            result = process.step(hierarchy)
+            prefetched.extend(result.prefetched_lines)
+        assert prefetched, "a sequential stream must trigger prefetches"
+        assert all(mapper.color_of_line(line) == 3 for line in prefetched)
+
+    def test_prefetching_reduces_demand_misses(self, tiny_machine):
+        workload = Workload(
+            "stream", SequentialStream(8 * tiny_machine.l2_size),
+            instructions_per_access=10, store_fraction=0.0,
+        )
+        results = {}
+        for prefetch in (False, True):
+            hierarchy, process = make_env(tiny_machine, workload,
+                                          prefetch=prefetch)
+            drive(process, hierarchy, 2000)
+            results[prefetch] = hierarchy.counters[0].l1d_misses
+        assert results[True] < results[False]
+
+
+class TestDrive:
+    def test_exact_access_count(self, tiny_machine):
+        hierarchy, process = make_env(tiny_machine, small_workload())
+        executed = drive(process, hierarchy, 37)
+        assert executed == 37
+        assert process.accesses == 37
+
+    def test_observer_sees_every_access(self, tiny_machine):
+        hierarchy, process = make_env(tiny_machine, small_workload())
+        seen = []
+        drive(process, hierarchy, 25, observer=seen.append)
+        assert len(seen) == 25
+
+    def test_stop_predicate_ends_early(self, tiny_machine):
+        hierarchy, process = make_env(tiny_machine, small_workload())
+        executed = drive(
+            process, hierarchy, 1000, stop=lambda: process.accesses >= 5
+        )
+        assert executed == 5

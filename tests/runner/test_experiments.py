@@ -1,0 +1,144 @@
+"""Tests for the per-figure experiment drivers (fast, tiny-machine runs).
+
+These verify the *machinery* of each experiment at small scale; the
+benchmark harness runs them at full benchmark scale with shape
+assertions.
+"""
+
+import pytest
+
+from repro.core.mrc import MissRateCurve
+from repro.runner import experiments as exp
+from repro.runner.offline import OfflineConfig
+
+FAST = OfflineConfig(warmup_accesses=1200, measure_accesses=2400)
+
+
+class TestFig1:
+    def test_returns_full_curve(self, tiny_machine):
+        mrc = exp.fig1_offline_mrc(tiny_machine, config=FAST)
+        assert mrc.sizes == tuple(range(1, 17))
+        assert mrc[1] > mrc[16]
+
+
+class TestFig2:
+    def test_structure(self, tiny_machine):
+        result = exp.fig2_phases(
+            tiny_machine, sizes=[1, 16], phase_cycles=2
+        )
+        assert set(result.timelines) == {1, 16}
+        assert result.true_boundaries
+        assert set(result.detected_boundaries) == {1, 16}
+        assert "average" in result.phase_mrcs
+        assert len(result.phase_mrcs) == 3  # two phases + average
+
+    def test_timelines_have_alternation(self, tiny_machine):
+        result = exp.fig2_phases(tiny_machine, sizes=[1], phase_cycles=2)
+        series = result.timelines[1]
+        assert max(series) > min(series)
+
+
+class TestFig3:
+    def test_subset_run(self, tiny_machine):
+        rows = exp.fig3_accuracy(
+            tiny_machine, names=["crafty", "twolf"], offline=FAST
+        )
+        assert [row.workload for row in rows] == ["crafty", "twolf"]
+        for row in rows:
+            assert isinstance(row.real, MissRateCurve)
+            assert row.distance >= 0
+            # Calibration anchored both curves at 8 colors.
+            assert row.calculated.value_at(8) == pytest.approx(
+                row.real[8], abs=1e-6
+            )
+
+    def test_flat_app_distance_is_small(self, tiny_machine):
+        (row,) = exp.fig3_accuracy(
+            tiny_machine, names=["crafty"], offline=FAST
+        )
+        assert row.distance < 1.0
+
+
+class TestFig5:
+    def test_log_size_returns_curves(self, tiny_machine):
+        curves = exp.fig5_log_size(tiny_machine, multipliers=(0.5, 1.0))
+        assert len(curves) == 2
+        for curve in curves.values():
+            assert curve.sizes == tuple(range(1, 17))
+
+    def test_warmup_sweep_single_trace(self, tiny_machine):
+        curves = exp.fig5_warmup(tiny_machine, fractions=(0.5, 0.0))
+        assert set(curves) == {0, exp.ProbeConfig().resolved_log_entries(tiny_machine) // 2}
+
+    def test_missed_events_levels(self, tiny_machine):
+        curves = exp.fig5_missed_events(tiny_machine, keep_every=(1, 4))
+        assert set(curves) == {1, 4}
+
+    def test_associativity_sweep(self, tiny_machine):
+        sweep = exp.fig5_associativity(
+            tiny_machine, associativities=(10, "full")
+        )
+        assert set(sweep) == {10, "full"}
+        assert len(sweep["full"]) == 16
+
+    def test_real_modes(self, tiny_machine):
+        curves = exp.fig5_real_modes(tiny_machine, offline=FAST)
+        assert set(curves) == {"all_enabled", "no_prefetch", "simplified"}
+
+
+class TestFig6:
+    def test_modes_per_app(self, tiny_machine):
+        result = exp.fig6_calculated_modes(tiny_machine, names=("crafty",))
+        assert set(result) == {"crafty"}
+        assert set(result["crafty"]) == {
+            "all_enabled", "no_prefetch", "simplified"
+        }
+
+
+class TestFig7:
+    def test_pair_structure(self, tiny_machine):
+        (result,) = exp.fig7_partitioning(
+            tiny_machine,
+            pairs=[("twolf", "equake")],
+            quota_accesses=3000,
+            warmup_accesses=1000,
+            offline=FAST,
+            splits=[4, 8, 12],
+        )
+        assert result.names == ["twolf", "equake"]
+        assert set(result.spectrum) == {4, 8, 12}
+        assert sum(result.chosen_real.colors) == 16
+        assert sum(result.chosen_rapidmrc.colors) == 16
+
+    def test_ammp_3applu_structure(self, tiny_machine):
+        result = exp.fig7_ammp_3applu(
+            tiny_machine,
+            quota_accesses=2500,
+            warmup_accesses=800,
+            offline=FAST,
+            splits=[8, 13],
+        )
+        assert result.names == ["ammp", "applu", "applu", "applu"]
+        assert all(len(v) == 4 for v in result.spectrum.values())
+
+
+class TestTable2:
+    def test_rows_structure(self, tiny_machine):
+        rows = exp.table2_statistics(
+            tiny_machine, names=["crafty", "libquantum"], offline=FAST,
+            timeline_accesses=4000,
+        )
+        by_name = {row.workload: row for row in rows}
+        assert set(by_name) == {"crafty", "libquantum"}
+        crafty = by_name["crafty"]
+        assert crafty.stack_hit_rate > 0.9
+        assert crafty.trace_logging_cycles > 0
+        assert crafty.mrc_calculation_cycles > 0
+        assert crafty.probe_instructions > 0
+
+    def test_long_log_column(self, tiny_machine):
+        rows = exp.table2_statistics(
+            tiny_machine, names=["crafty"], offline=FAST,
+            include_long_log=True, timeline_accesses=3000,
+        )
+        assert rows[0].distance_long_log is not None

@@ -1,0 +1,108 @@
+"""Tests for the exhaustive offline real-MRC measurement."""
+
+import pytest
+
+from repro.runner.offline import OfflineConfig, measure_mpki, mpki_timeline, real_mrc
+from repro.workloads.base import Workload
+from repro.workloads.patterns import LoopingScan, RandomWorkingSet, SequentialStream
+from repro.workloads.phased import Phase, PhasedWorkload
+
+LINE = 128
+
+FAST = OfflineConfig(warmup_accesses=2000, measure_accesses=4000)
+
+
+def loop_workload(machine, colors_needed):
+    footprint = colors_needed * machine.lines_per_color * LINE
+    return Workload(
+        "loop", LoopingScan(footprint), instructions_per_access=10,
+        store_fraction=0.0,
+    )
+
+
+class TestMeasureMPKI:
+    def test_tiny_loop_zero_mpki(self, tiny_machine):
+        workload = loop_workload(tiny_machine, 1)
+        # One color exactly fits the loop: all L2 hits after warmup.
+        mpki = measure_mpki(workload, tiny_machine, colors=[0, 1], config=FAST)
+        assert mpki == pytest.approx(0.0, abs=0.2)
+
+    def test_confinement_hurts_oversized_loop(self, tiny_machine):
+        workload = loop_workload(tiny_machine, 4)
+        starved = measure_mpki(workload, tiny_machine, colors=[0], config=FAST)
+        fed = measure_mpki(
+            workload, tiny_machine, colors=list(range(8)), config=FAST
+        )
+        assert starved > fed + 1.0
+
+    def test_streaming_mpki_independent_of_colors(self, tiny_machine):
+        workload = Workload(
+            "stream", SequentialStream(8 * tiny_machine.l2_size),
+            instructions_per_access=10, store_fraction=0.0,
+        )
+        config = OfflineConfig(
+            warmup_accesses=2000, measure_accesses=4000, prefetch_enabled=False
+        )
+        small = measure_mpki(workload, tiny_machine, colors=[0], config=config)
+        large = measure_mpki(
+            workload, tiny_machine, colors=list(range(16)), config=config
+        )
+        assert small == pytest.approx(large, rel=0.05)
+        assert small > 50  # every access misses at ipa=10 -> 100 MPKI
+
+
+class TestRealMRC:
+    def test_mrc_monotone_for_random_wss(self, tiny_machine):
+        workload = Workload(
+            "rand", RandomWorkingSet(tiny_machine.l2_size),
+            instructions_per_access=10, store_fraction=0.0,
+        )
+        mrc = real_mrc(workload, tiny_machine, FAST, sizes=[1, 4, 8, 12, 16])
+        values = [mrc[s] for s in (1, 4, 8, 12, 16)]
+        # Allow small measurement noise, but the trend must hold.
+        assert values[0] > values[-1]
+        assert mrc.monotone_violations() <= 1
+
+    def test_defaults_measure_all_sizes(self, tiny_machine):
+        workload = loop_workload(tiny_machine, 1)
+        mrc = real_mrc(workload, tiny_machine, FAST, sizes=[1, 2])
+        assert mrc.sizes == (1, 2)
+
+    def test_label_carries_workload_name(self, tiny_machine):
+        workload = loop_workload(tiny_machine, 1)
+        mrc = real_mrc(workload, tiny_machine, FAST, sizes=[1])
+        assert "loop" in mrc.label
+
+
+class TestTimeline:
+    def test_interval_count(self, tiny_machine):
+        workload = loop_workload(tiny_machine, 1)
+        series = mpki_timeline(
+            workload, tiny_machine, colors=list(range(16)),
+            total_accesses=1000, interval_instructions=1000,
+        )
+        # 1000 accesses * 10 ipa = 10k instructions = ~10 intervals.
+        assert 9 <= len(series) <= 11
+
+    def test_phased_workload_shows_mpki_shift(self, tiny_machine):
+        lines = tiny_machine.l2_lines
+        workload = PhasedWorkload(
+            "phases",
+            [
+                Phase(SequentialStream(8 * tiny_machine.l2_size), 2000, "stream"),
+                Phase(LoopingScan(LINE * 8), 2000, "tiny"),
+            ],
+            instructions_per_access=10,
+            store_fraction=0.0,
+        )
+        series = mpki_timeline(
+            workload, tiny_machine, colors=list(range(16)),
+            total_accesses=8000, interval_instructions=5000,
+        )
+        # Intervals alternate between high (streaming) and low (loop).
+        assert max(series) > 10 * (min(series) + 0.1)
+
+    def test_bad_interval_rejected(self, tiny_machine):
+        workload = loop_workload(tiny_machine, 1)
+        with pytest.raises(ValueError):
+            mpki_timeline(workload, tiny_machine, [0], 100, 0)

@@ -1,0 +1,137 @@
+"""Tests for the online RapidMRC probe."""
+
+import pytest
+
+from repro.core.mrc import mpki_distance
+from repro.core.rapidmrc import ProbeConfig
+from repro.pmu.sampling import PMUModel
+from repro.runner.online import OnlineProbeConfig, collect_trace
+from repro.sim.cpu import IssueMode
+from repro.workloads.base import Workload
+from repro.workloads.patterns import LoopingScan, RandomWorkingSet, SequentialStream
+
+LINE = 128
+
+
+def rand_workload(machine, frac=1.0):
+    return Workload(
+        "rand", RandomWorkingSet(int(machine.l2_size * frac)),
+        instructions_per_access=10, store_fraction=0.0,
+    )
+
+
+SMALL_PROBE = ProbeConfig(log_entries=3000)
+FAST_ONLINE = OnlineProbeConfig(warmup_accesses=1000)
+
+
+class TestCollection:
+    def test_log_fills(self, tiny_machine):
+        probe = collect_trace(
+            rand_workload(tiny_machine), tiny_machine, FAST_ONLINE, SMALL_PROBE
+        )
+        assert probe.log_filled
+        assert len(probe.probe.entries) == 3000
+
+    def test_instructions_counted(self, tiny_machine):
+        probe = collect_trace(
+            rand_workload(tiny_machine), tiny_machine, FAST_ONLINE, SMALL_PROBE
+        )
+        assert probe.probe.instructions > 0
+        assert probe.probe.instructions == pytest.approx(
+            10 * probe.accesses_executed, rel=0.01
+        )
+
+    def test_mrc_has_all_sixteen_points(self, tiny_machine):
+        probe = collect_trace(
+            rand_workload(tiny_machine), tiny_machine, FAST_ONLINE, SMALL_PROBE
+        )
+        assert probe.result.mrc.sizes == tuple(range(1, 17))
+
+    def test_tiny_working_set_stops_at_max_accesses(self, tiny_machine):
+        # A loop fitting in L1 generates almost no misses: the probe must
+        # bail out instead of spinning forever.
+        workload = Workload(
+            "tiny", LoopingScan(4 * LINE), instructions_per_access=10,
+        )
+        online = OnlineProbeConfig(warmup_accesses=100, max_accesses=5000)
+        probe = collect_trace(workload, tiny_machine, online, SMALL_PROBE)
+        assert not probe.log_filled
+        assert probe.accesses_executed == 5000
+
+
+class TestChannelDefects:
+    def test_complex_mode_drops_events(self, tiny_machine):
+        online = OnlineProbeConfig(
+            warmup_accesses=500, issue_mode=IssueMode.COMPLEX,
+            drop_probability=0.5,
+        )
+        probe = collect_trace(
+            rand_workload(tiny_machine), tiny_machine, online, SMALL_PROBE
+        )
+        assert probe.probe.dropped_events > 0
+
+    def test_simplified_mode_drops_nothing(self, tiny_machine):
+        online = OnlineProbeConfig(
+            warmup_accesses=500, issue_mode=IssueMode.SIMPLIFIED,
+        )
+        probe = collect_trace(
+            rand_workload(tiny_machine), tiny_machine, online, SMALL_PROBE
+        )
+        assert probe.probe.dropped_events == 0
+
+    def test_streaming_on_power5_has_stale_entries(self, tiny_machine):
+        workload = Workload(
+            "stream", SequentialStream(8 * tiny_machine.l2_size),
+            instructions_per_access=10, store_fraction=0.0,
+        )
+        online = OnlineProbeConfig(
+            warmup_accesses=500, pmu_model=PMUModel.POWER5,
+        )
+        probe = collect_trace(workload, tiny_machine, online, SMALL_PROBE)
+        assert probe.probe.stale_entries > 0
+        assert probe.result.prefetch_conversion_fraction > 0
+
+    def test_power5_plus_omits_prefetch_entries(self, tiny_machine):
+        workload = Workload(
+            "stream", SequentialStream(8 * tiny_machine.l2_size),
+            instructions_per_access=10, store_fraction=0.0,
+        )
+        online = OnlineProbeConfig(
+            warmup_accesses=500, pmu_model=PMUModel.POWER5_PLUS,
+        )
+        probe = collect_trace(workload, tiny_machine, online, SMALL_PROBE)
+        assert probe.probe.stale_entries == 0
+
+    def test_prefetch_disable(self, tiny_machine):
+        workload = Workload(
+            "stream", SequentialStream(8 * tiny_machine.l2_size),
+            instructions_per_access=10, store_fraction=0.0,
+        )
+        online = OnlineProbeConfig(warmup_accesses=500, prefetch_enabled=False)
+        probe = collect_trace(workload, tiny_machine, online, SMALL_PROBE)
+        assert probe.probe.stale_entries == 0
+
+
+class TestMRCIndependence:
+    def test_mrc_insensitive_to_configured_partition(self, tiny_machine):
+        """Section 2.3: 'MRCs are unaffected by, and independent of, the
+        currently configured cache partition size' -- the property that
+        lets one probe serve every sizing decision."""
+        workload = rand_workload(tiny_machine, frac=0.8)
+        curves = []
+        for colors in ([0, 1], list(range(12))):
+            online = OnlineProbeConfig(
+                warmup_accesses=1000, colors=colors,
+                issue_mode=IssueMode.SIMPLIFIED, prefetch_enabled=False,
+            )
+            probe = collect_trace(workload, tiny_machine, online, SMALL_PROBE)
+            curves.append(probe.result.mrc)
+        assert mpki_distance(curves[0], curves[1]) < 1.5
+
+    def test_calibration_round_trip(self, tiny_machine):
+        probe = collect_trace(
+            rand_workload(tiny_machine), tiny_machine, FAST_ONLINE, SMALL_PROBE
+        )
+        matched = probe.calibrate(8, 25.0)
+        assert matched.value_at(8) == pytest.approx(25.0)
+        assert probe.result.best_mrc is matched

@@ -1,0 +1,204 @@
+"""Tests for the set-associative cache model."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sim.cache import CacheConfig, SetAssociativeCache
+
+
+def small_cache(assoc=2, sets=4, replacement="lru"):
+    config = CacheConfig(
+        size_bytes=128 * assoc * sets,
+        line_size=128,
+        associativity=assoc,
+        replacement=replacement,
+    )
+    return SetAssociativeCache(config)
+
+
+class TestConfig:
+    def test_geometry(self):
+        config = CacheConfig(size_bytes=1024, line_size=128, associativity=4)
+        assert config.num_lines == 8
+        assert config.num_sets == 2
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            CacheConfig(size_bytes=1000, line_size=128, associativity=4)
+
+    def test_invalid_policy(self):
+        with pytest.raises(ValueError):
+            CacheConfig(1024, 128, 4, replacement="lifo")
+
+    def test_nonpositive_dimensions(self):
+        with pytest.raises(ValueError):
+            CacheConfig(0, 128, 4)
+
+    def test_fully_associative_constructor(self):
+        config = CacheConfig.fully_associative(1024, 128)
+        assert config.num_sets == 1
+        assert config.associativity == 8
+
+
+class TestBasicOperation:
+    def test_miss_then_hit(self):
+        cache = small_cache()
+        hit, _ = cache.access(5)
+        assert not hit
+        hit, _ = cache.access(5)
+        assert hit
+
+    def test_stats(self):
+        cache = small_cache()
+        cache.access(1)
+        cache.access(1)
+        cache.access(2)
+        assert cache.stats.accesses == 3
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 2
+        assert cache.stats.miss_rate() == pytest.approx(2 / 3)
+
+    def test_miss_rate_empty(self):
+        assert small_cache().stats.miss_rate() == 0.0
+
+    def test_set_mapping(self):
+        cache = small_cache(assoc=2, sets=4)
+        assert cache.set_index(0) == 0
+        assert cache.set_index(5) == 1
+        assert cache.set_index(7) == 3
+
+    def test_no_fill_on_miss(self):
+        cache = small_cache()
+        hit, victim = cache.access(9, fill_on_miss=False)
+        assert not hit and victim is None
+        hit, _ = cache.access(9)
+        assert not hit  # still absent
+
+    def test_probe_does_not_disturb(self):
+        cache = small_cache()
+        assert not cache.probe(3)
+        cache.access(3)
+        assert cache.probe(3)
+        assert cache.stats.accesses == 1  # probe not counted
+
+    def test_invalidate(self):
+        cache = small_cache()
+        cache.access(3)
+        assert cache.invalidate(3)
+        assert not cache.invalidate(3)
+        assert not cache.probe(3)
+
+    def test_flush(self):
+        cache = small_cache()
+        for line in range(8):
+            cache.access(line)
+        cache.flush()
+        assert cache.occupancy == 0
+
+    def test_fill_does_not_count_access(self):
+        cache = small_cache()
+        cache.fill(7)
+        assert cache.stats.accesses == 0
+        assert cache.probe(7)
+
+
+class TestLRUEviction:
+    def test_lru_victim_within_set(self):
+        cache = small_cache(assoc=2, sets=1)
+        cache.access(1)
+        cache.access(2)
+        cache.access(1)       # 1 is now MRU
+        _, victim = cache.access(3)
+        assert victim == 2    # LRU evicted
+
+    def test_eviction_counted(self):
+        cache = small_cache(assoc=1, sets=1)
+        cache.access(1)
+        cache.access(2)
+        assert cache.stats.evictions == 1
+
+    def test_sets_are_independent(self):
+        cache = small_cache(assoc=1, sets=2)
+        cache.access(0)  # set 0
+        cache.access(1)  # set 1
+        hit, _ = cache.access(0)
+        assert hit  # line 1 did not evict line 0
+
+
+class TestOtherPolicies:
+    def test_fifo_ignores_recency(self):
+        cache = small_cache(assoc=2, sets=1, replacement="fifo")
+        cache.access(1)
+        cache.access(2)
+        cache.access(1)       # touch does not protect under FIFO
+        _, victim = cache.access(3)
+        assert victim == 1    # first-in evicted
+
+    def test_mru_evicts_most_recent(self):
+        cache = small_cache(assoc=2, sets=1, replacement="mru")
+        cache.access(1)
+        cache.access(2)
+        _, victim = cache.access(3)
+        assert victim == 2
+
+    def test_random_is_seeded(self):
+        def run(seed):
+            config = CacheConfig(128 * 4, 128, 4, replacement="random")
+            cache = SetAssociativeCache(config, seed=seed)
+            victims = []
+            for line in range(20):
+                _, victim = cache.access(line)
+                victims.append(victim)
+            return victims
+
+        assert run(1) == run(1)
+
+    def test_policies_differ_on_looping_traffic(self):
+        """Section 2.1: the MRC (hence hit behaviour) is policy-dependent.
+        A loop slightly larger than the cache: LRU gets zero hits, MRU
+        retains most of the loop."""
+        def hits(policy):
+            cache = small_cache(assoc=8, sets=1, replacement=policy)
+            for _ in range(20):
+                for line in range(9):  # 9-line loop, 8-line cache
+                    cache.access(line)
+            return cache.stats.hits
+
+        assert hits("lru") == 0
+        assert hits("mru") > 100
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    trace=st.lists(st.integers(min_value=0, max_value=100), max_size=300),
+    assoc=st.integers(min_value=1, max_value=8),
+    sets=st.sampled_from([1, 2, 4, 8]),
+)
+def test_property_occupancy_bounded(trace, assoc, sets):
+    cache = small_cache(assoc=assoc, sets=sets)
+    for line in trace:
+        cache.access(line)
+    assert cache.occupancy <= assoc * sets
+    for set_index in range(sets):
+        assert cache.set_occupancy(set_index) <= assoc
+
+
+@settings(max_examples=40, deadline=None)
+@given(trace=st.lists(st.integers(min_value=0, max_value=50), max_size=300))
+def test_property_fully_associative_lru_matches_stack(trace):
+    """A fully-associative LRU cache of N lines hits exactly the accesses
+    whose Mattson stack distance is <= N -- the equivalence the whole MRC
+    method rests on."""
+    from repro.core.histogram import COLD_MISS
+    from repro.core.stack import NaiveLRUStack
+
+    capacity = 8
+    cache = SetAssociativeCache(
+        CacheConfig.fully_associative(capacity * 128, 128)
+    )
+    stack = NaiveLRUStack(max_depth=10_000)  # unbounded reference
+    for line in trace:
+        hit, _ = cache.access(line)
+        distance = stack.access(line)
+        expected_hit = distance != COLD_MISS and distance <= capacity
+        assert hit == expected_hit

@@ -1,0 +1,69 @@
+"""Tests for the stream prefetcher."""
+
+import pytest
+
+from repro.sim.prefetcher import PrefetcherConfig, StreamPrefetcher
+
+
+class TestStreamDetection:
+    def test_isolated_miss_prefetches_nothing(self):
+        prefetcher = StreamPrefetcher()
+        assert prefetcher.observe_miss(100) == []
+
+    def test_ascending_stream_confirms_and_prefetches(self):
+        prefetcher = StreamPrefetcher(PrefetcherConfig(depth=2, confirm_after=2))
+        assert prefetcher.observe_miss(100) == []   # allocate
+        fetched = prefetcher.observe_miss(101)      # confirm + fetch
+        assert fetched == [102, 103]
+
+    def test_stream_keeps_running_ahead(self):
+        prefetcher = StreamPrefetcher(PrefetcherConfig(depth=1, confirm_after=2))
+        prefetcher.observe_miss(50)
+        assert prefetcher.observe_miss(51) == [52]
+        # The stream now expects 53 (one past the prefetched 52).
+        assert prefetcher.observe_miss(53) == [54]
+
+    def test_descending_misses_never_confirm(self):
+        prefetcher = StreamPrefetcher()
+        for line in range(100, 80, -1):
+            assert prefetcher.observe_miss(line) == []
+
+    def test_random_misses_never_confirm(self):
+        prefetcher = StreamPrefetcher()
+        for line in [7, 93, 12, 55, 4, 78]:
+            assert prefetcher.observe_miss(line) == []
+        assert prefetcher.confirmed_streams == 0
+
+    def test_disabled_prefetcher_is_inert(self):
+        prefetcher = StreamPrefetcher(PrefetcherConfig(enabled=False))
+        for line in range(100, 120):
+            assert prefetcher.observe_miss(line) == []
+        assert prefetcher.issued == 0
+
+
+class TestStreamTable:
+    def test_table_capacity_bounded(self):
+        prefetcher = StreamPrefetcher(PrefetcherConfig(num_streams=4))
+        for line in [10, 200, 3000, 40_000, 500_000]:
+            prefetcher.observe_miss(line)
+        assert prefetcher.active_streams == 4
+
+    def test_interleaved_streams_tracked_independently(self):
+        prefetcher = StreamPrefetcher(PrefetcherConfig(depth=1, confirm_after=2))
+        prefetcher.observe_miss(100)
+        prefetcher.observe_miss(5000)
+        assert prefetcher.observe_miss(101) == [102]
+        assert prefetcher.observe_miss(5001) == [5002]
+
+    def test_issued_counter(self):
+        prefetcher = StreamPrefetcher(PrefetcherConfig(depth=3, confirm_after=2))
+        prefetcher.observe_miss(10)
+        prefetcher.observe_miss(11)
+        assert prefetcher.issued == 3
+
+    def test_reset(self):
+        prefetcher = StreamPrefetcher()
+        prefetcher.observe_miss(1)
+        prefetcher.reset()
+        assert prefetcher.active_streams == 0
+        assert prefetcher.issued == 0

@@ -1,0 +1,98 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_list_command(self):
+        args = build_parser().parse_args(["list"])
+        assert args.command == "list"
+
+    def test_probe_command(self):
+        args = build_parser().parse_args(["--scale", "32", "probe", "mcf"])
+        assert args.workload == "mcf"
+        assert args.scale == 32
+
+    def test_probe_rejects_unknown_workload(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["probe", "gcc"])
+
+    def test_partition_command(self):
+        args = build_parser().parse_args(["partition", "twolf", "equake"])
+        assert args.workload_a == "twolf"
+        assert args.workload_b == "equake"
+
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestExecution:
+    def test_list_prints_thirty(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out.strip().splitlines()
+        assert len(out) == 30
+        assert "mcf" in out
+
+    def test_probe_runs(self, capsys):
+        assert main(["--scale", "32", "probe", "crafty"]) == 0
+        out = capsys.readouterr().out
+        assert "rapidmrc" in out
+        assert "log entries" in out
+
+    def test_probe_with_real(self, capsys):
+        assert main(["--scale", "32", "probe", "crafty", "--real"]) == 0
+        out = capsys.readouterr().out
+        assert "MPKI distance" in out
+        assert "real" in out
+
+    def test_analyze_native_trace(self, capsys, tmp_path):
+        from repro.io.tracefile import save_trace
+
+        path = str(tmp_path / "trace.txt")
+        save_trace(path, list(range(100)) * 30)
+        assert main(["--scale", "32", "analyze", path,
+                     "--format", "native"]) == 0
+        out = capsys.readouterr().out
+        assert "loaded 3000 trace entries" in out
+        assert "mrc" in out
+
+    def test_analyze_perf_trace_with_output(self, capsys, tmp_path):
+        from repro.io.mrcfile import load_mrc
+
+        trace = tmp_path / "perf.txt"
+        lines = [
+            f"app 1 {i / 1e6:.6f}: mem-loads: {(i % 50) * 128:x}"
+            for i in range(2000)
+        ]
+        trace.write_text("\n".join(lines) + "\n")
+        out_path = str(tmp_path / "curve.json")
+        assert main(["--scale", "32", "analyze", str(trace),
+                     "--output", out_path]) == 0
+        curve, metadata = load_mrc(out_path)
+        assert curve.num_points == 16
+        assert metadata["machine"] == "POWER5/32"
+
+    def test_analyze_empty_trace_fails(self, capsys, tmp_path):
+        trace = tmp_path / "empty.txt"
+        trace.write_text("# nothing\n")
+        assert main(["analyze", str(trace)]) == 1
+
+    def test_compare_curves(self, capsys, tmp_path):
+        from repro.core.mrc import MissRateCurve
+        from repro.io.mrcfile import save_mrc
+
+        path_a = str(tmp_path / "a.json")
+        path_b = str(tmp_path / "b.json")
+        save_mrc(path_a, MissRateCurve(
+            {s: float(20 - s) for s in range(1, 17)}, label="real"
+        ))
+        save_mrc(path_b, MissRateCurve(
+            {s: float(25 - s) for s in range(1, 17)}, label="calc"
+        ))
+        assert main(["compare", path_a, path_b, "--anchor", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "MPKI distance:     0.000" in out
+        assert "shape correlation: 1.000" in out

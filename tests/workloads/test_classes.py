@@ -1,0 +1,84 @@
+"""Shape-class tests: each application model's *measured* MRC must match
+the qualitative class DESIGN.md assigns it (the calibration contract
+behind Figure 3).
+
+These run the real-MRC measurement at a coarse size grid on the tiny
+machine, so they are slower than unit tests but pin the property the
+whole evaluation rests on.
+"""
+
+import pytest
+
+from repro.runner.offline import OfflineConfig, real_mrc
+from repro.workloads import make_workload
+
+FAST = OfflineConfig(warmup_accesses=2500, measure_accesses=6000)
+GRID = [1, 4, 8, 12, 16]
+
+FLAT_LOW = ("crafty", "mesa", "sixtrack", "povray", "gap", "vortex",
+            "gromacs", "wupwise")
+FLAT_HIGH = ("libquantum",)
+STEEP = ("mcf", "mcf_2k6")
+GRADUAL = ("twolf", "vpr", "jbb", "parser", "xalancbmk", "astar")
+
+
+def measured(name, machine):
+    workload = make_workload(name, machine)
+    return real_mrc(workload, machine, FAST, sizes=GRID)
+
+
+@pytest.mark.parametrize("name", FLAT_LOW)
+def test_flat_low_class(tiny_machine, name):
+    mrc = measured(name, tiny_machine)
+    # Near-zero everywhere beyond the smallest sizes.
+    assert mrc[8] < 1.0, dict(mrc)
+    assert mrc[16] < 1.0, dict(mrc)
+
+
+@pytest.mark.parametrize("name", FLAT_HIGH)
+def test_flat_high_class(tiny_machine, name):
+    mrc = measured(name, tiny_machine)
+    assert mrc[16] > 5.0, dict(mrc)
+    assert mrc.is_flat(tolerance_mpki=0.25 * mrc[16] + 2.0), dict(mrc)
+
+
+@pytest.mark.parametrize("name", STEEP)
+def test_steep_class(tiny_machine, name):
+    mrc = measured(name, tiny_machine)
+    assert mrc[1] > 25.0, dict(mrc)
+    assert mrc[1] > 1.5 * mrc[16], dict(mrc)
+
+
+@pytest.mark.parametrize("name", GRADUAL)
+def test_gradual_class(tiny_machine, name):
+    mrc = measured(name, tiny_machine)
+    # Meaningful decline spread over the range, ending low-ish.
+    assert mrc[1] > mrc[8] > mrc[16], dict(mrc)
+    assert mrc[1] > 2 * mrc[16], dict(mrc)
+
+
+def test_bwaves_flat_low_streaming(tiny_machine):
+    """bwaves streams with heavy compute (huge ipa): flat at a small but
+    non-zero MPKI (paper Fig 3v sits near 1-2 MPKI across all sizes)."""
+    mrc = measured("bwaves", tiny_machine)
+    assert mrc.is_flat(tolerance_mpki=1.0), dict(mrc)
+    assert 0.2 < mrc[8] < 4.0, dict(mrc)
+
+
+def test_equake_knee(tiny_machine):
+    """equake's defining feature: a knee in the middle of the range."""
+    workload = make_workload("equake", tiny_machine)
+    mrc = real_mrc(workload, tiny_machine,
+                   OfflineConfig(warmup_accesses=2500, measure_accesses=6000,
+                                 prefetch_enabled=False),
+                   sizes=[2, 6, 10, 14])
+    # Before the knee: high; after: much lower.
+    assert mrc[6] > 2 * mrc[14], dict(mrc)
+
+
+def test_art_late_plateau_drop(tiny_machine):
+    mrc = measured("art", tiny_machine)
+    # High plateau through the first half, large drop by 16.
+    assert mrc[1] > 20.0, dict(mrc)
+    assert mrc[8] > 0.6 * mrc[1], dict(mrc)
+    assert mrc[16] < 0.5 * mrc[1], dict(mrc)

@@ -1,0 +1,187 @@
+"""Tests for the access-pattern primitives."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.workloads.patterns import (
+    LoopingScan,
+    MixedPattern,
+    PointerChase,
+    RandomWorkingSet,
+    RegionOffset,
+    SequentialStream,
+    StridedSweep,
+    ZipfWorkingSet,
+)
+
+LINE = 128
+
+
+def take(pattern, n, seed=0):
+    rng = random.Random(seed)
+    return list(itertools.islice(pattern.generate(rng), n))
+
+
+def lines_of(accesses):
+    return [a.vaddr // LINE for a in accesses]
+
+
+class TestSequentialStream:
+    def test_ascending_then_wraps(self):
+        pattern = SequentialStream(4 * LINE)
+        assert lines_of(take(pattern, 6)) == [0, 1, 2, 3, 0, 1]
+
+    def test_addresses_line_aligned(self):
+        for access in take(SequentialStream(8 * LINE), 10):
+            assert access.vaddr % LINE == 0
+
+    def test_footprint_respected(self):
+        pattern = SequentialStream(4 * LINE)
+        assert max(lines_of(take(pattern, 100))) == 3
+
+    def test_footprint_reported(self):
+        assert SequentialStream(4 * LINE).footprint_bytes() == 4 * LINE
+
+    def test_too_small_footprint_rejected(self):
+        with pytest.raises(ValueError):
+            SequentialStream(10)
+
+
+class TestLoopingScan:
+    def test_repeats_in_order(self):
+        pattern = LoopingScan(3 * LINE)
+        assert lines_of(take(pattern, 7)) == [0, 1, 2, 0, 1, 2, 0]
+
+    def test_base_offset(self):
+        pattern = LoopingScan(2 * LINE, base=10 * LINE)
+        assert lines_of(take(pattern, 2)) == [10, 11]
+
+
+class TestRandomWorkingSet:
+    def test_stays_in_working_set(self):
+        pattern = RandomWorkingSet(16 * LINE)
+        assert all(0 <= l < 16 for l in lines_of(take(pattern, 500)))
+
+    def test_covers_working_set(self):
+        pattern = RandomWorkingSet(8 * LINE)
+        assert set(lines_of(take(pattern, 500))) == set(range(8))
+
+    def test_reproducible(self):
+        pattern = RandomWorkingSet(32 * LINE)
+        assert take(pattern, 50, seed=9) == take(pattern, 50, seed=9)
+
+
+class TestZipf:
+    def test_skew_means_hot_lines(self):
+        pattern = ZipfWorkingSet(256 * LINE, alpha=1.2)
+        counts = {}
+        for line in lines_of(take(pattern, 5000)):
+            counts[line] = counts.get(line, 0) + 1
+        top = sorted(counts.values(), reverse=True)
+        # The hottest line alone should dwarf the median line.
+        assert top[0] > 20 * top[len(top) // 2]
+
+    def test_stays_in_footprint(self):
+        pattern = ZipfWorkingSet(16 * LINE, alpha=0.9)
+        assert all(0 <= l < 16 for l in lines_of(take(pattern, 500)))
+
+    def test_alpha_validated(self):
+        with pytest.raises(ValueError):
+            ZipfWorkingSet(16 * LINE, alpha=0.0)
+
+    def test_higher_alpha_more_concentrated(self):
+        def hottest_fraction(alpha):
+            pattern = ZipfWorkingSet(128 * LINE, alpha=alpha)
+            lines = lines_of(take(pattern, 4000))
+            counts = {}
+            for line in lines:
+                counts[line] = counts.get(line, 0) + 1
+            return max(counts.values()) / len(lines)
+
+        assert hottest_fraction(1.3) > hottest_fraction(0.5)
+
+
+class TestPointerChase:
+    def test_visits_every_line_once_per_cycle(self):
+        pattern = PointerChase(8 * LINE)
+        first_cycle = lines_of(take(pattern, 8))
+        assert sorted(first_cycle) == list(range(8))
+
+    def test_same_permutation_every_cycle(self):
+        pattern = PointerChase(8 * LINE)
+        accesses = lines_of(take(pattern, 16))
+        assert accesses[:8] == accesses[8:]
+
+    def test_permutation_seed_changes_order(self):
+        a = lines_of(take(PointerChase(16 * LINE, permutation_seed=1), 16))
+        b = lines_of(take(PointerChase(16 * LINE, permutation_seed=2), 16))
+        assert a != b
+
+
+class TestStridedSweep:
+    def test_stride_pattern(self):
+        pattern = StridedSweep(6 * LINE, stride_lines=2)
+        assert lines_of(take(pattern, 6)) == [0, 2, 4, 1, 3, 5]
+
+    def test_covers_whole_region_each_sweep(self):
+        pattern = StridedSweep(12 * LINE, stride_lines=5)
+        assert sorted(lines_of(take(pattern, 12))) == list(range(12))
+
+    def test_stride_validated(self):
+        with pytest.raises(ValueError):
+            StridedSweep(4 * LINE, stride_lines=0)
+
+
+class TestMixedPattern:
+    def test_draws_from_all_parts(self):
+        mixed = MixedPattern([
+            (0.5, LoopingScan(2 * LINE)),
+            (0.5, LoopingScan(2 * LINE, base=100 * LINE)),
+        ])
+        lines = set(lines_of(take(mixed, 400)))
+        assert {0, 1} & lines
+        assert {100, 101} & lines
+
+    def test_weights_respected(self):
+        mixed = MixedPattern([
+            (0.9, LoopingScan(LINE)),                  # line 0
+            (0.1, LoopingScan(LINE, base=50 * LINE)),  # line 50
+        ])
+        lines = lines_of(take(mixed, 2000))
+        heavy = sum(1 for l in lines if l == 0)
+        assert heavy > 1500
+
+    def test_weights_normalized(self):
+        mixed = MixedPattern([(3.0, LoopingScan(LINE)), (1.0, LoopingScan(LINE))])
+        assert sum(w for w, _p in mixed.parts) == pytest.approx(1.0)
+
+    def test_footprint_is_sum(self):
+        mixed = MixedPattern([
+            (1.0, LoopingScan(2 * LINE)),
+            (1.0, LoopingScan(3 * LINE)),
+        ])
+        assert mixed.footprint_bytes() == 5 * LINE
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            MixedPattern([])
+
+    def test_zero_weights_rejected(self):
+        with pytest.raises(ValueError):
+            MixedPattern([(0.0, LoopingScan(LINE))])
+
+
+class TestRegionOffset:
+    def test_offsets_addresses(self):
+        shifted = RegionOffset(LoopingScan(2 * LINE), offset=64 * LINE)
+        assert lines_of(take(shifted, 2)) == [64, 65]
+
+    def test_misaligned_offset_rejected(self):
+        with pytest.raises(ValueError):
+            RegionOffset(LoopingScan(LINE), offset=100)
+
+    def test_footprint_passthrough(self):
+        shifted = RegionOffset(LoopingScan(4 * LINE), offset=LINE)
+        assert shifted.footprint_bytes() == 4 * LINE

@@ -1,0 +1,97 @@
+"""Tests for phase composition."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.workloads.patterns import LoopingScan
+from repro.workloads.phased import Phase, PhasedWorkload, PhaseSchedule
+
+LINE = 128
+
+
+def two_phase_schedule(dur_a=5, dur_b=3):
+    return PhaseSchedule([
+        Phase(LoopingScan(2 * LINE), dur_a, label="a"),
+        Phase(LoopingScan(2 * LINE, base=100 * LINE), dur_b, label="b"),
+    ])
+
+
+class TestSchedule:
+    def test_period(self):
+        assert two_phase_schedule(5, 3).period_accesses == 8
+
+    def test_phases_alternate_in_stream(self):
+        schedule = two_phase_schedule(4, 4)
+        accesses = list(itertools.islice(schedule.generate(random.Random(0)), 16))
+        lines = [a.vaddr // LINE for a in accesses]
+        assert all(l < 100 for l in lines[:4])
+        assert all(l >= 100 for l in lines[4:8])
+        assert all(l < 100 for l in lines[8:12])
+
+    def test_phase_at(self):
+        schedule = two_phase_schedule(5, 3)
+        assert schedule.phase_at(0) == 0
+        assert schedule.phase_at(4) == 0
+        assert schedule.phase_at(5) == 1
+        assert schedule.phase_at(7) == 1
+        assert schedule.phase_at(8) == 0  # wrapped
+
+    def test_phase_at_negative_rejected(self):
+        with pytest.raises(ValueError):
+            two_phase_schedule().phase_at(-1)
+
+    def test_boundaries_in(self):
+        schedule = two_phase_schedule(5, 3)
+        assert schedule.boundaries_in(20) == [5, 8, 13, 16]
+
+    def test_boundaries_exclude_endpoint(self):
+        schedule = two_phase_schedule(5, 3)
+        assert 8 not in schedule.boundaries_in(8)
+
+    def test_footprint_is_max_of_phases(self):
+        schedule = PhaseSchedule([
+            Phase(LoopingScan(2 * LINE), 1),
+            Phase(LoopingScan(7 * LINE), 1),
+        ])
+        assert schedule.footprint_bytes() == 7 * LINE
+
+    def test_empty_schedule_rejected(self):
+        with pytest.raises(ValueError):
+            PhaseSchedule([])
+
+    def test_zero_duration_rejected(self):
+        with pytest.raises(ValueError):
+            Phase(LoopingScan(LINE), 0)
+
+
+class TestPhasedWorkload:
+    def test_is_a_workload(self):
+        workload = PhasedWorkload(
+            "test",
+            [Phase(LoopingScan(2 * LINE), 4)],
+            instructions_per_access=10,
+        )
+        accesses = list(itertools.islice(workload.accesses(), 8))
+        assert len(accesses) == 8
+
+    def test_boundaries_in_instruction_coordinates(self):
+        workload = PhasedWorkload(
+            "test",
+            [
+                Phase(LoopingScan(2 * LINE), 5),
+                Phase(LoopingScan(2 * LINE, base=64 * LINE), 5),
+            ],
+            instructions_per_access=10,
+        )
+        # 200 instructions = 20 accesses; boundaries at accesses 5,10,15.
+        assert workload.phase_boundaries_in_instructions(200) == [50, 100, 150]
+
+    def test_streams_reproducible(self):
+        workload = PhasedWorkload(
+            "test", [Phase(LoopingScan(4 * LINE), 3)], seed=11
+        )
+        a = list(itertools.islice(workload.accesses(), 20))
+        b = list(itertools.islice(workload.accesses(), 20))
+        assert a == b

@@ -1,0 +1,89 @@
+"""Tests for the 30 application models."""
+
+import itertools
+
+import pytest
+
+from repro.workloads.base import Workload
+from repro.workloads.phased import PhasedWorkload
+from repro.workloads.spec import (
+    PROBLEMATIC,
+    SPEC2000,
+    SPEC2006,
+    WORKLOAD_NAMES,
+    make_workload,
+)
+
+
+class TestRegistry:
+    def test_thirty_workloads(self):
+        # 19 SPECcpu2000 + 10 SPECcpu2006 + jbb = 30 (paper Section 5.1).
+        assert len(WORKLOAD_NAMES) == 30
+        assert len(SPEC2000) == 19
+        assert len(SPEC2006) == 10
+
+    def test_figure3_names_all_present(self):
+        expected = {
+            "jbb", "ammp", "applu", "apsi", "art", "bzip2", "crafty",
+            "equake", "gap", "gzip", "mcf", "mesa", "mgrid", "parser",
+            "sixtrack", "swim", "twolf", "vortex", "vpr", "wupwise",
+            "astar", "bwaves", "bzip2_2k6", "gromacs", "libquantum",
+            "mcf_2k6", "omnetpp", "povray", "xalancbmk", "zeusmp",
+        }
+        assert set(WORKLOAD_NAMES) == expected
+
+    def test_problematic_set_matches_paper(self):
+        assert set(PROBLEMATIC) == {"swim", "art", "apsi", "omnetpp", "ammp"}
+
+    def test_unknown_name_rejected(self, tiny_machine):
+        with pytest.raises(ValueError):
+            make_workload("gcc", tiny_machine)
+
+
+class TestModels:
+    @pytest.mark.parametrize("name", WORKLOAD_NAMES)
+    def test_every_model_builds_and_streams(self, tiny_machine, name):
+        workload = make_workload(name, tiny_machine)
+        assert isinstance(workload, Workload)
+        assert workload.name == name
+        accesses = list(itertools.islice(workload.accesses(), 200))
+        assert len(accesses) == 200
+        assert all(a.vaddr >= 0 for a in accesses)
+
+    @pytest.mark.parametrize("name", WORKLOAD_NAMES)
+    def test_streams_are_reproducible(self, tiny_machine, name):
+        workload = make_workload(name, tiny_machine)
+        a = [x.vaddr for x in itertools.islice(workload.accesses(), 100)]
+        b = [x.vaddr for x in itertools.islice(workload.accesses(), 100)]
+        assert a == b
+
+    def test_seed_offset_decorrelates(self, tiny_machine):
+        workload = make_workload("twolf", tiny_machine)
+        a = [x.vaddr for x in itertools.islice(workload.accesses(0), 100)]
+        b = [x.vaddr for x in itertools.islice(workload.accesses(1), 100)]
+        assert a != b
+
+    def test_mcf_is_phased(self, tiny_machine):
+        assert isinstance(make_workload("mcf", tiny_machine), PhasedWorkload)
+
+    def test_footprints_scale_with_machine(self):
+        from repro.sim.machine import MachineConfig
+
+        small = make_workload("mcf", MachineConfig.scaled(32))
+        large = make_workload("mcf", MachineConfig.scaled(8))
+        assert large.footprint_bytes() > small.footprint_bytes()
+
+    def test_streaming_model_larger_than_l2(self, tiny_machine):
+        workload = make_workload("libquantum", tiny_machine)
+        assert workload.footprint_bytes() > 4 * tiny_machine.l2_size
+
+    def test_tiny_wss_models_fit_one_color(self, tiny_machine):
+        for name in ("crafty", "mesa", "povray", "sixtrack"):
+            workload = make_workload(name, tiny_machine)
+            per_color = tiny_machine.l2_size // tiny_machine.num_colors
+            assert workload.footprint_bytes() <= per_color, name
+
+    def test_memory_bound_models_have_low_ipa(self, tiny_machine):
+        mcf = make_workload("mcf", tiny_machine)
+        povray = make_workload("povray", tiny_machine)
+        assert mcf.instructions_per_access < povray.instructions_per_access
