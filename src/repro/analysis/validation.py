@@ -45,7 +45,12 @@ def shape_correlation(a: MissRateCurve, b: MissRateCurve) -> float:
     if var_x == 0 or var_y == 0:
         return 0.0
     cov = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
-    return cov / math.sqrt(var_x * var_y)
+    # sqrt each variance separately: var_x * var_y underflows to 0.0
+    # for subnormal variances even when both are nonzero.
+    denom = math.sqrt(var_x) * math.sqrt(var_y)
+    if denom == 0.0:
+        return 0.0
+    return max(-1.0, min(1.0, cov / denom))
 
 
 def knee_error(a: MissRateCurve, b: MissRateCurve, fraction: float = 0.9) -> int:

@@ -17,6 +17,7 @@ from repro.analysis.report import render_curves, render_table
 from repro.core.mrc import mpki_distance
 from repro.core.partition import choose_partition_sizes
 from repro.runner.offline import OfflineConfig, real_mrc
+from repro.reliability.faults import FAULT_KINDS, FaultPlan
 from repro.runner.online import OnlineProbeConfig, collect_trace
 from repro.sim.machine import MachineConfig
 from repro.workloads import WORKLOAD_NAMES, make_workload
@@ -39,19 +40,36 @@ def _cmd_probe(args: argparse.Namespace) -> int:
     workload = make_workload(args.workload, machine)
     print(f"# machine: {machine.name} (L2 {machine.l2_lines} lines, "
           f"{machine.num_colors} colors)")
-    probe = collect_trace(workload, machine)
+    plan = None
+    if args.inject_faults:
+        try:
+            plan = FaultPlan.parse(args.inject_faults, seed=args.fault_seed)
+        except ValueError as error:
+            print(f"error: --inject-faults: {error}", file=sys.stderr)
+            return 2
+        print(f"# injecting faults: {plan.describe()} (seed {plan.seed})")
+    probe = collect_trace(workload, machine, fault_plan=plan)
+    print(f"# probe: {probe.probe.instructions} instructions, "
+          f"{len(probe.probe.entries)} log entries, "
+          f"{probe.probe.dropped_events} dropped, "
+          f"{probe.probe.stale_entries} stale")
+    if probe.injection is not None:
+        print(f"# injected: {probe.injection.summary()}")
+    if args.quality or not probe.ok:
+        for check in probe.quality.checks:
+            print(f"# gate {check.describe()}")
+    print(f"# verdict: {probe.quality.describe()}")
+    if probe.result is None:
+        print("probe failed: no MRC could be computed", file=sys.stderr)
+        return 1
     curves = {"rapidmrc": probe.result.mrc}
     if args.real:
         real = real_mrc(workload, machine, OfflineConfig())
         probe.calibrate(8, real[8])
         curves = {"real": real, "rapidmrc": probe.result.best_mrc}
         print(f"# MPKI distance: {mpki_distance(real, probe.result.best_mrc):.3f}")
-    print(f"# probe: {probe.probe.instructions} instructions, "
-          f"{len(probe.probe.entries)} log entries, "
-          f"{probe.probe.dropped_events} dropped, "
-          f"{probe.probe.stale_entries} stale")
     print(render_curves(curves))
-    return 0
+    return 0 if probe.ok else 1
 
 
 def _cmd_partition(args: argparse.Namespace) -> int:
@@ -150,6 +168,19 @@ def build_parser() -> argparse.ArgumentParser:
     probe.add_argument(
         "--real", action="store_true",
         help="also measure the exhaustive real MRC and calibrate against it",
+    )
+    probe.add_argument(
+        "--inject-faults", metavar="SPEC", default=None,
+        help="inject channel faults: comma-separated 'kind' or 'kind:rate' "
+             f"items, or 'all'; kinds: {', '.join(FAULT_KINDS)}",
+    )
+    probe.add_argument(
+        "--fault-seed", type=int, default=0,
+        help="root seed for deterministic fault injection (default 0)",
+    )
+    probe.add_argument(
+        "--quality", action="store_true",
+        help="print every reliability gate, not just failures",
     )
     probe.set_defaults(fn=_cmd_probe)
 

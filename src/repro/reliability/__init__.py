@@ -1,0 +1,58 @@
+"""Probe reliability: fault injection, quality gates, graceful degradation.
+
+RapidMRC's probes run against a live, imperfect PMU channel (paper
+Section 3.1.1) and can be invalidated mid-collection by phase
+transitions (Section 5.2.2).  This package makes the online pipeline
+robust to that reality:
+
+- :mod:`repro.reliability.faults` -- a deterministic, seedable
+  fault-injection harness wrapping the trace channel, so every channel
+  defect is reproducible in tests and demos;
+- :mod:`repro.reliability.quality` -- post-probe quality gates producing
+  a :class:`~repro.reliability.quality.ProbeQuality` verdict instead of
+  silently trusting whatever the channel delivered;
+- :mod:`repro.reliability.supervisor` -- the
+  :class:`~repro.reliability.supervisor.ProbeSupervisor` policy engine:
+  probe deadlines, retry with exponential cooldown backoff, a
+  last-known-good curve cache, and a four-rung degradation ladder
+  (fresh probe -> last-known-good -> anchor-flat estimate -> uniform
+  split).
+"""
+
+from repro.reliability.faults import (
+    FAULT_KINDS,
+    FaultKind,
+    FaultPlan,
+    FaultSpec,
+    FaultyTraceCollector,
+)
+from repro.reliability.quality import (
+    ProbeQuality,
+    QualityCheck,
+    QualityConfig,
+    assess_anchor,
+    assess_probe,
+)
+from repro.reliability.supervisor import (
+    DegradationRung,
+    ProbeSupervisor,
+    ReliabilityEvent,
+    SupervisorConfig,
+)
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultKind",
+    "FaultPlan",
+    "FaultSpec",
+    "FaultyTraceCollector",
+    "ProbeQuality",
+    "QualityCheck",
+    "QualityConfig",
+    "assess_anchor",
+    "assess_probe",
+    "DegradationRung",
+    "ProbeSupervisor",
+    "ReliabilityEvent",
+    "SupervisorConfig",
+]

@@ -1,0 +1,355 @@
+"""Deterministic fault injection for the PMU trace channel.
+
+The paper's channel is already imperfect by design (dual-LSU drops,
+stale-SDAR repetitions -- Section 3.1.1); a production deployment also
+has to survive the failure modes *around* the channel: corrupted SDAR
+reads, probes cut short, lost overflow exceptions, applications changing
+phase mid-probe (Section 5.2.2), and garbage anchor measurements.  This
+module injects each of those defects deterministically, so the quality
+gates and the degradation ladder can be exercised reproducibly.
+
+Faults compose: a :class:`FaultPlan` holds one :class:`FaultSpec` per
+fault class, and :class:`FaultyTraceCollector` wraps any collector with
+the :class:`~repro.pmu.sampling.TraceCollector` interface (``observe``,
+``observe_instructions``, ``finish``, ``done``), applying the active
+specs as events flow through.  All randomness comes from one
+``random.Random`` seeded from the plan, so the same plan always injects
+the same defects into the same event stream.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass, field, replace as dc_replace
+from typing import Dict, Iterable, Optional, Tuple
+
+from repro.pmu.sampling import ProbeTrace
+from repro.sim.hierarchy import AccessResult
+
+__all__ = [
+    "FaultKind",
+    "FaultSpec",
+    "FaultPlan",
+    "FaultyTraceCollector",
+    "FAULT_KINDS",
+]
+
+
+class FaultKind(enum.Enum):
+    """The five injectable fault classes.
+
+    Attributes:
+        CORRUPT_SDAR: an SDAR read returns a garbage line number (bus
+            glitch, racing update); the bogus address lands in the log.
+        TRUNCATE_LOG: the probing channel dies partway through -- the
+            log never fills and the probe ends with a partial trace.
+        LOST_EXCEPTIONS: overflow exceptions are swallowed (masked
+            interrupts, handler preemption); the sampled events vanish.
+        PHASE_SHIFT: the application transitions to a different phase
+            mid-probe, so the log mixes two unrelated working sets.
+        GARBAGE_ANCHOR: the measured anchor miss rate used for v-offset
+            calibration is nonsense (counter wrap, wrong-core read).
+    """
+
+    CORRUPT_SDAR = "corrupt-sdar"
+    TRUNCATE_LOG = "truncate-log"
+    LOST_EXCEPTIONS = "lost-exceptions"
+    PHASE_SHIFT = "phase-shift"
+    GARBAGE_ANCHOR = "garbage-anchor"
+
+
+#: Canonical CLI spelling of every fault kind.
+FAULT_KINDS: Tuple[str, ...] = tuple(kind.value for kind in FaultKind)
+
+#: Default ``rate`` per fault kind.  The rate's meaning is kind-specific
+#: (probability per event, or a log-fraction trigger point) -- see
+#: :class:`FaultSpec`.
+_DEFAULT_RATES: Dict[FaultKind, float] = {
+    FaultKind.CORRUPT_SDAR: 0.25,
+    FaultKind.TRUNCATE_LOG: 0.3,
+    FaultKind.LOST_EXCEPTIONS: 0.5,
+    FaultKind.PHASE_SHIFT: 0.5,
+    FaultKind.GARBAGE_ANCHOR: 1.0,
+}
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One fault class with its intensity.
+
+    Args:
+        kind: which defect to inject.
+        rate: kind-specific intensity, always in [0, 1]:
+
+            - ``CORRUPT_SDAR``: probability each logged entry is garbage;
+            - ``TRUNCATE_LOG``: log-fill fraction at which the channel
+              dies (0.3 = the probe ends with the log 30% full);
+            - ``LOST_EXCEPTIONS``: probability each L1D-miss sample's
+              exception is swallowed;
+            - ``PHASE_SHIFT``: log-fill fraction at which the workload's
+              addresses jump to a disjoint working set;
+            - ``GARBAGE_ANCHOR``: probability a given anchor measurement
+              is garbage.
+    """
+
+    kind: FaultKind
+    rate: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.rate is None:
+            object.__setattr__(self, "rate", _DEFAULT_RATES[self.kind])
+        if not 0.0 <= self.rate <= 1.0:
+            raise ValueError(
+                f"fault rate must be in [0, 1], got {self.rate!r} "
+                f"for {self.kind.value}"
+            )
+
+    def describe(self) -> str:
+        return f"{self.kind.value}:{self.rate:g}"
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A composable, seedable set of faults to inject.
+
+    Args:
+        specs: the active fault specs (at most one per kind).
+        seed: root seed; every collector wrapped under this plan derives
+            its RNG from ``(seed, salt)`` so concurrent probes stay
+            independently deterministic.
+    """
+
+    specs: Tuple[FaultSpec, ...] = ()
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        kinds = [spec.kind for spec in self.specs]
+        if len(kinds) != len(set(kinds)):
+            raise ValueError("at most one FaultSpec per fault kind")
+        object.__setattr__(self, "specs", tuple(self.specs))
+
+    def spec_for(self, kind: FaultKind) -> Optional[FaultSpec]:
+        for spec in self.specs:
+            if spec.kind is kind:
+                return spec
+        return None
+
+    def rng(self, salt: object = "") -> random.Random:
+        """A fresh deterministic RNG scoped to ``salt`` (e.g. a pid)."""
+        return random.Random(f"faultplan/{self.seed}/{salt}")
+
+    def corrupt_anchor(self, mpki: float, salt: object = "") -> float:
+        """Apply GARBAGE_ANCHOR (if active) to a measured anchor MPKI.
+
+        Returns either the measurement unchanged or a value no sane
+        calibration should accept: a huge positive rate, a negative
+        rate, or NaN-free garbage scaled far outside plausibility.
+        """
+        spec = self.spec_for(FaultKind.GARBAGE_ANCHOR)
+        if spec is None:
+            return mpki
+        rng = self.rng(f"anchor/{salt}")
+        if rng.random() >= spec.rate:
+            return mpki
+        # Three garbage shapes, deterministically chosen.
+        shape = rng.randrange(3)
+        if shape == 0:
+            return -abs(mpki) - rng.uniform(1.0, 100.0)
+        if shape == 1:
+            return rng.uniform(1e5, 1e7)
+        return mpki * rng.uniform(200.0, 2000.0) + 1e4
+
+    def describe(self) -> str:
+        if not self.specs:
+            return "no faults"
+        return ",".join(spec.describe() for spec in self.specs)
+
+    @classmethod
+    def parse(cls, text: str, seed: int = 0) -> "FaultPlan":
+        """Parse a CLI spec like ``"corrupt-sdar,truncate-log:0.4"``.
+
+        Each comma-separated item is ``kind`` or ``kind:rate``; ``all``
+        expands to every fault class at its default rate.
+        """
+        items = [item.strip() for item in text.split(",") if item.strip()]
+        if not items:
+            raise ValueError("empty fault spec")
+        specs = []
+        for item in items:
+            name, _, rate_text = item.partition(":")
+            if name == "all":
+                if rate_text:
+                    raise ValueError("'all' takes no rate")
+                specs.extend(FaultSpec(kind) for kind in FaultKind)
+                continue
+            try:
+                kind = FaultKind(name)
+            except ValueError:
+                raise ValueError(
+                    f"unknown fault kind {name!r}; "
+                    f"choose from {', '.join(FAULT_KINDS)}"
+                ) from None
+            rate = float(rate_text) if rate_text else None
+            specs.append(FaultSpec(kind, rate))
+        return cls(specs=tuple(specs), seed=seed)
+
+
+@dataclass
+class InjectionReport:
+    """What the wrapper actually injected during one probe."""
+
+    corrupted_entries: int = 0
+    lost_exceptions: int = 0
+    truncated: bool = False
+    phase_shifted: bool = False
+    counts: Dict[str, int] = field(default_factory=dict)
+
+    def summary(self) -> str:
+        parts = [
+            f"corrupted={self.corrupted_entries}",
+            f"lost={self.lost_exceptions}",
+            f"truncated={self.truncated}",
+            f"phase_shifted={self.phase_shifted}",
+        ]
+        return " ".join(parts)
+
+
+class FaultyTraceCollector:
+    """Wrap a trace collector, injecting the plan's faults live.
+
+    The wrapper is interface-compatible with
+    :class:`~repro.pmu.sampling.TraceCollector`, so runners can treat it
+    as a drop-in channel.  Faults are applied per event:
+
+    - LOST_EXCEPTIONS swallows L1D-miss events before they reach the
+      underlying collector (the sample never existed);
+    - CORRUPT_SDAR rewrites the sampled line to a garbage address on a
+      *copy* of the event (the simulation's own view stays intact);
+    - PHASE_SHIFT relocates every line to a disjoint address region once
+      the log passes the trigger fraction, mimicking the application
+      switching working sets mid-probe;
+    - TRUNCATE_LOG reports ``done`` once the log passes the trigger
+      fraction and drops everything after, ending the probe early with
+      a partial log.
+
+    Args:
+        inner: the real collector (``TraceCollector`` or
+            ``IdealTraceCollector``).
+        plan: which faults to inject.
+        salt: decorrelates RNG streams between wrapped probes (the
+            dynamic manager salts with ``pid/probe-number``).
+    """
+
+    #: Offset applied by PHASE_SHIFT: far beyond any simulated footprint,
+    #: so the shifted lines form a disjoint working set.
+    PHASE_OFFSET = 1 << 40
+
+    def __init__(self, inner, plan: FaultPlan, salt: object = ""):
+        self.inner = inner
+        self.plan = plan
+        self._rng = plan.rng(salt)
+        self.report = InjectionReport()
+        self._corrupt = plan.spec_for(FaultKind.CORRUPT_SDAR)
+        self._truncate = plan.spec_for(FaultKind.TRUNCATE_LOG)
+        self._lost = plan.spec_for(FaultKind.LOST_EXCEPTIONS)
+        self._shift = plan.spec_for(FaultKind.PHASE_SHIFT)
+
+    # -- collector interface ------------------------------------------------
+
+    @property
+    def done(self) -> bool:
+        if self._truncated_now():
+            self.report.truncated = True
+            return True
+        return self.inner.done
+
+    @property
+    def exceptions(self) -> int:
+        return self.inner.exceptions
+
+    @property
+    def instructions(self) -> int:
+        return self.inner.instructions
+
+    @property
+    def log(self):
+        return self.inner.log
+
+    def observe_instructions(self, count: int) -> None:
+        self.inner.observe_instructions(count)
+
+    def observe(self, result: AccessResult) -> None:
+        if self.done:
+            return
+        if result.l1_hit or result.is_ifetch:
+            self.inner.observe(result)
+            return
+
+        if self._lost is not None and self._rng.random() < self._lost.rate:
+            # The overflow exception never fired: no SDAR read, no log
+            # entry, and the underlying collector never sees the miss.
+            self.report.lost_exceptions += 1
+            return
+
+        line = result.line
+        prefetched = result.prefetched_lines
+        mutated = False
+        if self._phase_shifted_now():
+            if not self.report.phase_shifted:
+                self.report.phase_shifted = True
+            line = self._relocate(line)
+            prefetched = [self._relocate(pf) for pf in prefetched]
+            mutated = True
+        if self._corrupt is not None and self._rng.random() < self._corrupt.rate:
+            self.report.corrupted_entries += 1
+            line = self._rng.getrandbits(48)
+            mutated = True
+        if mutated:
+            result = dc_replace(result, line=line, prefetched_lines=list(prefetched))
+        self.inner.observe(result)
+
+    def finish(self) -> ProbeTrace:
+        trace = self.inner.finish()
+        if self.report.lost_exceptions:
+            # The PMC counted these misses even though their exceptions
+            # were swallowed, so the channel's own statistics admit to
+            # the loss -- that is what the drop-fraction gate audits.
+            trace = dc_replace(
+                trace,
+                l1d_misses=trace.l1d_misses + self.report.lost_exceptions,
+                dropped_events=(
+                    trace.dropped_events + self.report.lost_exceptions
+                ),
+            )
+        return trace
+
+    # -- fault triggers -----------------------------------------------------
+
+    def _fill_fraction(self) -> float:
+        log = self.inner.log
+        return len(log) / log.capacity if log.capacity else 1.0
+
+    def _truncated_now(self) -> bool:
+        return (
+            self._truncate is not None
+            and self._fill_fraction() >= self._truncate.rate
+        )
+
+    def _phase_shifted_now(self) -> bool:
+        return (
+            self._shift is not None
+            and self._fill_fraction() >= self._shift.rate
+        )
+
+    def _relocate(self, line: int) -> int:
+        return line + self.PHASE_OFFSET
+
+
+def wrap_collector(
+    collector, plan: Optional[FaultPlan], salt: object = ""
+):
+    """Wrap ``collector`` under ``plan``; a ``None`` plan is a no-op."""
+    if plan is None or not plan.specs:
+        return collector
+    return FaultyTraceCollector(collector, plan, salt=salt)

@@ -1,0 +1,337 @@
+"""The probe supervisor: deadlines, retries, and the degradation ladder.
+
+The closed loop (:mod:`repro.runner.dynamic`) must keep making *some*
+partitioning decision even when probes keep failing -- acting on garbage
+is worse than acting on stale-but-valid data, and stalling the loop is
+worse than an even split.  The supervisor encodes that policy:
+
+1. **deadline** -- a probe that has not filled its log within an access
+   budget is aborted (tiny working sets would otherwise probe forever,
+   and a truncated channel would never terminate);
+2. **retry with backoff** -- a failed or low-quality probe is retried up
+   to ``max_retries`` times, with an exponentially growing cooldown so a
+   persistently broken channel cannot monopolize the loop;
+3. **degradation ladder** -- while no fresh curve is available the
+   supervisor serves, in order: the per-process *last-known-good* curve,
+   a flat single-anchor-point estimate built from the most recent PMU
+   miss-rate sample, and finally nothing at all -- at which point the
+   caller falls back to a uniform partition split.
+
+Every step emits a structured :class:`ReliabilityEvent` so operators
+(and tests) can reconstruct exactly why a decision was made.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.mrc import MissRateCurve
+from repro.core.rapidmrc import RapidMRCResult
+from repro.reliability.quality import (
+    ProbeQuality,
+    QualityConfig,
+    assess_anchor,
+)
+
+__all__ = [
+    "DegradationRung",
+    "SupervisorConfig",
+    "ReliabilityEvent",
+    "ProbeSupervisor",
+]
+
+
+class DegradationRung(enum.Enum):
+    """Where on the ladder a process's current curve came from.
+
+    Ordered best to worst; ``UNIFORM_SPLIT`` means no curve at all and
+    the caller must stop optimizing and split evenly.
+    """
+
+    FRESH = "fresh"
+    LAST_KNOWN_GOOD = "last-known-good"
+    ANCHOR_FLAT = "anchor-flat"
+    UNIFORM_SPLIT = "uniform-split"
+
+
+@dataclass(frozen=True)
+class SupervisorConfig:
+    """Supervisor policy knobs.
+
+    Args:
+        quality: gate thresholds applied to every finished probe.
+        max_retries: probe attempts after a failure before the process
+            is parked on the degradation ladder until the next phase
+            transition asks for a curve again.
+        cooldown_base_intervals: cooldown (in monitoring intervals)
+            before the first retry.
+        cooldown_factor: multiplier applied to the cooldown per
+            consecutive failure (exponential backoff).
+        max_cooldown_intervals: backoff ceiling.
+        deadline_log_multiple: probe deadline in accesses, expressed as
+            a multiple of the trace-log length; a probe that has not
+            filled its log after ``deadline_log_multiple * log_entries``
+            accesses is aborted as truncated.
+    """
+
+    quality: QualityConfig = QualityConfig()
+    max_retries: int = 3
+    cooldown_base_intervals: int = 2
+    cooldown_factor: float = 2.0
+    max_cooldown_intervals: int = 64
+    deadline_log_multiple: int = 80
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.cooldown_base_intervals < 0:
+            raise ValueError("cooldown_base_intervals must be >= 0")
+        if self.cooldown_factor < 1.0:
+            raise ValueError("cooldown_factor must be >= 1")
+        if self.max_cooldown_intervals < self.cooldown_base_intervals:
+            raise ValueError(
+                "max_cooldown_intervals must be >= cooldown_base_intervals"
+            )
+        if self.deadline_log_multiple < 1:
+            raise ValueError("deadline_log_multiple must be >= 1")
+
+    def cooldown_after(self, consecutive_failures: int) -> int:
+        """Cooldown intervals before the next retry (exponential)."""
+        if consecutive_failures <= 0:
+            return 0
+        cooldown = self.cooldown_base_intervals * (
+            self.cooldown_factor ** (consecutive_failures - 1)
+        )
+        return min(self.max_cooldown_intervals, int(round(cooldown)))
+
+    def deadline_accesses(self, log_entries: int) -> int:
+        """Access budget for one probe with the given log length."""
+        return self.deadline_log_multiple * log_entries
+
+
+@dataclass(frozen=True)
+class ReliabilityEvent:
+    """One structured supervisor decision.
+
+    ``kind`` is one of ``accepted``, ``rejected``, ``retry``,
+    ``exhausted``, ``degraded``, ``deadline``.
+    """
+
+    kind: str
+    pid: int
+    rung: Optional[DegradationRung] = None
+    detail: str = ""
+
+
+class _Health:
+    """Per-process reliability state."""
+
+    def __init__(self) -> None:
+        self.last_good: Optional[MissRateCurve] = None
+        self.consecutive_failures = 0
+        self.accepted = 0
+        self.rejected = 0
+        self.rung = DegradationRung.UNIFORM_SPLIT
+
+    @property
+    def retries_left(self) -> int:
+        return self.consecutive_failures  # interpreted against max_retries
+
+
+class ProbeSupervisor:
+    """Quality-gates probes and walks the degradation ladder.
+
+    The supervisor is engine-agnostic: the caller runs the probe and the
+    MRC computation, then asks the supervisor to *admit* the outcome.
+    ``admit`` returns the curve to use (calibrated when the anchor
+    passed its sanity check) or ``None`` plus retry guidance; when no
+    fresh curve is admissible, :meth:`fallback_curve` serves the best
+    remaining rung.
+
+    Args:
+        config: policy knobs.
+        num_colors: machine partition-unit count, used to synthesize the
+            flat anchor-point estimate over the full size range.
+    """
+
+    def __init__(
+        self,
+        config: SupervisorConfig = SupervisorConfig(),
+        num_colors: int = 16,
+    ):
+        if num_colors < 1:
+            raise ValueError("num_colors must be >= 1")
+        self.config = config
+        self.num_colors = num_colors
+        self.events: List[ReliabilityEvent] = []
+        self._health: Dict[int, _Health] = {}
+
+    # -- bookkeeping --------------------------------------------------------
+
+    def health(self, pid: int) -> _Health:
+        if pid not in self._health:
+            self._health[pid] = _Health()
+        return self._health[pid]
+
+    def last_known_good(self, pid: int) -> Optional[MissRateCurve]:
+        return self.health(pid).last_good
+
+    def rung(self, pid: int) -> DegradationRung:
+        return self.health(pid).rung
+
+    def events_of_kind(self, kind: str) -> List[ReliabilityEvent]:
+        return [event for event in self.events if event.kind == kind]
+
+    def _emit(self, kind: str, pid: int,
+              rung: Optional[DegradationRung] = None,
+              detail: str = "") -> ReliabilityEvent:
+        event = ReliabilityEvent(kind=kind, pid=pid, rung=rung, detail=detail)
+        self.events.append(event)
+        return event
+
+    # -- admission ----------------------------------------------------------
+
+    def admit(
+        self,
+        pid: int,
+        quality: ProbeQuality,
+        result: Optional[RapidMRCResult],
+        anchor_size: int,
+        anchor_mpki: Optional[float],
+    ) -> Optional[MissRateCurve]:
+        """Judge one finished probe; return the curve to act on, if any.
+
+        A probe is admitted only when every quality gate passed and the
+        anchor measurement, if one exists, is plausible; the (calibrated
+        when possible) curve then becomes the process's last-known-good.
+        A ``None`` anchor is tolerated here -- early probes can finish
+        before the first monitoring sample -- and the curve is admitted
+        uncalibrated.  Otherwise ``None`` is returned and the failure is
+        recorded for retry/backoff accounting (see
+        :meth:`retry_guidance`).
+        """
+        health = self.health(pid)
+        anchor_bad = False
+        if anchor_mpki is not None:
+            anchor_bad = not assess_anchor(
+                anchor_mpki, self.config.quality
+            ).passed
+        if quality.ok and result is not None and not anchor_bad:
+            if anchor_mpki is not None:
+                curve = result.calibrate(anchor_size, anchor_mpki)
+                detail = f"anchor {anchor_mpki:.2f} MPKI at {anchor_size} colors"
+            else:
+                curve = result.best_mrc
+                detail = "uncalibrated (no anchor sample yet)"
+            health.last_good = curve
+            health.consecutive_failures = 0
+            health.accepted += 1
+            health.rung = DegradationRung.FRESH
+            self._emit("accepted", pid, DegradationRung.FRESH, detail=detail)
+            return curve
+
+        health.rejected += 1
+        health.consecutive_failures += 1
+        reasons = [check.name for check in quality.failures]
+        if anchor_bad:
+            reasons.append("anchor")
+        self._emit("rejected", pid, detail=",".join(reasons) or "unknown")
+        return None
+
+    def report_deadline(self, pid: int, accesses: int) -> None:
+        """Record a probe aborted by the access-budget deadline."""
+        health = self.health(pid)
+        health.rejected += 1
+        health.consecutive_failures += 1
+        self._emit("deadline", pid,
+                   detail=f"aborted after {accesses} accesses")
+
+    def report_invalidated(self, pid: int, reason: str = "") -> None:
+        """Record a probe invalidated mid-collection (phase transition).
+
+        Section 5.2.2: a trace spanning a phase boundary mixes two
+        working sets, so the loop discards it rather than computing a
+        curve that describes neither phase.
+        """
+        health = self.health(pid)
+        health.rejected += 1
+        health.consecutive_failures += 1
+        self._emit("invalidated", pid, detail=reason)
+
+    # -- retry / degradation ------------------------------------------------
+
+    def retry_guidance(self, pid: int) -> Tuple[bool, int]:
+        """After a failure: ``(should_retry, cooldown_intervals)``.
+
+        Retries stop once ``max_retries`` consecutive failures have
+        accumulated; the process then rides the degradation ladder until
+        something (e.g. a phase transition) requests a probe again,
+        which resets nothing -- only an *accepted* probe clears the
+        failure count, so the backoff keeps growing if the channel stays
+        broken.
+        """
+        health = self.health(pid)
+        failures = health.consecutive_failures
+        if failures > self.config.max_retries:
+            self._emit(
+                "exhausted", pid,
+                detail=f"{failures - 1} retries used",
+            )
+            return False, 0
+        cooldown = self.config.cooldown_after(failures)
+        self._emit(
+            "retry", pid,
+            detail=f"attempt {failures}, cooldown {cooldown} intervals",
+        )
+        return True, cooldown
+
+    def fallback_curve(
+        self,
+        pid: int,
+        recent_mpki: Optional[float],
+    ) -> Tuple[Optional[MissRateCurve], DegradationRung]:
+        """Serve the best available rung below a fresh probe.
+
+        Ladder: last-known-good curve -> flat estimate pinned at the
+        most recent plausible PMU sample -> ``(None, UNIFORM_SPLIT)``.
+        The flat estimate deliberately carries no size preference: the
+        selector will treat the process as cache-insensitive, which is
+        the least committal reading of a single point.
+        """
+        health = self.health(pid)
+        if health.last_good is not None:
+            health.rung = DegradationRung.LAST_KNOWN_GOOD
+            self._emit("degraded", pid, DegradationRung.LAST_KNOWN_GOOD)
+            return health.last_good, DegradationRung.LAST_KNOWN_GOOD
+        anchor_check = assess_anchor(recent_mpki, self.config.quality)
+        if anchor_check.passed:
+            flat = MissRateCurve(
+                {size: recent_mpki for size in range(1, self.num_colors + 1)},
+                label=f"anchor-flat:pid{pid}",
+            )
+            health.rung = DegradationRung.ANCHOR_FLAT
+            self._emit(
+                "degraded", pid, DegradationRung.ANCHOR_FLAT,
+                detail=f"{recent_mpki:.2f} MPKI",
+            )
+            return flat, DegradationRung.ANCHOR_FLAT
+        health.rung = DegradationRung.UNIFORM_SPLIT
+        self._emit("degraded", pid, DegradationRung.UNIFORM_SPLIT)
+        return None, DegradationRung.UNIFORM_SPLIT
+
+    # -- reporting ----------------------------------------------------------
+
+    def summary(self) -> Dict[int, Dict[str, object]]:
+        """Per-process reliability snapshot (CLI / report consumption)."""
+        return {
+            pid: {
+                "accepted": health.accepted,
+                "rejected": health.rejected,
+                "consecutive_failures": health.consecutive_failures,
+                "rung": health.rung.value,
+                "has_last_known_good": health.last_good is not None,
+            }
+            for pid, health in sorted(self._health.items())
+        }

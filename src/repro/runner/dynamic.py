@@ -13,20 +13,28 @@ loop over the simulated machine:
 2. **detect**: the Section 5.2.2 heuristic flags phase transitions;
 3. **probe**: a transition (or a stale curve) triggers a RapidMRC probe
    for that process, collected in-place while everything keeps running;
-4. **decide**: fresh curves are v-offset-calibrated at the process's
-   *current* partition size and fed to the partition selector;
-5. **act**: changed allocations are applied through the page allocator,
+4. **judge**: the finished probe passes through the reliability quality
+   gates; the :class:`~repro.reliability.supervisor.ProbeSupervisor`
+   admits it, schedules a backed-off retry, or serves a degraded curve
+   (last-known-good, anchor-flat, or nothing);
+5. **decide**: admitted curves are v-offset-calibrated at the process's
+   *current* partition size and fed to the partition selector; when any
+   process has no usable curve, the loop falls back to the uniform
+   split instead of optimizing over garbage;
+6. **act**: changed allocations are applied through the page allocator,
    charging the documented per-page migration cost to the moved
    process.
 
 The loop is deliberately conservative: probes are rate-limited by a
-cooldown, and resizes happen only when the selector's decision actually
-changes.
+cooldown, bounded by an access-budget deadline, and resizes happen only
+when the selector's decision actually changes.  Every reliability
+decision is visible both as a :class:`ManagerEvent` and as a structured
+:class:`~repro.reliability.supervisor.ReliabilityEvent`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
 
 import heapq
@@ -34,8 +42,15 @@ import heapq
 from repro.core.mrc import MissRateCurve
 from repro.core.partition import choose_partition_sizes_multi
 from repro.core.phase import PhaseDetector, PhaseDetectorConfig
-from repro.core.rapidmrc import ProbeConfig, RapidMRC
+from repro.core.rapidmrc import ProbeConfig, RapidMRC, RapidMRCResult
 from repro.pmu.sampling import PMUModel, TraceCollector
+from repro.reliability.faults import FaultPlan, wrap_collector
+from repro.reliability.quality import assess_probe
+from repro.reliability.supervisor import (
+    ProbeSupervisor,
+    ReliabilityEvent,
+    SupervisorConfig,
+)
 from repro.runner.driver import Process
 from repro.sim.cpu import IssueMode
 from repro.sim.hierarchy import MemoryHierarchy
@@ -70,6 +85,10 @@ class DynamicConfig:
             to the application per PMU overflow exception while its
             probe is active -- the cost that made the paper's apps run
             at 24% IPC during trace logging.
+        reliability: probe supervisor policy (quality gates, retry
+            backoff, deadline, degradation ladder).
+        fault_plan: optional deterministic fault injection applied to
+            every probe's trace channel (tests / chaos drills).
     """
 
     interval_instructions: Optional[int] = None
@@ -80,20 +99,47 @@ class DynamicConfig:
     drop_probability: float = 0.35
     pmu_model: PMUModel = PMUModel.POWER5
     exception_cost_cycles: int = 1200
+    reliability: SupervisorConfig = SupervisorConfig()
+    fault_plan: Optional[FaultPlan] = None
+
+    def __post_init__(self) -> None:
+        if self.interval_instructions is not None and self.interval_instructions <= 0:
+            raise ValueError(
+                f"interval_instructions must be positive, "
+                f"got {self.interval_instructions!r}"
+            )
+        if self.probe_cooldown_intervals < 0:
+            raise ValueError(
+                f"probe_cooldown_intervals must be >= 0, "
+                f"got {self.probe_cooldown_intervals!r}"
+            )
+        if not 0.0 <= self.drop_probability <= 1.0:
+            raise ValueError(
+                f"drop_probability must be in [0, 1], "
+                f"got {self.drop_probability!r}"
+            )
+        if self.exception_cost_cycles < 0:
+            raise ValueError(
+                f"exception_cost_cycles must be >= 0, "
+                f"got {self.exception_cost_cycles!r}"
+            )
 
     def resolved_interval(self, machine: MachineConfig) -> int:
         if self.interval_instructions is not None:
-            if self.interval_instructions <= 0:
-                raise ValueError("interval must be positive")
             return self.interval_instructions
         return 40 * machine.l2_lines
 
 
 @dataclass(frozen=True)
 class ManagerEvent:
-    """One entry of the manager's decision log."""
+    """One entry of the manager's decision log.
 
-    kind: str                 # 'probe' | 'transition' | 'resize'
+    ``kind`` is one of ``probe``, ``transition``, ``resize``,
+    ``probe-rejected``, ``probe-retry``, ``probe-deadline``,
+    ``degraded``.
+    """
+
+    kind: str
     pid: int
     instructions: int         # manager-global instruction clock
     detail: str = ""
@@ -111,6 +157,9 @@ class DynamicReport:
     probes_run: int
     resizes: int
     migration_cycles: float
+    probes_rejected: int = 0
+    degraded_decisions: int = 0
+    reliability_events: List[ReliabilityEvent] = field(default_factory=list)
 
     def events_of_kind(self, kind: str) -> List[ManagerEvent]:
         return [event for event in self.events if event.kind == kind]
@@ -119,13 +168,18 @@ class DynamicReport:
 class _Managed:
     """Book-keeping for one managed process."""
 
-    def __init__(self, process: Process, detector: PhaseDetector):
+    def __init__(self, process: Process, detector: PhaseDetector,
+                 base_cooldown: int):
         self.process = process
         self.detector = detector
         self.mrc: Optional[MissRateCurve] = None
-        self.collector: Optional[TraceCollector] = None
+        self.collector = None
         self.probe_instructions_start = 0
+        self.probe_accesses_start = 0
+        self.probe_deadline_accesses = 0
+        self.probe_count = 0
         self.intervals_since_probe = 10 ** 9
+        self.cooldown_intervals = base_cooldown
         self.interval_instructions_seen = 0
         self.timeline: List[float] = []
         self.needs_probe = False
@@ -159,10 +213,15 @@ class DynamicPartitionManager:
         self.hierarchy = MemoryHierarchy(machine, num_cores=len(workloads))
         self.allocator = PageAllocator(machine)
         self.engine = RapidMRC(machine, config.probe)
+        self.supervisor = ProbeSupervisor(
+            config.reliability, num_colors=machine.num_colors
+        )
         self._interval = config.resolved_interval(machine)
         self.events: List[ManagerEvent] = []
         self.migration_cycles = 0.0
         self.probes_run = 0
+        self.probes_rejected = 0
+        self.degraded_decisions = 0
         self.resizes = 0
 
         # Start from an even split -- the uninformed default.
@@ -186,9 +245,10 @@ class DynamicPartitionManager:
                 prefetcher=prefetcher,
                 seed_offset=index,
             )
-            self.managed.append(
-                _Managed(process, PhaseDetector(config.detector))
-            )
+            self.managed.append(_Managed(
+                process, PhaseDetector(config.detector),
+                base_cooldown=config.probe_cooldown_intervals,
+            ))
             if config.initial_probe:
                 self.managed[index].needs_probe = True
 
@@ -225,6 +285,9 @@ class DynamicPartitionManager:
                 + self.allocator.lazy_migrations
                 * self.allocator.migration_cost_cycles
             ),
+            probes_rejected=self.probes_rejected,
+            degraded_decisions=self.degraded_decisions,
+            reliability_events=list(self.supervisor.events),
         )
 
     def _advance(self, target_extra: int, managed_hooks: bool) -> None:
@@ -257,11 +320,15 @@ class DynamicPartitionManager:
                 managed.process.cycles += (
                     taken * self.config.exception_cost_cycles
                 )
+            probe_accesses = (
+                managed.process.accesses - managed.probe_accesses_start
+            )
             if managed.collector.done:
                 self._finish_probe(index, managed)
+            elif probe_accesses >= managed.probe_deadline_accesses:
+                self._abort_probe(index, managed, probe_accesses)
         elif managed.needs_probe and (
-            managed.intervals_since_probe
-            >= self.config.probe_cooldown_intervals
+            managed.intervals_since_probe >= managed.cooldown_intervals
         ):
             self._start_probe(index, managed)
 
@@ -284,22 +351,57 @@ class DynamicPartitionManager:
                 detail=f"{event.mpki_before:.1f}->{event.mpki_after:.1f} MPKI",
             ))
             managed.needs_probe = True
+            if managed.collector is not None:
+                # Section 5.2.2: a probe spanning a phase boundary mixes
+                # two working sets -- discard it and reprobe.
+                managed.collector = None
+                self.supervisor.report_invalidated(
+                    index, reason="phase transition mid-probe"
+                )
+                self.events.append(ManagerEvent(
+                    kind="probe-rejected", pid=index,
+                    instructions=self._global_instructions(),
+                    detail="invalidated by phase transition",
+                ))
+                self._handle_probe_failure(index, managed)
 
     def _start_probe(self, index: int, managed: _Managed) -> None:
-        managed.collector = TraceCollector(
-            log_capacity=self.config.probe.resolved_log_entries(self.machine),
+        log_entries = self.config.probe.resolved_log_entries(self.machine)
+        collector = TraceCollector(
+            log_capacity=log_entries,
             issue_mode=self.issue_mode,
             pmu_model=self.config.pmu_model,
             drop_probability=self.config.drop_probability,
             seed=1000 + index,
         )
+        managed.collector = wrap_collector(
+            collector, self.config.fault_plan,
+            salt=f"{index}/{managed.probe_count}",
+        )
+        managed.probe_count += 1
         managed.probe_instructions_start = managed.process.instructions
+        managed.probe_accesses_start = managed.process.accesses
+        managed.probe_deadline_accesses = (
+            self.config.reliability.deadline_accesses(log_entries)
+        )
         managed.needs_probe = False
         managed.intervals_since_probe = 0
         self.events.append(ManagerEvent(
             kind="probe", pid=index,
             instructions=self._global_instructions(), detail="started",
         ))
+
+    def _abort_probe(self, index: int, managed: _Managed,
+                     probe_accesses: int) -> None:
+        """Deadline expiry: the log never filled within the access budget."""
+        managed.collector = None
+        self.supervisor.report_deadline(index, probe_accesses)
+        self.events.append(ManagerEvent(
+            kind="probe-deadline", pid=index,
+            instructions=self._global_instructions(),
+            detail=f"log unfilled after {probe_accesses} accesses",
+        ))
+        self._handle_probe_failure(index, managed)
 
     def _finish_probe(self, index: int, managed: _Managed) -> None:
         collector = managed.collector
@@ -309,36 +411,104 @@ class DynamicPartitionManager:
             managed.process.instructions - managed.probe_instructions_start
         )
         probe = collector.finish()
-        if not probe.entries:
-            return
-        result = self.engine.compute(
-            probe.entries, max(1, probe.instructions),
-            label=f"dyn:{managed.process.workload.name}",
+        log_entries = self.config.probe.resolved_log_entries(self.machine)
+
+        result: Optional[RapidMRCResult] = None
+        if probe.entries and probe.instructions > 0:
+            result = self.engine.compute(
+                probe.entries, probe.instructions,
+                label=f"dyn:{managed.process.workload.name}",
+            )
+        quality = assess_probe(
+            probe, result, log_entries, self.config.reliability.quality
         )
+
         # Calibrate at the *current* allocation: its miss rate is what
-        # the PMU has been measuring all along.
+        # the PMU has been measuring all along.  A fault plan may hand
+        # us a garbage measurement here -- the supervisor's anchor
+        # sanity check is what catches it.
         anchor = len(self.current_colors[index])
         recent = managed.timeline[-1] if managed.timeline else None
-        if recent is not None:
-            result.calibrate(anchor, recent)
-        managed.mrc = result.best_mrc
-        self.probes_run += 1
+        if recent is not None and self.config.fault_plan is not None:
+            recent = self.config.fault_plan.corrupt_anchor(
+                recent, salt=f"{index}/{managed.probe_count}",
+            )
+        curve = self.supervisor.admit(index, quality, result, anchor, recent)
+        if curve is not None:
+            managed.mrc = curve
+            managed.cooldown_intervals = self.config.probe_cooldown_intervals
+            self.probes_run += 1
+            self.events.append(ManagerEvent(
+                kind="probe", pid=index,
+                instructions=self._global_instructions(),
+                detail=f"finished ({len(probe.entries)} entries)",
+            ))
+            self._redecide()
+            return
+
         self.events.append(ManagerEvent(
-            kind="probe", pid=index,
+            kind="probe-rejected", pid=index,
             instructions=self._global_instructions(),
-            detail=f"finished ({len(probe.entries)} entries)",
+            detail=quality.describe(),
+        ))
+        self._handle_probe_failure(index, managed)
+
+    def _handle_probe_failure(self, index: int, managed: _Managed) -> None:
+        """Shared post-failure policy: retry with backoff, else degrade."""
+        self.probes_rejected += 1
+        retry, cooldown = self.supervisor.retry_guidance(index)
+        if retry:
+            managed.needs_probe = True
+            managed.cooldown_intervals = max(
+                self.config.probe_cooldown_intervals, cooldown
+            )
+            managed.intervals_since_probe = 0
+            self.events.append(ManagerEvent(
+                kind="probe-retry", pid=index,
+                instructions=self._global_instructions(),
+                detail=f"cooldown {managed.cooldown_intervals} intervals",
+            ))
+            return
+        # Retries exhausted: ride the degradation ladder.  The curve (or
+        # its absence) feeds the next decision; a later phase transition
+        # can still request a fresh probe.
+        recent = managed.timeline[-1] if managed.timeline else None
+        curve, rung = self.supervisor.fallback_curve(index, recent)
+        managed.mrc = curve
+        managed.cooldown_intervals = self.config.probe_cooldown_intervals
+        managed.needs_probe = False
+        self.events.append(ManagerEvent(
+            kind="degraded", pid=index,
+            instructions=self._global_instructions(),
+            detail=rung.value,
         ))
         self._redecide()
 
     # -- decisions ---------------------------------------------------------------
 
     def _redecide(self) -> None:
-        if any(m.mrc is None for m in self.managed):
+        curves = [m.mrc for m in self.managed]
+        if any(curve is None for curve in curves):
+            if all(curve is None for curve in curves):
+                # Nobody has a usable curve yet (startup, or everything
+                # degraded to the bottom rung): nothing to optimize.
+                return
+            # Bottom rung of the ladder: at least one process is flying
+            # blind, so stop optimizing and split the cache evenly
+            # rather than size partitions around a hole.
+            self.degraded_decisions += 1
+            new_colors = self._materialize(self._uniform_counts())
+            self._apply_colors(new_colors, detail="uniform-split (degraded)")
             return
         decision = choose_partition_sizes_multi(
-            [m.mrc for m in self.managed], self.machine.num_colors
+            curves, self.machine.num_colors
         )
         new_colors = self._materialize(decision.colors)
+        self._apply_colors(new_colors, detail=str([len(c) for c in new_colors]))
+
+    def _apply_colors(
+        self, new_colors: List[Tuple[int, ...]], detail: str
+    ) -> None:
         if new_colors == self.current_colors:
             return
         for index, (managed, colors) in enumerate(
@@ -356,8 +526,16 @@ class DynamicPartitionManager:
         self.events.append(ManagerEvent(
             kind="resize", pid=-1,
             instructions=self._global_instructions(),
-            detail=str([len(c) for c in new_colors]),
+            detail=detail,
         ))
+
+    def _uniform_counts(self) -> List[int]:
+        even = self.machine.num_colors // len(self.managed)
+        extra = self.machine.num_colors - even * len(self.managed)
+        return [
+            even + (1 if index < extra else 0)
+            for index in range(len(self.managed))
+        ]
 
     def _materialize(self, counts: Sequence[int]) -> List[Tuple[int, ...]]:
         """Assign concrete color ids: contiguous runs in process order."""

@@ -9,6 +9,13 @@ into a calibrated MRC.
 The probe also produces the cost-model inputs for Table 2 columns (a)
 and (b): trace-logging cycles (application progress plus per-exception
 pipeline-flush costs) and MRC-calculation cycles.
+
+Every probe additionally carries a :class:`~repro.reliability.quality.
+ProbeQuality` verdict.  A probe whose log never filled, or that retired
+zero instructions, is *not* silently turned into a curve: ``result``
+stays ``None`` in the hopeless cases and the verdict records exactly
+which gates failed, so callers (the dynamic manager's supervisor, the
+CLI) can degrade deliberately instead of acting on garbage.
 """
 
 from __future__ import annotations
@@ -19,6 +26,17 @@ from typing import Optional, Sequence
 from repro.core.rapidmrc import ProbeConfig, RapidMRC, RapidMRCResult
 from repro.pmu.ideal import IdealTraceCollector
 from repro.pmu.sampling import PMUModel, ProbeTrace, TraceCollector
+from repro.reliability.faults import (
+    FaultPlan,
+    FaultyTraceCollector,
+    InjectionReport,
+    wrap_collector,
+)
+from repro.reliability.quality import (
+    ProbeQuality,
+    QualityConfig,
+    assess_probe,
+)
 from repro.runner.driver import Process, drive
 from repro.sim.cpu import IssueMode
 from repro.sim.hierarchy import MemoryHierarchy
@@ -27,7 +45,11 @@ from repro.sim.memory import PageAllocator
 from repro.sim.prefetcher import PrefetcherConfig
 from repro.workloads.base import Workload
 
-__all__ = ["OnlineProbeConfig", "OnlineProbe", "collect_trace"]
+__all__ = ["OnlineProbeConfig", "OnlineProbe", "ProbeFailedError", "collect_trace"]
+
+
+class ProbeFailedError(RuntimeError):
+    """Raised when a failed probe's (absent) curve is used anyway."""
 
 
 @dataclass(frozen=True)
@@ -68,6 +90,27 @@ class OnlineProbeConfig:
     use_ideal_pmu: bool = False
     ideal_buffer_entries: int = 128
 
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.drop_probability <= 1.0:
+            raise ValueError(
+                f"drop_probability must be in [0, 1], "
+                f"got {self.drop_probability!r}"
+            )
+        if self.ideal_buffer_entries <= 0:
+            raise ValueError(
+                f"ideal_buffer_entries must be positive, "
+                f"got {self.ideal_buffer_entries!r}"
+            )
+        if self.warmup_accesses is not None and self.warmup_accesses < 0:
+            raise ValueError(
+                f"warmup_accesses must be non-negative, "
+                f"got {self.warmup_accesses!r}"
+            )
+        if self.max_accesses is not None and self.max_accesses <= 0:
+            raise ValueError(
+                f"max_accesses must be positive, got {self.max_accesses!r}"
+            )
+
     def resolved_warmup(self, machine: MachineConfig) -> int:
         if self.warmup_accesses is not None:
             return self.warmup_accesses
@@ -85,16 +128,30 @@ class OnlineProbe:
     """Everything one probing period produced.
 
     ``result`` is the computed MRC (uncalibrated until the caller
-    supplies a measured anchor point); ``probe`` is the raw channel
-    statistics; ``accesses_executed`` ties the probe to simulated time.
+    supplies a measured anchor point), or ``None`` when the probe
+    yielded nothing computable (empty log, zero instructions);
+    ``quality`` is the gate verdict explaining how trustworthy the probe
+    is; ``probe`` is the raw channel statistics; ``accesses_executed``
+    ties the probe to simulated time.
     """
 
-    result: RapidMRCResult
+    result: Optional[RapidMRCResult]
     probe: ProbeTrace
     accesses_executed: int
     log_filled: bool
+    quality: ProbeQuality
+    injection: Optional[InjectionReport] = None
+
+    @property
+    def ok(self) -> bool:
+        """True when every quality gate passed."""
+        return self.quality.ok
 
     def calibrate(self, anchor_color: int, measured_mpki: float):
+        if self.result is None:
+            raise ProbeFailedError(
+                f"cannot calibrate a failed probe ({self.quality.describe()})"
+            )
         return self.result.calibrate(anchor_color, measured_mpki)
 
 
@@ -103,12 +160,20 @@ def collect_trace(
     machine: MachineConfig,
     online: OnlineProbeConfig = OnlineProbeConfig(),
     probe_config: ProbeConfig = ProbeConfig(),
+    fault_plan: Optional[FaultPlan] = None,
+    quality_config: QualityConfig = QualityConfig(),
 ) -> OnlineProbe:
     """Run a probing period against a fresh hierarchy and compute the MRC.
 
     The run is: build machine state, warm up (collector disarmed), arm
     the collector, drive the application until the trace log fills, then
-    feed the log to the calculation engine.
+    feed the log to the calculation engine and score the probe against
+    the quality gates.
+
+    Args:
+        fault_plan: optional deterministic fault injection applied to
+            the trace channel (see :mod:`repro.reliability.faults`).
+        quality_config: gate thresholds for the returned verdict.
     """
     log_entries = probe_config.resolved_log_entries(machine)
     hierarchy = MemoryHierarchy(machine, num_cores=1)
@@ -137,6 +202,7 @@ def collect_trace(
             drop_probability=online.drop_probability,
             seed=online.seed,
         )
+    collector = wrap_collector(collector, fault_plan, salt=workload.name)
     instructions_before = process.instructions
     executed = drive(
         process,
@@ -148,12 +214,26 @@ def collect_trace(
     collector.observe_instructions(process.instructions - instructions_before)
     probe = collector.finish()
 
-    engine = RapidMRC(machine, probe_config)
-    instructions = max(1, probe.instructions)
-    result = engine.compute(probe.entries, instructions, label=f"rapidmrc:{workload.name}")
+    # A probe with nothing in the log or no retired instructions has no
+    # computable MRC; the quality verdict carries the diagnosis instead
+    # of a max(1, ...) masking the broken denominator.
+    result: Optional[RapidMRCResult] = None
+    if probe.entries and probe.instructions > 0:
+        engine = RapidMRC(machine, probe_config)
+        result = engine.compute(
+            probe.entries, probe.instructions,
+            label=f"rapidmrc:{workload.name}",
+        )
+    quality = assess_probe(probe, result, log_entries, quality_config)
+    injection = (
+        collector.report
+        if isinstance(collector, FaultyTraceCollector) else None
+    )
     return OnlineProbe(
         result=result,
         probe=probe,
         accesses_executed=executed,
-        log_filled=collector.done,
+        log_filled=len(probe.entries) >= log_entries,
+        quality=quality,
+        injection=injection,
     )

@@ -61,6 +61,43 @@ def test_histogram_invariant_under_line_relabeling(trace, seed):
     assert hist_a.cold_misses == hist_b.cold_misses
 
 
+# LRU-friendly traces: looping reuse over a bounded footprint, the
+# pattern the stack simulation is built for.  Monotonicity must hold for
+# arbitrary traces too (tested above), but these exercise the histogram
+# at small, dense stack distances where an off-by-one would bite.
+lru_friendly = st.builds(
+    lambda footprint, laps: [i % footprint for i in range(footprint * laps)],
+    footprint=st.integers(min_value=2, max_value=300),
+    laps=st.integers(min_value=2, max_value=6),
+)
+
+
+@settings(max_examples=40, deadline=None)
+@given(trace=lru_friendly)
+def test_mrc_monotone_for_lru_friendly_traces(trace):
+    mrc = compute_mrc(trace)
+    values = [v for _s, v in mrc]
+    assert all(a >= b - 1e-9 for a, b in zip(values, values[1:]))
+    assert mrc.monotone_violations() == 0
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    trace=traces,
+    anchor_size=st.integers(min_value=1, max_value=16),
+    anchor_mpki=st.floats(min_value=0.0, max_value=200),
+)
+def test_calibration_preserves_monotonicity(trace, anchor_size, anchor_mpki):
+    """V-offset calibration shifts the curve and clips at zero -- both
+    operations keep a monotone non-increasing curve monotone, so the
+    reliability layer's monotonicity gate never rejects a probe for
+    having been calibrated."""
+    engine = RapidMRC(MACHINE, ProbeConfig())
+    result = engine.compute(trace, instructions=50 * max(1, len(trace)))
+    calibrated = result.calibrate(anchor_size, anchor_mpki)
+    assert calibrated.monotone_violations() == 0
+
+
 @settings(max_examples=40, deadline=None)
 @given(trace=traces, anchor_mpki=st.floats(min_value=0.1, max_value=100))
 def test_v_offset_preserves_pairwise_shape(trace, anchor_mpki):

@@ -1,0 +1,197 @@
+"""Tests for the probe supervisor: retries, backoff, degradation ladder."""
+
+import pytest
+
+from repro.core.rapidmrc import ProbeConfig, RapidMRC
+from repro.reliability.quality import ProbeQuality, QualityCheck
+from repro.reliability.supervisor import (
+    DegradationRung,
+    ProbeSupervisor,
+    SupervisorConfig,
+)
+from repro.sim.machine import MachineConfig
+
+MACHINE = MachineConfig.scaled(32)
+
+# An empty check tuple means every gate passed.
+GOOD = ProbeQuality(checks=())
+BAD = ProbeQuality(checks=(
+    QualityCheck("log-fill", False, 0.1, 0.5),
+))
+
+
+@pytest.fixture(scope="module")
+def result():
+    engine = RapidMRC(MACHINE, ProbeConfig())
+    return engine.compute(
+        [i % 200 for i in range(2000)], instructions=100_000
+    )
+
+
+class TestConfig:
+    @pytest.mark.parametrize("kwargs", [
+        {"max_retries": -1},
+        {"cooldown_base_intervals": -1},
+        {"cooldown_factor": 0.5},
+        {"max_cooldown_intervals": 1, "cooldown_base_intervals": 2},
+        {"deadline_log_multiple": 0},
+    ])
+    def test_bad_values_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            SupervisorConfig(**kwargs)
+
+    def test_cooldown_grows_exponentially_then_caps(self):
+        config = SupervisorConfig(
+            cooldown_base_intervals=2, cooldown_factor=2.0,
+            max_cooldown_intervals=10,
+        )
+        assert config.cooldown_after(0) == 0
+        assert config.cooldown_after(1) == 2
+        assert config.cooldown_after(2) == 4
+        assert config.cooldown_after(3) == 8
+        assert config.cooldown_after(4) == 10  # capped
+        assert config.cooldown_after(10) == 10
+
+    def test_deadline_scales_with_log(self):
+        config = SupervisorConfig(deadline_log_multiple=80)
+        assert config.deadline_accesses(1500) == 120_000
+
+
+class TestAdmission:
+    def test_good_probe_calibrated_and_cached(self, result):
+        supervisor = ProbeSupervisor(num_colors=16)
+        curve = supervisor.admit(0, GOOD, result, anchor_size=8,
+                                 anchor_mpki=30.0)
+        assert curve is not None
+        assert curve.value_at(8) == pytest.approx(30.0)
+        assert supervisor.last_known_good(0) is curve
+        assert supervisor.rung(0) is DegradationRung.FRESH
+        assert supervisor.events_of_kind("accepted")
+
+    def test_missing_anchor_admits_uncalibrated(self, result):
+        # Early probes can finish before the first monitoring sample;
+        # the curve is still useful, just not v-offset corrected.
+        supervisor = ProbeSupervisor(num_colors=16)
+        curve = supervisor.admit(0, GOOD, result, anchor_size=8,
+                                 anchor_mpki=None)
+        assert curve is not None
+        assert supervisor.health(0).consecutive_failures == 0
+
+    def test_garbage_anchor_rejects(self, result):
+        supervisor = ProbeSupervisor(num_colors=16)
+        curve = supervisor.admit(0, GOOD, result, anchor_size=8,
+                                 anchor_mpki=-5.0)
+        assert curve is None
+        event = supervisor.events_of_kind("rejected")[0]
+        assert "anchor" in event.detail
+
+    def test_failed_gates_reject_and_count(self, result):
+        supervisor = ProbeSupervisor(num_colors=16)
+        assert supervisor.admit(0, BAD, result, 8, 30.0) is None
+        assert supervisor.health(0).consecutive_failures == 1
+        assert supervisor.health(0).rejected == 1
+        assert "log-fill" in supervisor.events_of_kind("rejected")[0].detail
+
+    def test_acceptance_resets_failure_count(self, result):
+        supervisor = ProbeSupervisor(num_colors=16)
+        supervisor.admit(0, BAD, result, 8, 30.0)
+        supervisor.admit(0, BAD, result, 8, 30.0)
+        assert supervisor.health(0).consecutive_failures == 2
+        supervisor.admit(0, GOOD, result, 8, 30.0)
+        assert supervisor.health(0).consecutive_failures == 0
+
+    def test_processes_tracked_independently(self, result):
+        supervisor = ProbeSupervisor(num_colors=16)
+        supervisor.admit(0, BAD, result, 8, 30.0)
+        supervisor.admit(1, GOOD, result, 8, 30.0)
+        assert supervisor.health(0).consecutive_failures == 1
+        assert supervisor.health(1).consecutive_failures == 0
+
+
+class TestRetries:
+    def test_retry_until_exhausted(self, result):
+        config = SupervisorConfig(max_retries=2, cooldown_base_intervals=2)
+        supervisor = ProbeSupervisor(config, num_colors=16)
+        cooldowns = []
+        for attempt in range(4):
+            supervisor.admit(0, BAD, result, 8, 30.0)
+            retry, cooldown = supervisor.retry_guidance(0)
+            cooldowns.append((retry, cooldown))
+        # Failures 1 and 2 retry with growing backoff; 3 and 4 exceed
+        # max_retries=2 and park the process on the ladder.
+        assert cooldowns[0] == (True, 2)
+        assert cooldowns[1] == (True, 4)
+        assert cooldowns[2] == (False, 0)
+        assert cooldowns[3] == (False, 0)
+        assert supervisor.events_of_kind("exhausted")
+
+    def test_deadline_counts_as_failure(self):
+        supervisor = ProbeSupervisor(num_colors=16)
+        supervisor.report_deadline(0, accesses=120_000)
+        assert supervisor.health(0).consecutive_failures == 1
+        assert supervisor.events_of_kind("deadline")
+
+    def test_invalidation_counts_as_failure(self):
+        supervisor = ProbeSupervisor(num_colors=16)
+        supervisor.report_invalidated(0, reason="phase transition")
+        assert supervisor.health(0).consecutive_failures == 1
+        assert supervisor.events_of_kind("invalidated")
+
+
+class TestLadder:
+    def test_last_known_good_preferred(self, result):
+        supervisor = ProbeSupervisor(num_colors=16)
+        good = supervisor.admit(0, GOOD, result, 8, 30.0)
+        supervisor.admit(0, BAD, result, 8, 30.0)
+        curve, rung = supervisor.fallback_curve(0, recent_mpki=25.0)
+        assert curve is good
+        assert rung is DegradationRung.LAST_KNOWN_GOOD
+
+    def test_anchor_flat_when_no_history(self):
+        supervisor = ProbeSupervisor(num_colors=16)
+        curve, rung = supervisor.fallback_curve(0, recent_mpki=25.0)
+        assert rung is DegradationRung.ANCHOR_FLAT
+        assert curve.num_points == 16
+        assert all(value == 25.0 for _size, value in curve)
+
+    def test_uniform_split_is_the_bottom(self):
+        supervisor = ProbeSupervisor(num_colors=16)
+        curve, rung = supervisor.fallback_curve(0, recent_mpki=None)
+        assert curve is None
+        assert rung is DegradationRung.UNIFORM_SPLIT
+
+    def test_garbage_recent_sample_skips_anchor_flat(self):
+        supervisor = ProbeSupervisor(num_colors=16)
+        curve, rung = supervisor.fallback_curve(0, recent_mpki=-1.0)
+        assert curve is None
+        assert rung is DegradationRung.UNIFORM_SPLIT
+
+    def test_every_rung_emits_a_degraded_event(self, result):
+        supervisor = ProbeSupervisor(num_colors=16)
+        supervisor.fallback_curve(0, recent_mpki=None)
+        supervisor.fallback_curve(0, recent_mpki=25.0)
+        supervisor.admit(0, GOOD, result, 8, 30.0)
+        supervisor.fallback_curve(0, recent_mpki=25.0)
+        rungs = [e.rung for e in supervisor.events_of_kind("degraded")]
+        assert rungs == [
+            DegradationRung.UNIFORM_SPLIT,
+            DegradationRung.ANCHOR_FLAT,
+            DegradationRung.LAST_KNOWN_GOOD,
+        ]
+
+
+class TestSummary:
+    def test_summary_snapshot(self, result):
+        supervisor = ProbeSupervisor(num_colors=16)
+        supervisor.admit(0, GOOD, result, 8, 30.0)
+        supervisor.admit(1, BAD, result, 8, 30.0)
+        summary = supervisor.summary()
+        assert summary[0]["accepted"] == 1
+        assert summary[0]["rung"] == "fresh"
+        assert summary[0]["has_last_known_good"] is True
+        assert summary[1]["rejected"] == 1
+        assert summary[1]["has_last_known_good"] is False
+
+    def test_bad_num_colors_rejected(self):
+        with pytest.raises(ValueError):
+            ProbeSupervisor(num_colors=0)

@@ -32,13 +32,36 @@ def streamer(machine):
 
 
 def fast_config(machine, **overrides):
+    # The detector threshold sits above the tiny machine's interval
+    # noise (~5 MPKI at this scale); the paper gets the same effect from
+    # 1B-instruction smoothing.  Noise-triggered "transitions" would
+    # otherwise invalidate every in-flight probe.
     defaults = dict(
         interval_instructions=8 * machine.l2_lines,
         probe=ProbeConfig(log_entries=1500),
         probe_cooldown_intervals=1,
+        detector=PhaseDetectorConfig(threshold_mpki=15.0),
     )
     defaults.update(overrides)
     return DynamicConfig(**defaults)
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize("kwargs", [
+        {"interval_instructions": 0},
+        {"interval_instructions": -5},
+        {"probe_cooldown_intervals": -1},
+        {"drop_probability": -0.1},
+        {"drop_probability": 1.5},
+        {"exception_cost_cycles": -1},
+    ])
+    def test_bad_values_rejected_at_construction(self, kwargs):
+        with pytest.raises(ValueError):
+            DynamicConfig(**kwargs)
+
+    def test_error_names_the_field(self):
+        with pytest.raises(ValueError, match="probe_cooldown_intervals"):
+            DynamicConfig(probe_cooldown_intervals=-2)
 
 
 class TestConstruction:
@@ -113,11 +136,17 @@ class TestClosedLoop:
 
     def test_phase_change_triggers_reprobe(self, tiny_machine):
         lines = tiny_machine.l2_lines
+        # The small phase (32 lines) overflows L1D (8 lines) but sits in
+        # L2, so its L2 MPKI contrasts sharply with the big phase while
+        # the probe channel -- which samples L1D misses -- still sees
+        # events and can fill its log.  An L1-resident phase would starve
+        # every probe started inside it, and the reliability layer now
+        # (correctly) discards probes that span the next transition.
         phased = PhasedWorkload(
             "phased",
             [
-                Phase(RandomWorkingSet(tiny_machine.l2_size), 12 * lines, "big"),
-                Phase(LoopingScan(8 * LINE), 12 * lines, "tiny"),
+                Phase(RandomWorkingSet(tiny_machine.l2_size), 16 * lines, "big"),
+                Phase(LoopingScan(32 * LINE), 16 * lines, "small"),
             ],
             instructions_per_access=10,
             store_fraction=0.0,

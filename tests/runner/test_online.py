@@ -57,6 +57,47 @@ class TestCollection:
         probe = collect_trace(workload, tiny_machine, online, SMALL_PROBE)
         assert not probe.log_filled
         assert probe.accesses_executed == 5000
+        # A starved probe is no longer silently turned into a curve: the
+        # quality verdict carries the diagnosis.
+        assert not probe.ok
+        assert not probe.quality.check("log-fill").passed
+
+    def test_healthy_probe_passes_quality_gates(self, tiny_machine):
+        probe = collect_trace(
+            rand_workload(tiny_machine), tiny_machine, FAST_ONLINE, SMALL_PROBE
+        )
+        assert probe.ok
+        assert probe.quality.describe() == "probe ok (all gates passed)"
+
+    def test_failed_probe_refuses_calibration(self, tiny_machine):
+        from repro.runner.online import ProbeFailedError
+
+        workload = Workload(
+            "tiny", LoopingScan(2 * LINE), instructions_per_access=10,
+        )
+        online = OnlineProbeConfig(warmup_accesses=100, max_accesses=2000)
+        probe = collect_trace(workload, tiny_machine, online, SMALL_PROBE)
+        if probe.result is None:
+            with pytest.raises(ProbeFailedError):
+                probe.calibrate(8, 25.0)
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize("kwargs", [
+        {"drop_probability": -0.1},
+        {"drop_probability": 1.01},
+        {"ideal_buffer_entries": 0},
+        {"ideal_buffer_entries": -4},
+        {"warmup_accesses": -1},
+        {"max_accesses": 0},
+    ])
+    def test_bad_values_rejected_at_construction(self, kwargs):
+        with pytest.raises(ValueError):
+            OnlineProbeConfig(**kwargs)
+
+    def test_error_names_the_field(self):
+        with pytest.raises(ValueError, match="ideal_buffer_entries"):
+            OnlineProbeConfig(ideal_buffer_entries=-1)
 
 
 class TestChannelDefects:
