@@ -1,0 +1,127 @@
+"""Benchmark: MRC engine throughput, batch fast path vs scalar engines.
+
+Times the *full* ``RapidMRC.compute`` pipeline (stale-repair correction,
+warmup, stack simulation, MRC construction) on the paper's full-scale
+POWER5 L2 (15360 lines) for each engine, and writes machine-readable
+results to ``benchmarks/results/BENCH_mrc_engine.json``.
+
+Two hard gates ride along with the timings:
+
+* **Parity** -- at every trace size the batch engine's histogram and MRC
+  must be bit-identical to the range-list engine's.  A fast path that
+  drifts is worse than no fast path; CI fails on any divergence.
+* **Speedup** -- on the 160k-entry trace the batch engine must sustain at
+  least 5x the accesses/sec of the per-access range-list path (the
+  design target of the fast path).
+
+Trace sizes default to 10k / 160k / 1M entries; override with a
+comma-separated ``REPRO_BENCH_MRC_SIZES`` (CI uses ``10000,160000`` to
+keep the smoke job short).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import time
+
+import pytest
+
+from repro.core.rapidmrc import ProbeConfig, RapidMRC
+from repro.sim.machine import MachineConfig
+
+ENGINES = ["rangelist", "fenwick", "batch"]
+DEFAULT_SIZES = [10_000, 160_000, 1_000_000]
+SPEEDUP_SIZE = 160_000
+MIN_SPEEDUP = 5.0
+STALE_FRACTION = 0.15  # exercise the correction kernel, like a real probe
+
+
+def bench_sizes():
+    spec = os.environ.get("REPRO_BENCH_MRC_SIZES")
+    if not spec:
+        return DEFAULT_SIZES
+    return [int(part) for part in spec.split(",") if part.strip()]
+
+
+def make_trace(size, num_lines, seed=42):
+    """Zipf-ish reuse mix with stale-SDAR repetition runs."""
+    rng = random.Random(seed)
+    trace = []
+    line = 0
+    while len(trace) < size:
+        if trace and rng.random() < STALE_FRACTION:
+            trace.append(line)  # stale repeat of the previous entry
+        elif rng.random() < 0.5:
+            line = rng.randrange(num_lines // 2)  # hot set
+            trace.append(line)
+        else:
+            line = rng.randrange(8 * num_lines)  # long tail, evicts
+            trace.append(line)
+    return trace
+
+
+def timed_compute(machine, engine, trace):
+    config = ProbeConfig(stack_engine=engine)
+    rapidmrc = RapidMRC(machine, config)
+    instructions = 48 * len(trace)
+    rounds = 3 if len(trace) <= 200_000 else 1
+    best = float("inf")
+    result = None
+    for _ in range(rounds):
+        start = time.perf_counter()
+        result = rapidmrc.compute(trace, instructions=instructions)
+        best = min(best, time.perf_counter() - start)
+    return result, best
+
+
+@pytest.fixture(scope="module")
+def machine():
+    # Full-scale POWER5 L2: the configuration the paper's online numbers
+    # (and the fast path's 5x target) are stated against.
+    return MachineConfig()
+
+
+def test_bench_mrc_engine(machine, report_dir):
+    sizes = bench_sizes()
+    report = {
+        "machine": machine.name,
+        "l2_lines": machine.l2_lines,
+        "stale_fraction": STALE_FRACTION,
+        "sizes": sizes,
+        "engines": {engine: {} for engine in ENGINES},
+        "speedup_vs_rangelist": {},
+        "parity": True,
+    }
+    for size in sizes:
+        trace = make_trace(size, machine.l2_lines)
+        results = {}
+        for engine in ENGINES:
+            result, seconds = timed_compute(machine, engine, trace)
+            results[engine] = result
+            report["engines"][engine][str(size)] = {
+                "seconds": round(seconds, 6),
+                "accesses_per_sec": round(size / seconds),
+            }
+        # Parity gate: the batch fast path must be bit-identical to the
+        # range-list engine it replaces -- histogram and final curve.
+        ref, got = results["rangelist"], results["batch"]
+        assert got.histogram.counts == ref.histogram.counts, size
+        assert got.histogram.cold_misses == ref.histogram.cold_misses, size
+        assert dict(got.mrc) == dict(ref.mrc), size
+        assert got.correction.converted == ref.correction.converted, size
+        base = report["engines"]["rangelist"][str(size)]["accesses_per_sec"]
+        fast = report["engines"]["batch"][str(size)]["accesses_per_sec"]
+        report["speedup_vs_rangelist"][str(size)] = round(fast / base, 2)
+
+    path = report_dir / "BENCH_mrc_engine.json"
+    path.write_text(json.dumps(report, indent=2) + "\n")
+
+    # Speedup gate: >= 5x accesses/sec on the 160k-entry trace.
+    if SPEEDUP_SIZE in sizes:
+        speedup = report["speedup_vs_rangelist"][str(SPEEDUP_SIZE)]
+        assert speedup >= MIN_SPEEDUP, (
+            f"batch engine only {speedup}x vs rangelist at {SPEEDUP_SIZE} "
+            f"entries (need >= {MIN_SPEEDUP}x); see {path}"
+        )

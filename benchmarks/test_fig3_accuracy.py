@@ -18,7 +18,8 @@ from repro.workloads.spec import PROBLEMATIC, WORKLOAD_NAMES
 def test_fig3_accuracy(benchmark, bench_machine, bench_offline, save_report):
     rows = benchmark.pedantic(
         fig3_accuracy,
-        kwargs={"machine": bench_machine, "offline": bench_offline},
+        kwargs={"machine": bench_machine, "offline": bench_offline,
+                "fast": True},
         rounds=1, iterations=1,
     )
 

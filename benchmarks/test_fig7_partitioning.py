@@ -27,7 +27,8 @@ def _spectrum_rows(result):
 def test_fig7_pairs(benchmark, bench_machine, bench_offline, save_report):
     results = benchmark.pedantic(
         fig7_partitioning,
-        kwargs={"machine": bench_machine, "offline": bench_offline},
+        kwargs={"machine": bench_machine, "offline": bench_offline,
+                "fast": True},
         rounds=1, iterations=1,
     )
 

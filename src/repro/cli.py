@@ -48,7 +48,10 @@ def _cmd_probe(args: argparse.Namespace) -> int:
             print(f"error: --inject-faults: {error}", file=sys.stderr)
             return 2
         print(f"# injecting faults: {plan.describe()} (seed {plan.seed})")
-    probe = collect_trace(workload, machine, fault_plan=plan)
+    probe = collect_trace(
+        workload, machine, fault_plan=plan,
+        fast=True if args.fast else None,
+    )
     print(f"# probe: {probe.probe.instructions} instructions, "
           f"{len(probe.probe.entries)} log entries, "
           f"{probe.probe.dropped_events} dropped, "
@@ -64,7 +67,8 @@ def _cmd_probe(args: argparse.Namespace) -> int:
         return 1
     curves = {"rapidmrc": probe.result.mrc}
     if args.real:
-        real = real_mrc(workload, machine, OfflineConfig())
+        real = real_mrc(workload, machine, OfflineConfig(),
+                        max_workers=args.workers)
         probe.calibrate(8, real[8])
         curves = {"real": real, "rapidmrc": probe.result.best_mrc}
         print(f"# MPKI distance: {mpki_distance(real, probe.result.best_mrc):.3f}")
@@ -78,8 +82,10 @@ def _cmd_partition(args: argparse.Namespace) -> int:
     curves = {}
     for name in names:
         workload = make_workload(name, machine)
-        probe = collect_trace(workload, machine)
-        real = real_mrc(workload, machine, OfflineConfig())
+        probe = collect_trace(workload, machine,
+                              fast=True if args.fast else None)
+        real = real_mrc(workload, machine, OfflineConfig(),
+                        max_workers=args.workers)
         probe.calibrate(8, real[8])
         curves[name] = probe.result.best_mrc
     decision = choose_partition_sizes(
@@ -96,7 +102,7 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     from repro.core.rapidmrc import ProbeConfig, RapidMRC
     from repro.io.mrcfile import save_mrc
     from repro.io.perf_script import parse_perf_script, samples_to_lines
-    from repro.io.tracefile import load_trace
+    from repro.io.tracefile import load_trace, load_trace_array
 
     machine = _machine(args)
     if args.format == "perf":
@@ -104,14 +110,20 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         trace = samples_to_lines(report.samples, machine.line_size)
         print(f"# parsed {len(report.samples)} samples "
               f"({report.skipped_lines} lines skipped)")
+    elif args.fast:
+        trace = load_trace_array(args.trace)
+        print(f"# loaded {len(trace)} trace entries")
     else:
         trace = load_trace(args.trace)
         print(f"# loaded {len(trace)} trace entries")
-    if not trace:
+    if len(trace) == 0:
         print("no samples to analyze", file=sys.stderr)
         return 1
     instructions = args.instructions or 48 * len(trace)
-    engine = RapidMRC(machine, ProbeConfig())
+    probe_config = (
+        ProbeConfig(stack_engine="batch") if args.fast else ProbeConfig()
+    )
+    engine = RapidMRC(machine, probe_config)
     result = engine.compute(trace, instructions, label=args.trace)
     print(f"# stack hit rate {result.stack_hit_rate:.1%}, "
           f"warmup {result.warmup_fraction:.0%}, "
@@ -182,11 +194,28 @@ def build_parser() -> argparse.ArgumentParser:
         "--quality", action="store_true",
         help="print every reliability gate, not just failures",
     )
+    probe.add_argument(
+        "--fast", action="store_true",
+        help="compute the MRC with the vectorized batch engine "
+             "(bit-identical to rangelist, several times faster)",
+    )
+    probe.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="parallel worker processes for the --real per-size runs",
+    )
     probe.set_defaults(fn=_cmd_probe)
 
     part = sub.add_parser("partition", help="size a 2-way cache partition")
     part.add_argument("workload_a", choices=WORKLOAD_NAMES)
     part.add_argument("workload_b", choices=WORKLOAD_NAMES)
+    part.add_argument(
+        "--fast", action="store_true",
+        help="compute each MRC with the vectorized batch engine",
+    )
+    part.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="parallel worker processes for the real-MRC per-size runs",
+    )
     part.set_defaults(fn=_cmd_partition)
 
     analyze = sub.add_parser(
@@ -211,6 +240,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     analyze.add_argument(
         "--output", default=None, help="write the curve as JSON here",
+    )
+    analyze.add_argument(
+        "--fast", action="store_true",
+        help="load and analyze the trace with the vectorized batch engine",
     )
     analyze.set_defaults(fn=_cmd_analyze)
 

@@ -21,7 +21,7 @@ Two defects of SDAR-based continuous data sampling are handled here:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import Iterable, List, Sequence
 
 __all__ = [
     "CorrectionResult",
@@ -32,22 +32,29 @@ __all__ = [
 ]
 
 
+#: Sentinel distinct from any trace entry (a first entry never counts as
+#: a repetition, even in traces that contain unusual values).
+_NO_PREDECESSOR = object()
+
+
 @dataclass(frozen=True)
 class CorrectionResult:
     """Outcome of stale-SDAR repair.
 
     Attributes:
-        trace: the corrected cache-line trace.
+        trace: the corrected cache-line trace -- a list from the scalar
+            repair here, or an int64 array from the vectorized repair in
+            :mod:`repro.core.fastpath`.
         converted: number of entries that were rewritten (Table 2 column e
             reports this as a percentage of the log).
     """
 
-    trace: List[int]
+    trace: Sequence[int]
     converted: int
 
     def converted_fraction(self) -> float:
         """Fraction of the log that required conversion (Table 2 col e)."""
-        if not self.trace:
+        if len(self.trace) == 0:
             return 0.0
         return self.converted / len(self.trace)
 
@@ -76,9 +83,20 @@ def correct_stale_repetitions(trace: Sequence[int]) -> CorrectionResult:
     return CorrectionResult(trace=corrected, converted=converted)
 
 
-def count_repetitions(trace: Sequence[int]) -> int:
-    """Number of entries equal to their predecessor (pre-repair)."""
-    return sum(1 for a, b in zip(trace, trace[1:]) if a == b)
+def count_repetitions(trace: Iterable[int]) -> int:
+    """Number of entries equal to their predecessor (pre-repair).
+
+    Accepts any iterable (including generators) and iterates pairwise
+    without materializing a copy of the trace.
+    """
+    iterator = iter(trace)
+    previous = next(iterator, _NO_PREDECESSOR)
+    count = 0
+    for line in iterator:
+        if line == previous:
+            count += 1
+        previous = line
+    return count
 
 
 def thin_trace(trace: Sequence[int], keep_every: int) -> List[int]:

@@ -21,6 +21,12 @@ Three interchangeable engines are provided:
   full-resolution histograms are wanted (e.g. the Dinero associativity
   study feeds from it).
 
+A fourth engine name, ``batch``, selects the numpy-vectorized
+whole-trace kernel in :mod:`repro.core.fastpath` through the
+:class:`LRUStackSimulator` facade.  It produces histograms bit-identical
+to the per-access engines at a large constant-factor speedup, but has no
+incremental (per-access) interface.
+
 All engines bound the stack to ``max_depth`` lines, as the paper bounds
 its stack to the L2 size: any access whose distance exceeds the bound is
 indistinguishable from a cold miss for every cache size under study and
@@ -316,6 +322,8 @@ class FenwickLRUStack:
         self._last_time: Dict[int, int] = {}
         self._time = 0
         self._live = 0
+        #: Number of timestamp compactions performed (exposed for tests).
+        self.compactions = 0
 
     @property
     def occupancy(self) -> int:
@@ -358,10 +366,20 @@ class FenwickLRUStack:
         return distance
 
     def _compact(self) -> None:
-        """Re-number timestamps densely, dropping lines below max_depth."""
+        """Re-number timestamps densely, dropping lines below max_depth.
+
+        Capacity doubles on every compaction: a fixed capacity close to
+        ``max_depth`` would make compaction (an O(capacity + depth log
+        depth) full rebuild) fire every ``capacity - max_depth`` accesses
+        and turn the engine quadratic.  Doubling keeps the total number
+        of compactions over a trace logarithmic, at the cost of tree
+        memory proportional to the longest burst processed so far.
+        """
         ordered = sorted(self._last_time.items(), key=lambda item: -item[1])
         kept = ordered[: self.max_depth]
         kept.reverse()  # oldest first -> ascending new timestamps
+        self.compactions += 1
+        self._capacity *= 2
         self._tree = [0] * (self._capacity + 1)
         self._last_time = {}
         self._live = 0
@@ -388,11 +406,30 @@ _ENGINES = {
 def make_engine(
     name: str, max_depth: int, boundaries: Optional[Sequence[int]] = None
 ):
-    """Instantiate a stack engine by name (``naive``/``rangelist``/``fenwick``)."""
+    """Instantiate a stack engine by name (``naive``/``rangelist``/``fenwick``).
+
+    Only the range-list engine can honor ``boundaries`` (it quantizes
+    every reported distance to them); the exact engines cannot, and a
+    caller asking for quantized distances must not silently receive
+    exact ones, so passing ``boundaries`` to them raises.  The ``batch``
+    engine is not constructible here -- it has no per-access interface;
+    use :class:`LRUStackSimulator` or :mod:`repro.core.fastpath`.
+    """
+    if name == "batch":
+        raise ValueError(
+            "the 'batch' engine processes whole traces, not single accesses; "
+            "use LRUStackSimulator(engine='batch') or repro.core.fastpath"
+        )
     if name not in _ENGINES:
         raise ValueError(f"unknown stack engine {name!r}; options: {sorted(_ENGINES)}")
     if name == "rangelist":
         return RangeListLRUStack(max_depth, boundaries=boundaries)
+    if boundaries is not None:
+        raise ValueError(
+            f"stack engine {name!r} computes exact distances and cannot honor "
+            f"boundaries; use 'rangelist' (or the batch fast path) for "
+            f"boundary-quantized distances, or pass boundaries=None"
+        )
     return _ENGINES[name](max_depth)
 
 
@@ -405,10 +442,18 @@ class LRUStackSimulator:
 
     Args:
         max_depth: stack bound in lines (the L2 size: 15360 on POWER5).
-        engine: one of ``naive``, ``rangelist``, ``fenwick``.
-        boundaries: for the range-list engine, the depths (in lines) at
-            which distances must be exact -- normally the 16 partition
-            sizes.  Ignored by the other engines.
+        engine: one of ``naive``, ``rangelist``, ``fenwick``, ``batch``.
+        boundaries: the depths (in lines) at which distances must be
+            resolvable -- normally the 16 partition sizes.  The
+            range-list and batch engines quantize distances to exactly
+            these; the exact engines (``naive``, ``fenwick``) resolve
+            *every* depth and so satisfy any boundaries trivially -- the
+            argument is not forwarded to them (forwarding would raise,
+            see :func:`make_engine`).
+
+    The ``batch`` engine (:mod:`repro.core.fastpath`) has no per-access
+    interface: it vectorizes whole traces, so only :meth:`process` works;
+    :meth:`access` and the occupancy properties raise.
     """
 
     def __init__(
@@ -418,19 +463,33 @@ class LRUStackSimulator:
         boundaries: Optional[Sequence[int]] = None,
     ):
         self.engine_name = engine
-        self._engine = make_engine(engine, max_depth, boundaries)
+        self.boundaries = list(boundaries) if boundaries is not None else None
+        if engine == "batch":
+            self._engine = None
+        elif engine == "rangelist":
+            self._engine = make_engine(engine, max_depth, boundaries)
+        else:
+            self._engine = make_engine(engine, max_depth)
         self.max_depth = max_depth
+
+    def _require_incremental(self):
+        if self._engine is None:
+            raise NotImplementedError(
+                "the 'batch' engine has no incremental per-access state; "
+                "use process() on a whole trace"
+            )
+        return self._engine
 
     @property
     def occupancy(self) -> int:
-        return self._engine.occupancy
+        return self._require_incremental().occupancy
 
     @property
     def is_full(self) -> bool:
-        return self._engine.is_full
+        return self._require_incremental().is_full
 
     def access(self, line: int) -> int:
-        return self._engine.access(line)
+        return self._require_incremental().access(line)
 
     def process(
         self,
@@ -448,6 +507,15 @@ class LRUStackSimulator:
         Returns:
             The stack-distance histogram of all recorded accesses.
         """
+        if self._engine is None:
+            from repro.core.fastpath import batch_histogram
+
+            return batch_histogram(
+                trace,
+                max_depth=self.max_depth,
+                boundaries=self.boundaries,
+                warmup=warmup,
+            )
         histogram = StackDistanceHistogram(max_depth=self.max_depth)
         record_all = warmup is None
         for index, line in enumerate(trace):

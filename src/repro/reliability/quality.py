@@ -268,8 +268,13 @@ def assess_probe(
     # repeats make a streamer's raw log look reuse-heavy, but after
     # repair an all-unique trace cannot produce stack hits, so its
     # all-cold histogram is correct rather than suspicious.
+    # len() (not truthiness) so this also handles the batch engine's
+    # array-backed corrected traces.
     judged = result.correction.trace if result.correction else entries
-    unique_fraction = len(set(judged)) / len(judged) if judged else 0.0
+    unique_fraction = (
+        len(set(int(line) for line in judged)) / len(judged)
+        if len(judged) else 0.0
+    )
     streaming = unique_fraction >= config.streaming_unique_fraction
     checks.append(QualityCheck(
         name="cold-fraction",

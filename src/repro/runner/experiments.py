@@ -201,10 +201,11 @@ def _probe_and_compare(
     online: OnlineProbeConfig,
     probe_config: ProbeConfig,
     anchor_color: int = 8,
+    fast: Optional[bool] = None,
 ) -> AccuracyRow:
     workload = make_workload(name, machine)
     real = real_mrc(workload, machine, offline)
-    probe = collect_trace(workload, machine, online, probe_config)
+    probe = collect_trace(workload, machine, online, probe_config, fast=fast)
     probe.calibrate(anchor_color, real[anchor_color])
     calc = probe.result.best_mrc
     return AccuracyRow(
@@ -223,12 +224,34 @@ def fig3_accuracy(
     offline: OfflineConfig = OfflineConfig(),
     online: OnlineProbeConfig = OnlineProbeConfig(),
     probe_config: ProbeConfig = ProbeConfig(),
+    fast: Optional[bool] = None,
+    max_workers: Optional[int] = None,
 ) -> List[AccuracyRow]:
-    """Figure 3: RapidMRC vs the real MRC for every application."""
+    """Figure 3: RapidMRC vs the real MRC for every application.
+
+    Args:
+        fast: forwarded to :func:`~repro.runner.online.collect_trace` --
+            ``True`` computes every probe's MRC with the batch engine.
+        max_workers: probe the applications in parallel worker processes
+            (each row is independent); ``None`` stays sequential.
+    """
     machine = machine or default_machine()
     chosen = list(names) if names is not None else list(WORKLOAD_NAMES)
+    if max_workers is not None and max_workers > 1 and len(chosen) > 1:
+        from concurrent.futures import ProcessPoolExecutor
+
+        with ProcessPoolExecutor(max_workers=max_workers) as pool:
+            futures = [
+                pool.submit(
+                    _probe_and_compare, name, machine, offline, online,
+                    probe_config, 8, fast,
+                )
+                for name in chosen
+            ]
+            return [future.result() for future in futures]
     return [
-        _probe_and_compare(name, machine, offline, online, probe_config)
+        _probe_and_compare(name, machine, offline, online, probe_config,
+                           fast=fast)
         for name in chosen
     ]
 
@@ -485,12 +508,20 @@ def fig7_partitioning(
     offline: OfflineConfig = OfflineConfig(),
     splits: Optional[Sequence[int]] = None,
     disable_l3: bool = True,
+    fast: Optional[bool] = None,
+    max_workers: Optional[int] = None,
 ) -> List[Fig7Result]:
     """Figure 7: choose partition sizes from RapidMRC vs real MRCs and
     measure the normalized-IPC spectrum over all splits.
 
     The paper disables the L3 for twolf+equake and vpr+applu (its 36 MB
     swallowed the working sets); ``disable_l3`` reproduces that.
+
+    Args:
+        fast: forwarded to the per-application probes -- ``True``
+            computes each co-runner's MRC with the batch engine.
+        max_workers: probe the two co-runners of each pair in parallel
+            worker processes (they are independent runs).
     """
     machine = machine or default_machine()
     corun_machine = machine.without_l3() if disable_l3 else machine
@@ -502,12 +533,29 @@ def fig7_partitioning(
 
     results: List[Fig7Result] = []
     for name_a, name_b in pairs:
-        row_a = _probe_and_compare(
-            name_a, machine, offline, OnlineProbeConfig(), ProbeConfig()
-        )
-        row_b = _probe_and_compare(
-            name_b, machine, offline, OnlineProbeConfig(), ProbeConfig()
-        )
+        if max_workers is not None and max_workers > 1:
+            from concurrent.futures import ProcessPoolExecutor
+
+            with ProcessPoolExecutor(max_workers=2) as pool:
+                future_a = pool.submit(
+                    _probe_and_compare, name_a, machine, offline,
+                    OnlineProbeConfig(), ProbeConfig(), 8, fast,
+                )
+                future_b = pool.submit(
+                    _probe_and_compare, name_b, machine, offline,
+                    OnlineProbeConfig(), ProbeConfig(), 8, fast,
+                )
+                row_a = future_a.result()
+                row_b = future_b.result()
+        else:
+            row_a = _probe_and_compare(
+                name_a, machine, offline, OnlineProbeConfig(), ProbeConfig(),
+                fast=fast,
+            )
+            row_b = _probe_and_compare(
+                name_b, machine, offline, OnlineProbeConfig(), ProbeConfig(),
+                fast=fast,
+            )
         chosen_real = choose_partition_sizes(
             row_a.real, row_b.real, machine.num_colors
         )

@@ -101,22 +101,41 @@ def real_mrc(
     config: OfflineConfig = OfflineConfig(),
     sizes: Optional[Sequence[int]] = None,
     seed_offset: int = 0,
+    max_workers: Optional[int] = None,
 ) -> MissRateCurve:
     """The exhaustive offline real MRC: one run per partition size.
 
     Args:
         sizes: the partition sizes (in colors) to measure; defaults to
             every size ``1..num_colors``.
+        max_workers: run the per-size measurements in parallel worker
+            processes (the runs are fully independent, so the curve is
+            identical to the sequential one).  ``None`` keeps the
+            sequential in-process loop.
     """
     chosen = list(sizes) if sizes is not None else list(
         range(1, machine.num_colors + 1)
     )
     points = {}
-    for size in chosen:
-        colors = list(range(size))
-        points[size] = measure_mpki(
-            workload, machine, colors, config, seed_offset
-        )
+    if max_workers is not None and max_workers > 1 and len(chosen) > 1:
+        from concurrent.futures import ProcessPoolExecutor
+
+        with ProcessPoolExecutor(max_workers=max_workers) as pool:
+            futures = {
+                size: pool.submit(
+                    measure_mpki, workload, machine, list(range(size)),
+                    config, seed_offset,
+                )
+                for size in chosen
+            }
+            for size, future in futures.items():
+                points[size] = future.result()
+    else:
+        for size in chosen:
+            colors = list(range(size))
+            points[size] = measure_mpki(
+                workload, machine, colors, config, seed_offset
+            )
     return MissRateCurve(points, label=f"real:{workload.name}")
 
 

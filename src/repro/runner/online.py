@@ -20,7 +20,7 @@ CLI) can degrade deliberately instead of acting on garbage.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Optional, Sequence
 
 from repro.core.rapidmrc import ProbeConfig, RapidMRC, RapidMRCResult
@@ -162,6 +162,7 @@ def collect_trace(
     probe_config: ProbeConfig = ProbeConfig(),
     fault_plan: Optional[FaultPlan] = None,
     quality_config: QualityConfig = QualityConfig(),
+    fast: Optional[bool] = None,
 ) -> OnlineProbe:
     """Run a probing period against a fresh hierarchy and compute the MRC.
 
@@ -174,7 +175,16 @@ def collect_trace(
         fault_plan: optional deterministic fault injection applied to
             the trace channel (see :mod:`repro.reliability.faults`).
         quality_config: gate thresholds for the returned verdict.
+        fast: ``True`` forces the vectorized batch calculation engine
+            (:mod:`repro.core.fastpath`), ``False`` forces the engine
+            named in ``probe_config``; ``None`` leaves the config as is.
+            The batch engine is bit-identical to ``rangelist``, so this
+            only changes speed.
     """
+    if fast is True and probe_config.stack_engine != "batch":
+        probe_config = replace(probe_config, stack_engine="batch")
+    elif fast is False and probe_config.stack_engine == "batch":
+        probe_config = replace(probe_config, stack_engine="rangelist")
     log_entries = probe_config.resolved_log_entries(machine)
     hierarchy = MemoryHierarchy(machine, num_cores=1)
     allocator = PageAllocator(machine)

@@ -114,3 +114,25 @@ def test_property_thinning_length(trace, keep_every):
     expected_length = (len(trace) + keep_every - 1) // keep_every
     assert len(thinned) == expected_length
     assert all(entry in trace for entry in thinned)
+
+
+class _NoSlice(list):
+    """List that rejects slicing: catches any ``trace[1:]``-style copy."""
+
+    def __getitem__(self, key):
+        if isinstance(key, slice):
+            raise AssertionError("count_repetitions must not slice the trace")
+        return super().__getitem__(key)
+
+
+class TestCountRepetitions:
+    def test_accepts_generator(self):
+        assert count_repetitions(line for line in [1, 1, 2, 2, 2, 3]) == 3
+        assert count_repetitions(line for line in []) == 0
+
+    def test_does_not_copy_the_trace(self):
+        assert count_repetitions(_NoSlice([4, 4, 9, 9, 9])) == 3
+
+    def test_matches_repair_converted_count(self):
+        trace = [1, 1, 1, 2, 3, 3, 2]
+        assert count_repetitions(trace) == correct_stale_repetitions(trace).converted

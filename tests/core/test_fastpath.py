@@ -1,0 +1,320 @@
+"""Differential tests for the batched vectorized fast path.
+
+The contract of :mod:`repro.core.fastpath` is *bit-identical* output:
+the batch kernel must reproduce the scalar engines exactly -- the exact
+distances of the naive/Fenwick engines, the quantized histograms of the
+range-list engine, the warmup bookkeeping of the scalar simulator loop,
+and the corrections of :mod:`repro.core.correction` -- on any trace.
+These tests enforce that with hand-built cases and hypothesis-generated
+traces, including the boundary ``b[0] == 1``, eviction-heavy, and
+single-line-run shapes called out in the fast-path design.
+"""
+
+import random
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import correction as scalar
+from repro.core import fastpath as fp
+from repro.core.histogram import COLD_MISS
+from repro.core.rapidmrc import ProbeConfig, RapidMRC
+from repro.core.stack import (
+    FenwickLRUStack,
+    LRUStackSimulator,
+    NaiveLRUStack,
+    RangeListLRUStack,
+)
+from repro.core.warmup import (
+    AutomaticWarmup,
+    HybridWarmup,
+    NoWarmup,
+    StaticWarmup,
+    warmup_fraction_used,
+)
+
+
+def naive_distances(trace, depth):
+    stack = NaiveLRUStack(depth)
+    return [stack.access(line) for line in trace]
+
+
+class TestVectorizedCorrections:
+    def test_stale_repair_matches_scalar(self):
+        trace = [5, 5, 5, 9, 9, 5, 1, 1, 1, 1]
+        want = scalar.correct_stale_repetitions(trace)
+        got = fp.correct_stale_repetitions(trace)
+        assert got.trace.tolist() == want.trace
+        assert got.converted == want.converted
+        assert got.converted_fraction() == want.converted_fraction()
+
+    def test_stale_repair_empty(self):
+        got = fp.correct_stale_repetitions([])
+        assert got.trace.size == 0 and got.converted == 0
+        assert got.converted_fraction() == 0.0
+
+    @settings(max_examples=60, deadline=None)
+    @given(trace=st.lists(st.integers(min_value=0, max_value=6), max_size=200))
+    def test_property_stale_repair_matches_scalar(self, trace):
+        want = scalar.correct_stale_repetitions(trace)
+        got = fp.correct_stale_repetitions(trace)
+        assert got.trace.tolist() == want.trace
+        assert got.converted == want.converted
+
+    def test_thin_trace_matches_scalar(self):
+        trace = list(range(17))
+        for keep in (1, 2, 4, 7):
+            assert fp.thin_trace(trace, keep).tolist() == scalar.thin_trace(
+                trace, keep
+            )
+
+    def test_thin_trace_rejects_bad_keep(self):
+        with pytest.raises(ValueError):
+            fp.thin_trace([1, 2], 0)
+
+    def test_drop_random_draws_in_scalar_order(self):
+        trace = list(range(500))
+        for probability in (0.0, 0.3, 1.0):
+            want = scalar.drop_random(trace, probability, random.Random(7))
+            got = fp.drop_random(trace, probability, random.Random(7))
+            assert got.tolist() == want
+
+    def test_drop_random_rejects_bad_probability(self):
+        with pytest.raises(ValueError):
+            fp.drop_random([1], 1.5, random.Random(0))
+
+
+class TestBatchDistances:
+    def test_hand_cases(self):
+        for trace, depth in [
+            ([10, 20, 10], 4),
+            ([1, 2, 2, 1], 4),
+            ([1, 1], 4),
+            ([1, 2, 3, 2, 1], 2),  # eviction-heavy
+            ([7] * 10, 1),  # single-line run
+            ([], 4),
+            ([3], 4),
+        ]:
+            got = fp.batch_stack_distances(trace, max_depth=depth).tolist()
+            assert got == naive_distances(trace, depth), (trace, depth)
+
+    def test_rejects_bad_max_depth(self):
+        with pytest.raises(ValueError):
+            fp.batch_stack_distances([1, 2], max_depth=0)
+
+    def test_rejects_multidimensional_trace(self):
+        with pytest.raises(ValueError):
+            fp.batch_stack_distances([[1, 2], [3, 4]], max_depth=4)
+
+    def test_huge_line_numbers_use_stable_fallback(self):
+        # Line numbers too large for the composite argsort key must fall
+        # back to the stable sort and still be exact.
+        trace = [2**61, 5, 2**61 + 1, 5, 2**61, -3, -3, 2**61 + 1]
+        got = fp.batch_stack_distances(trace, max_depth=4).tolist()
+        assert got == naive_distances(trace, 4)
+
+    @settings(max_examples=80, deadline=None)
+    @given(
+        trace=st.lists(st.integers(min_value=0, max_value=60), max_size=400),
+        depth=st.integers(min_value=1, max_value=32),
+    )
+    def test_property_matches_naive(self, trace, depth):
+        got = fp.batch_stack_distances(trace, max_depth=depth).tolist()
+        assert got == naive_distances(trace, depth)
+
+
+def draw_boundaries(data, depth):
+    num = data.draw(st.integers(min_value=1, max_value=min(4, depth)))
+    return sorted(
+        data.draw(
+            st.sets(
+                st.integers(min_value=1, max_value=depth),
+                min_size=num,
+                max_size=num,
+            )
+        )
+    )
+
+
+class TestDifferentialHistogram:
+    """The satellite differential property: all four engines agree."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        trace=st.lists(st.integers(min_value=0, max_value=60), max_size=400),
+        data=st.data(),
+    )
+    def test_property_four_engines_identical_quantized(self, trace, data):
+        depth = data.draw(st.integers(min_value=2, max_value=32))
+        bounds = draw_boundaries(data, depth)
+        hists = {}
+        for engine in ("naive", "fenwick", "rangelist"):
+            sim = LRUStackSimulator(depth, engine=engine, boundaries=bounds)
+            hists[engine] = sim.process(trace)
+        hists["batch"] = fp.batch_histogram(
+            trace, max_depth=depth, boundaries=bounds
+        )
+        rangelist = RangeListLRUStack(depth, boundaries=bounds)
+        for line in trace:
+            rangelist.access(line)
+        rangelist.check_invariants()
+        reference = hists["rangelist"]
+        assert hists["batch"].counts == reference.counts
+        assert hists["batch"].cold_misses == reference.cold_misses
+        for engine in ("naive", "fenwick"):
+            for bound in rangelist.boundaries:
+                assert hists[engine].misses_at(bound) == reference.misses_at(
+                    bound
+                )
+
+    def test_boundary_one(self):
+        # b[0] == 1: the tightest range, distance-1 hits only.
+        trace = [1, 1, 2, 2, 1, 2, 1, 1]
+        want = LRUStackSimulator(8, engine="rangelist", boundaries=[1, 8])
+        got = fp.batch_histogram(trace, max_depth=8, boundaries=[1, 8])
+        ref = want.process(trace)
+        assert got.counts == ref.counts
+        assert got.cold_misses == ref.cold_misses
+
+    def test_eviction_heavy(self):
+        rng = random.Random(3)
+        trace = [rng.randrange(50) for _ in range(600)]  # depth 4: evicts a lot
+        ref = LRUStackSimulator(4, engine="rangelist", boundaries=[2, 4]).process(
+            trace
+        )
+        got = fp.batch_histogram(trace, max_depth=4, boundaries=[2, 4])
+        assert got.counts == ref.counts and got.cold_misses == ref.cold_misses
+
+    def test_single_line_run(self):
+        trace = [9] * 64
+        ref = LRUStackSimulator(8, engine="rangelist", boundaries=[1, 8]).process(
+            trace
+        )
+        got = fp.batch_histogram(trace, max_depth=8, boundaries=[1, 8])
+        assert got.counts == ref.counts and got.cold_misses == ref.cold_misses
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        trace=st.lists(st.integers(min_value=0, max_value=40), max_size=300),
+        depth=st.integers(min_value=1, max_value=24),
+    )
+    def test_property_exact_matches_fenwick(self, trace, depth):
+        fenwick = FenwickLRUStack(depth, capacity=64)
+        want = {}
+        cold = 0
+        for line in trace:
+            distance = fenwick.access(line)
+            if distance == COLD_MISS:
+                cold += 1
+            else:
+                want[distance] = want.get(distance, 0) + 1
+        got = fp.batch_histogram(trace, max_depth=depth, quantize=False)
+        assert got.counts == want
+        assert got.cold_misses == cold
+
+    def test_exact_rejects_boundaries(self):
+        with pytest.raises(ValueError):
+            fp.batch_histogram([1, 2], max_depth=4, quantize=False,
+                               boundaries=[2])
+
+    def test_bad_boundaries_rejected(self):
+        with pytest.raises(ValueError):
+            fp.batch_histogram([1], max_depth=4, boundaries=[0, 2])
+        with pytest.raises(ValueError):
+            fp.batch_histogram([1], max_depth=4, boundaries=[8])
+
+
+class TestWarmupParity:
+    POLICIES = [
+        lambda n: None,
+        lambda n: NoWarmup(),
+        lambda n: StaticWarmup(n // 3),
+        lambda n: StaticWarmup(10 * n + 1),  # longer than the trace
+        lambda n: AutomaticWarmup(),
+        lambda n: HybridWarmup(fallback_entries=n // 2),
+        lambda n: HybridWarmup(fallback_entries=1),
+    ]
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        trace=st.lists(st.integers(min_value=0, max_value=30), max_size=250),
+        data=st.data(),
+    )
+    def test_property_warmup_matches_scalar_simulator(self, trace, data):
+        depth = data.draw(st.integers(min_value=1, max_value=16))
+        bounds = draw_boundaries(data, depth)
+        policy = data.draw(st.sampled_from(self.POLICIES))
+        scalar_warmup = policy(len(trace))
+        batch_warmup = policy(len(trace))
+        sim = LRUStackSimulator(depth, engine="rangelist", boundaries=bounds)
+        ref = sim.process(trace, warmup=scalar_warmup)
+        got = fp.batch_histogram(
+            trace, max_depth=depth, boundaries=bounds, warmup=batch_warmup
+        )
+        assert got.counts == ref.counts
+        assert got.cold_misses == ref.cold_misses
+        assert warmup_fraction_used(batch_warmup, len(trace)) == (
+            warmup_fraction_used(scalar_warmup, len(trace))
+        )
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(TypeError):
+            fp.batch_histogram([1, 2], max_depth=4, warmup=object())
+
+
+class TestEndToEndRapidMRC:
+    def test_batch_engine_bit_identical_to_rangelist(self, small_machine):
+        rng = random.Random(21)
+        # Stale runs included so the corrections diverge if buggy.
+        trace = []
+        line = 0
+        for _ in range(4000):
+            if rng.random() < 0.2:
+                trace.append(line)
+            else:
+                line = rng.randrange(300)
+                trace.append(line)
+        results = {}
+        for engine in ("rangelist", "batch"):
+            config = ProbeConfig(stack_engine=engine)
+            results[engine] = RapidMRC(small_machine, config).compute(
+                trace, instructions=100_000
+            )
+        ref, got = results["rangelist"], results["batch"]
+        assert got.histogram.counts == ref.histogram.counts
+        assert got.histogram.cold_misses == ref.histogram.cold_misses
+        assert dict(got.mrc) == dict(ref.mrc)
+        assert got.warmup_fraction == ref.warmup_fraction
+        assert got.stack_hit_rate == ref.stack_hit_rate
+        assert got.correction.converted == ref.correction.converted
+        assert got.recorded_entries == ref.recorded_entries
+
+
+class TestSimulatorBatchEngine:
+    def test_process_dispatches_to_batch(self):
+        sim = LRUStackSimulator(8, engine="batch", boundaries=[2, 8])
+        ref = LRUStackSimulator(8, engine="rangelist", boundaries=[2, 8])
+        trace = [1, 2, 3, 1, 2, 3, 4, 4]
+        got = sim.process(trace)
+        want = ref.process(trace)
+        assert got.counts == want.counts and got.cold_misses == want.cold_misses
+
+    def test_per_access_interface_rejected(self):
+        sim = LRUStackSimulator(8, engine="batch")
+        with pytest.raises(NotImplementedError):
+            sim.access(1)
+        with pytest.raises(NotImplementedError):
+            sim.occupancy
+        with pytest.raises(NotImplementedError):
+            sim.is_full
+
+
+class TestArrayCoercion:
+    def test_no_copy_for_int64_arrays(self):
+        arr = np.array([1, 2, 3], dtype=np.int64)
+        assert fp.as_trace_array(arr) is arr
+
+    def test_lists_and_generators_unsupported_shapes_rejected(self):
+        with pytest.raises(ValueError):
+            fp.as_trace_array(np.zeros((2, 2), dtype=np.int64))

@@ -235,3 +235,41 @@ class TestSimulatorFacade:
         sim = LRUStackSimulator(8, engine="naive")
         hist = sim.process([1, 2, 1, 3], warmup=StaticWarmup(2))
         assert hist.total_accesses == 2
+
+
+class TestFenwickGeometricGrowth:
+    def test_repeated_compactions_match_naive(self):
+        # Capacity 8 on a long trace forces several compactions; growth
+        # must not disturb reported distances.
+        fenwick = FenwickLRUStack(4, capacity=8)
+        naive = NaiveLRUStack(4)
+        rng = random.Random(11)
+        for _ in range(2000):
+            line = rng.randrange(12)
+            assert fenwick.access(line) == naive.access(line)
+        assert fenwick.compactions >= 3
+
+    def test_capacity_grows_geometrically(self):
+        # With doubling, compactions per access must be (amortized)
+        # logarithmic: a 4000-access trace from a tiny initial capacity
+        # stays in single-digit compaction counts.
+        stack = FenwickLRUStack(4, capacity=8)
+        rng = random.Random(5)
+        for _ in range(4000):
+            stack.access(rng.randrange(12))
+        assert 3 <= stack.compactions <= 12
+
+
+class TestMakeEngineValidation:
+    def test_boundaries_rejected_for_exact_engines(self):
+        for name in ("naive", "fenwick"):
+            with pytest.raises(ValueError, match="boundaries"):
+                make_engine(name, 8, boundaries=[2, 8])
+
+    def test_boundaries_accepted_by_rangelist(self):
+        engine = make_engine("rangelist", 8, boundaries=[2, 8])
+        assert engine.boundaries == [2, 8]
+
+    def test_batch_engine_not_constructible_per_access(self):
+        with pytest.raises(ValueError, match="batch"):
+            make_engine("batch", 8)

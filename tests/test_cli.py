@@ -96,3 +96,30 @@ class TestExecution:
         out = capsys.readouterr().out
         assert "MPKI distance:     0.000" in out
         assert "shape correlation: 1.000" in out
+
+
+class TestFastPath:
+    def test_probe_fast_flag_parsed(self):
+        args = build_parser().parse_args(["probe", "mcf", "--fast",
+                                          "--workers", "2"])
+        assert args.fast is True
+        assert args.workers == 2
+
+    def test_probe_fast_runs(self, capsys):
+        assert main(["--scale", "32", "probe", "crafty", "--fast"]) == 0
+        out = capsys.readouterr().out
+        assert "rapidmrc" in out
+
+    def test_analyze_fast_matches_scalar(self, capsys, tmp_path):
+        from repro.io.tracefile import save_trace
+
+        path = str(tmp_path / "trace.txt")
+        save_trace(path, list(range(100)) * 30)
+        assert main(["--scale", "32", "analyze", path,
+                     "--format", "native"]) == 0
+        scalar_out = capsys.readouterr().out
+        assert main(["--scale", "32", "analyze", path,
+                     "--format", "native", "--fast"]) == 0
+        fast_out = capsys.readouterr().out
+        # Identical curves, identical rendering: bit-identical fast path.
+        assert fast_out == scalar_out
