@@ -29,6 +29,7 @@ import time
 import pytest
 
 from repro.core.rapidmrc import ProbeConfig, RapidMRC
+from repro.obs import Telemetry, use_telemetry
 from repro.sim.machine import MachineConfig
 
 ENGINES = ["rangelist", "fenwick", "batch"]
@@ -36,6 +37,12 @@ DEFAULT_SIZES = [10_000, 160_000, 1_000_000]
 SPEEDUP_SIZE = 160_000
 MIN_SPEEDUP = 5.0
 STALE_FRACTION = 0.15  # exercise the correction kernel, like a real probe
+
+# Telemetry gate: an enabled in-memory telemetry may cost at most 3%
+# over the no-op default on the 160k batch compute, plus a small
+# absolute slack so sub-millisecond timer jitter cannot fail the gate.
+MAX_TELEMETRY_OVERHEAD = 1.03
+TELEMETRY_ABS_SLACK_S = 0.005
 
 
 def bench_sizes():
@@ -125,3 +132,48 @@ def test_bench_mrc_engine(machine, report_dir):
             f"batch engine only {speedup}x vs rangelist at {SPEEDUP_SIZE} "
             f"entries (need >= {MIN_SPEEDUP}x); see {path}"
         )
+
+
+def test_bench_telemetry_overhead(machine, report_dir):
+    """Gate: telemetry instrumentation stays out of the engine's way.
+
+    The hot compute path carries span and counter calls; with the no-op
+    default those must cost nothing measurable, and even a fully enabled
+    in-memory telemetry must stay within a few percent, because the
+    instrumentation is per-*compute*, never per-access.
+    """
+    trace = make_trace(SPEEDUP_SIZE, machine.l2_lines)
+    # Warm caches/allocators once so neither timed run pays first-touch.
+    timed_compute(machine, "batch", trace)
+
+    noop_result, noop_seconds = timed_compute(machine, "batch", trace)
+    telemetry = Telemetry.in_memory()
+    with use_telemetry(telemetry):
+        traced_result, traced_seconds = timed_compute(
+            machine, "batch", trace
+        )
+
+    # Sanity: the enabled run actually recorded, and changed nothing.
+    assert telemetry.registry.counter_total("mrc.computes") == 3
+    assert {span.name for span in telemetry.tracer.spans} == {
+        "correction", "stack_distance",
+    }
+    assert dict(traced_result.mrc) == dict(noop_result.mrc)
+
+    budget = noop_seconds * MAX_TELEMETRY_OVERHEAD + TELEMETRY_ABS_SLACK_S
+    report = {
+        "size": SPEEDUP_SIZE,
+        "engine": "batch",
+        "noop_seconds": round(noop_seconds, 6),
+        "telemetry_seconds": round(traced_seconds, 6),
+        "overhead": round(traced_seconds / noop_seconds - 1.0, 4),
+        "max_overhead": MAX_TELEMETRY_OVERHEAD - 1.0,
+        "abs_slack_seconds": TELEMETRY_ABS_SLACK_S,
+    }
+    path = report_dir / "BENCH_telemetry_overhead.json"
+    path.write_text(json.dumps(report, indent=2) + "\n")
+    assert traced_seconds <= budget, (
+        f"enabled telemetry cost {traced_seconds:.4f}s vs "
+        f"{noop_seconds:.4f}s no-op (> {MAX_TELEMETRY_OVERHEAD}x "
+        f"+ {TELEMETRY_ABS_SLACK_S}s); see {path}"
+    )

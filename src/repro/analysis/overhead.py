@@ -25,33 +25,101 @@ inversely proportional to phase length.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional, Tuple
 
 from repro.pmu.sampling import ProbeTrace
 from repro.sim.machine import MachineConfig
 
-__all__ = ["OverheadModel", "ProbeOverhead"]
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a cycle
+    from repro.obs.report import RunReport
+
+__all__ = ["OverheadModel", "ProbeOverhead", "measured_split"]
 
 #: Per-entry MRC-calculation cost constants, by stack engine.  Derived
 #: from the paper's 124 M cycles / 160 k entries ~ 775 cycles per entry
 #: for the range-list engine; the naive engine pays O(depth) per access.
+#: The batch fast path sustains >= 5x range-list throughput (the engine
+#: benchmark gates ~6x), so its per-entry constant is 775 / 6.
 CALC_CYCLES_PER_ENTRY = {
     "rangelist": 775,
     "fenwick": 1100,
     "naive": 40_000,
+    "batch": 129,
 }
+
+#: Default per-exception cost (pipeline flush + privilege switch + SDAR
+#: read + log append) -- representative of the POWER5 numbers.
+DEFAULT_EXCEPTION_COST_CYCLES = 1200
+
+#: Application progress rate while trace logging, relative to normal
+#: (the paper measured 24%).
+DEFAULT_SLOWDOWN_IPC_FRACTION = 0.24
+
+
+def measured_split(report: Optional["RunReport"]) -> Optional[Tuple[float, float]]:
+    """Measured (logging_seconds, calculation_seconds) from a run report.
+
+    Returns ``None`` when no report is available or the capture holds no
+    probe spans, so callers can fall back to the analytic cycle model.
+    """
+    if report is None:
+        return None
+    logging_s, calc_s = report.logging_calculation_split()
+    if logging_s <= 0.0 and calc_s <= 0.0:
+        return None
+    return logging_s, calc_s
 
 
 @dataclass(frozen=True)
 class ProbeOverhead:
-    """Cycle accounting for one probe (Table 2 columns a and b)."""
+    """Cycle accounting for one probe (Table 2 columns a and b).
+
+    The ``measured_*`` fields are wall-clock seconds taken from telemetry
+    spans (``trace_collect`` for logging; ``correction`` +
+    ``stack_distance`` + ``calibration`` for calculation) when a
+    :class:`~repro.obs.report.RunReport` was supplied; they stay ``None``
+    under the pure analytic model, letting Table 2 render model-only or
+    model-vs-measured columns from the same object.
+    """
 
     logging_cycles: float
     calculation_cycles: float
     probe_instructions: int
+    measured_logging_seconds: Optional[float] = None
+    measured_calculation_seconds: Optional[float] = None
 
     @property
     def total_cycles(self) -> float:
         return self.logging_cycles + self.calculation_cycles
+
+    @property
+    def has_measurement(self) -> bool:
+        """True when telemetry supplied measured span durations."""
+        return (
+            self.measured_logging_seconds is not None
+            and self.measured_calculation_seconds is not None
+        )
+
+    def model_shares(self) -> Tuple[float, float]:
+        """(logging, calculation) shares under the cycle model."""
+        total = self.total_cycles
+        if total <= 0:
+            return 0.0, 0.0
+        return self.logging_cycles / total, self.calculation_cycles / total
+
+    def measured_shares(self) -> Optional[Tuple[float, float]]:
+        """(logging, calculation) shares under the measured spans."""
+        if not self.has_measurement:
+            return None
+        total = (
+            self.measured_logging_seconds + self.measured_calculation_seconds
+        )
+        if total <= 0:
+            return 0.0, 0.0
+        return (
+            self.measured_logging_seconds / total,
+            self.measured_calculation_seconds / total,
+        )
 
     def amortized_overhead(self, phase_length_instructions: float,
                            cycles_per_instruction: float = 1.0) -> float:
@@ -80,8 +148,8 @@ class OverheadModel:
     def __init__(
         self,
         machine: MachineConfig,
-        exception_cost_cycles: int = 1200,
-        slowdown_ipc_fraction: float = 0.24,
+        exception_cost_cycles: int = DEFAULT_EXCEPTION_COST_CYCLES,
+        slowdown_ipc_fraction: float = DEFAULT_SLOWDOWN_IPC_FRACTION,
     ):
         if exception_cost_cycles < 0:
             raise ValueError("exception cost cannot be negative")
@@ -96,6 +164,7 @@ class OverheadModel:
         probe: ProbeTrace,
         application_cycles: float,
         stack_engine: str = "rangelist",
+        run_report: Optional["RunReport"] = None,
     ) -> ProbeOverhead:
         """Cycle costs of one probing period.
 
@@ -105,6 +174,12 @@ class OverheadModel:
             application_cycles: cycles the application itself consumed
                 during the probe window (cost-model output).
             stack_engine: which calculation engine will process the log.
+            run_report: a telemetry capture of the probing run; when
+                given and it holds probe spans, the returned overhead
+                also carries the *measured* logging/calculation wall
+                times, so Table 2 can print model-vs-measured columns.
+                Without one (or with an empty capture) the result is the
+                analytic model alone.
         """
         if stack_engine not in CALC_CYCLES_PER_ENTRY:
             raise ValueError(f"unknown stack engine {stack_engine!r}")
@@ -113,10 +188,13 @@ class OverheadModel:
             + probe.exceptions * self.exception_cost_cycles
         )
         calculation = len(probe.entries) * CALC_CYCLES_PER_ENTRY[stack_engine]
+        measured = measured_split(run_report)
         return ProbeOverhead(
             logging_cycles=logging,
             calculation_cycles=float(calculation),
             probe_instructions=probe.instructions,
+            measured_logging_seconds=measured[0] if measured else None,
+            measured_calculation_seconds=measured[1] if measured else None,
         )
 
     def logging_ms(self, overhead: ProbeOverhead) -> float:

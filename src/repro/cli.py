@@ -16,6 +16,7 @@ from typing import List, Optional
 from repro.analysis.report import render_curves, render_table
 from repro.core.mrc import mpki_distance
 from repro.core.partition import choose_partition_sizes
+from repro.obs import telemetry_session
 from repro.runner.offline import OfflineConfig, real_mrc
 from repro.reliability.faults import FAULT_KINDS, FaultPlan
 from repro.runner.online import OnlineProbeConfig, collect_trace
@@ -140,6 +141,22 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_obs_report(args: argparse.Namespace) -> int:
+    from repro.obs.report import RunReport
+
+    try:
+        report = RunReport.from_jsonl(args.telemetry_file)
+    except OSError as error:
+        print(f"error: cannot read {args.telemetry_file}: {error}",
+              file=sys.stderr)
+        return 2
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(report.render())
+    return 0
+
+
 def _cmd_compare(args: argparse.Namespace) -> int:
     from repro.analysis.validation import knee_error, shape_correlation
     from repro.io.mrcfile import load_mrc
@@ -203,6 +220,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers", type=int, default=None, metavar="N",
         help="parallel worker processes for the --real per-size runs",
     )
+    probe.add_argument(
+        "--telemetry", metavar="PATH", default=None,
+        help="record spans and metrics to this JSONL file "
+             "(render with 'rapidmrc obs report PATH')",
+    )
     probe.set_defaults(fn=_cmd_probe)
 
     part = sub.add_parser("partition", help="size a 2-way cache partition")
@@ -215,6 +237,10 @@ def build_parser() -> argparse.ArgumentParser:
     part.add_argument(
         "--workers", type=int, default=None, metavar="N",
         help="parallel worker processes for the real-MRC per-size runs",
+    )
+    part.add_argument(
+        "--telemetry", metavar="PATH", default=None,
+        help="record spans and metrics to this JSONL file",
     )
     part.set_defaults(fn=_cmd_partition)
 
@@ -245,6 +271,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--fast", action="store_true",
         help="load and analyze the trace with the vectorized batch engine",
     )
+    analyze.add_argument(
+        "--telemetry", metavar="PATH", default=None,
+        help="record spans and metrics to this JSONL file",
+    )
     analyze.set_defaults(fn=_cmd_analyze)
 
     compare = sub.add_parser(
@@ -257,13 +287,25 @@ def build_parser() -> argparse.ArgumentParser:
         help="v-offset match curve B onto curve A at this size first",
     )
     compare.set_defaults(fn=_cmd_compare)
+
+    obs = sub.add_parser(
+        "obs", help="inspect telemetry recorded with --telemetry",
+    )
+    obs_sub = obs.add_subparsers(dest="obs_command", required=True)
+    obs_report = obs_sub.add_parser(
+        "report",
+        help="render the per-stage cost breakdown from a telemetry JSONL",
+    )
+    obs_report.add_argument("telemetry_file", help="telemetry JSONL path")
+    obs_report.set_defaults(fn=_cmd_obs_report)
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point of the ``rapidmrc`` console script."""
     args = build_parser().parse_args(argv)
-    return args.fn(args)
+    with telemetry_session(getattr(args, "telemetry", None)):
+        return args.fn(args)
 
 
 if __name__ == "__main__":

@@ -51,6 +51,7 @@ import numpy as np
 
 from repro.core.correction import CorrectionResult
 from repro.core.histogram import COLD_MISS, StackDistanceHistogram
+from repro.obs import get_telemetry
 from repro.core.warmup import (
     AutomaticWarmup,
     HybridWarmup,
@@ -99,6 +100,8 @@ def correct_stale_repetitions(trace: Iterable[int]) -> CorrectionResult:
     """
     arr = as_trace_array(trace)
     n = arr.size
+    registry = get_telemetry().registry
+    registry.counter("fastpath.corrections").inc()
     if n == 0:
         return CorrectionResult(trace=arr, converted=0)
     is_rep = np.empty(n, dtype=bool)
@@ -110,7 +113,9 @@ def correct_stale_repetitions(trace: Iterable[int]) -> CorrectionResult:
     # Repeats all equal their run head's value, so adding the in-run
     # offset yields the ascending rewrite; non-repeats get offset 0.
     corrected = arr + (index - run_head)
-    return CorrectionResult(trace=corrected, converted=int(is_rep.sum()))
+    converted = int(is_rep.sum())
+    registry.counter("fastpath.converted_entries").inc(converted)
+    return CorrectionResult(trace=corrected, converted=converted)
 
 
 def thin_trace(trace: Iterable[int], keep_every: int) -> np.ndarray:
@@ -386,6 +391,9 @@ def batch_histogram(
     bounds = _normalized_boundaries(boundaries, max_depth) if quantize else None
     arr = as_trace_array(trace)
     n = arr.size
+    registry = get_telemetry().registry
+    registry.counter("fastpath.histograms").inc()
+    registry.counter("fastpath.histogram_entries").inc(n)
     histogram = StackDistanceHistogram(max_depth=max_depth)
     if n == 0:
         _resolve_warmup_start(warmup, np.empty(0, dtype=np.int64), max_depth)

@@ -18,6 +18,7 @@ from repro.core.histogram import StackDistanceHistogram
 from repro.core.mrc import MissRateCurve
 from repro.core.stack import LRUStackSimulator
 from repro.core.warmup import HybridWarmup, NoWarmup, StaticWarmup, warmup_fraction_used
+from repro.obs import get_telemetry
 from repro.sim.machine import MachineConfig
 
 __all__ = ["ProbeConfig", "RapidMRCResult", "RapidMRC"]
@@ -98,9 +99,14 @@ class RapidMRCResult:
 
     def calibrate(self, anchor_color: int, measured_mpki: float) -> MissRateCurve:
         """V-offset match against a measured point and remember the result."""
-        matched, shift = self.mrc.v_offset_matched(anchor_color, measured_mpki)
+        telemetry = get_telemetry()
+        with telemetry.tracer.span("calibration", anchor_color=anchor_color):
+            matched, shift = self.mrc.v_offset_matched(
+                anchor_color, measured_mpki
+            )
         self.calibrated_mrc = matched
         self.vertical_shift = shift
+        telemetry.registry.counter("mrc.calibrations").inc()
         return matched
 
     @property
@@ -139,29 +145,43 @@ class RapidMRC:
         """
         if instructions <= 0:
             raise ValueError("instructions must be positive")
+        telemetry = get_telemetry()
+        engine_name = self.config.stack_engine
         correction = None
         lines: Sequence[int] = trace
-        if self.config.stack_engine == "batch":
-            # The fast path corrects and simulates on int64 arrays; one
-            # conversion up front keeps every later stage vectorized.
-            from repro.core import fastpath
+        with telemetry.tracer.span(
+            "correction", engine=engine_name, entries=len(trace)
+        ):
+            if engine_name == "batch":
+                # The fast path corrects and simulates on int64 arrays;
+                # one conversion up front keeps every later stage
+                # vectorized.
+                from repro.core import fastpath
 
-            lines = fastpath.as_trace_array(trace)
-            if self.config.correct_prefetch_repetitions:
-                correction = fastpath.correct_stale_repetitions(lines)
+                lines = fastpath.as_trace_array(trace)
+                if self.config.correct_prefetch_repetitions:
+                    correction = fastpath.correct_stale_repetitions(lines)
+                    lines = correction.trace
+            elif self.config.correct_prefetch_repetitions:
+                correction = correct_stale_repetitions(trace)
                 lines = correction.trace
-        elif self.config.correct_prefetch_repetitions:
-            correction = correct_stale_repetitions(trace)
-            lines = correction.trace
 
         boundaries = self.machine.color_sizes_in_lines()
         simulator = LRUStackSimulator(
             max_depth=self.machine.l2_lines,
-            engine=self.config.stack_engine,
+            engine=engine_name,
             boundaries=boundaries,
         )
         warmup = self.config.make_warmup(len(lines))
-        histogram = simulator.process(lines, warmup=warmup)
+        with telemetry.tracer.span(
+            "stack_distance", engine=engine_name, entries=len(lines)
+        ):
+            histogram = simulator.process(lines, warmup=warmup)
+        telemetry.registry.counter("mrc.computes", engine=engine_name).inc()
+        telemetry.registry.counter(
+            "mrc.trace_entries", engine=engine_name
+        ).inc(len(trace))
+        telemetry.registry.histogram("mrc.trace_length").observe(len(trace))
 
         warmup_fraction = warmup_fraction_used(warmup, len(lines))
         recorded = histogram.total_accesses

@@ -1,0 +1,221 @@
+"""``repro.obs``: the probe telemetry subsystem.
+
+Three pieces (paper Section 5.2.2 turned into a first-class layer):
+
+- :mod:`repro.obs.metrics` -- a process-wide :class:`MetricsRegistry`
+  (counters, gauges, fixed-bucket histograms) whose snapshots merge
+  associatively across ``max_workers=`` process-pool workers;
+- :mod:`repro.obs.tracing` -- a :class:`Tracer` emitting nested
+  monotonic-clock spans to an in-memory buffer and an optional JSONL
+  sink;
+- :mod:`repro.obs.report` -- a :class:`RunReport` renderer that turns a
+  finished run into the Table-2-style cost breakdown plus reliability
+  statistics.
+
+Instrumented code never touches globals directly; it calls
+:func:`get_telemetry` and uses whatever registry/tracer is installed.
+The default is :data:`NULL_TELEMETRY` -- shared no-op instruments, so
+the instrumentation's off-mode cost is an attribute lookup and an empty
+call, and pipeline outputs are bit-identical with telemetry on or off
+(telemetry only *observes*).
+
+Enabling telemetry::
+
+    from repro.obs import Telemetry, use_telemetry
+
+    telemetry = Telemetry.in_memory()
+    with use_telemetry(telemetry):
+        collect_trace(workload, machine)
+    print(telemetry.registry.snapshot())
+
+or, with a JSONL sink (what ``--telemetry out.jsonl`` does)::
+
+    with telemetry_session("out.jsonl"):
+        collect_trace(workload, machine)
+
+Process pools cannot share a registry; wrap the worker callable with
+:func:`call_traced` and fold the returned payload back with
+:func:`absorb_payload` (the runners do this automatically when
+telemetry is enabled).
+"""
+
+from __future__ import annotations
+
+import json
+from contextlib import contextmanager
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+    empty_snapshot,
+    merge_snapshots,
+)
+from repro.obs.tracing import STAGE_NAMES, NullTracer, Span, Tracer
+
+__all__ = [
+    "Telemetry",
+    "NULL_TELEMETRY",
+    "get_telemetry",
+    "set_telemetry",
+    "use_telemetry",
+    "telemetry_session",
+    "telemetry_enabled",
+    "call_traced",
+    "absorb_payload",
+    # re-exports
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullRegistry",
+    "Tracer",
+    "NullTracer",
+    "Span",
+    "STAGE_NAMES",
+    "empty_snapshot",
+    "merge_snapshots",
+]
+
+
+class Telemetry:
+    """One registry plus one tracer: everything a run observes.
+
+    ``enabled`` is ``False`` only for the shared no-op default; tests
+    and the CLI build enabled instances via :meth:`in_memory` or
+    :meth:`with_sink`.
+    """
+
+    def __init__(
+        self,
+        registry: MetricsRegistry,
+        tracer: Tracer,
+        enabled: bool = True,
+    ):
+        self.registry = registry
+        self.tracer = tracer
+        self.enabled = enabled
+        self._sink = None
+        self._sink_path: Optional[str] = None
+
+    @classmethod
+    def in_memory(cls) -> "Telemetry":
+        """An enabled telemetry buffering everything in memory."""
+        return cls(MetricsRegistry(), Tracer())
+
+    @classmethod
+    def with_sink(cls, path: str) -> "Telemetry":
+        """An enabled telemetry streaming spans to a JSONL file.
+
+        Call :meth:`flush` when the run ends to append the final metrics
+        snapshot and close the file.
+        """
+        sink = open(path, "w", encoding="utf-8")
+        telemetry = cls(MetricsRegistry(), Tracer(sink=sink))
+        telemetry._sink = sink
+        telemetry._sink_path = path
+        return telemetry
+
+    def flush(self) -> None:
+        """Append the metrics snapshot to the sink and close it."""
+        if self._sink is None:
+            return
+        snapshot = self.registry.snapshot()
+        self._sink.write(
+            json.dumps({"type": "metrics", "snapshot": snapshot}) + "\n"
+        )
+        self._sink.close()
+        self._sink = None
+
+
+#: The zero-cost default: shared no-op instruments.
+NULL_TELEMETRY = Telemetry(NullRegistry(), NullTracer(), enabled=False)
+
+_current: Telemetry = NULL_TELEMETRY
+
+
+def get_telemetry() -> Telemetry:
+    """The telemetry instrumented code reports through (no-op default)."""
+    return _current
+
+
+def set_telemetry(telemetry: Optional[Telemetry]) -> Telemetry:
+    """Install ``telemetry`` globally (``None`` restores the no-op).
+
+    Returns the previously installed instance so callers can restore it.
+    """
+    global _current
+    previous = _current
+    _current = telemetry if telemetry is not None else NULL_TELEMETRY
+    return previous
+
+
+@contextmanager
+def use_telemetry(telemetry: Telemetry):
+    """Scope ``telemetry`` as the process-wide instance."""
+    previous = set_telemetry(telemetry)
+    try:
+        yield telemetry
+    finally:
+        set_telemetry(previous)
+
+
+@contextmanager
+def telemetry_session(path: Optional[str]):
+    """The CLI's ``--telemetry out.jsonl`` scope.
+
+    With a path: installs an enabled telemetry streaming to the JSONL
+    file, and on exit appends the metrics snapshot and closes the sink.
+    With ``None``: a no-op scope, so call sites need no conditionals.
+    """
+    if path is None:
+        yield NULL_TELEMETRY
+        return
+    telemetry = Telemetry.with_sink(path)
+    try:
+        with use_telemetry(telemetry):
+            yield telemetry
+    finally:
+        telemetry.flush()
+
+
+def telemetry_enabled() -> bool:
+    return _current.enabled
+
+
+# ---------------------------------------------------------------------------
+# Process-pool plumbing
+# ---------------------------------------------------------------------------
+
+def call_traced(
+    fn: Callable[..., Any], *args: Any, **kwargs: Any
+) -> Tuple[Any, Dict[str, Any]]:
+    """Run ``fn`` in a worker under a fresh in-memory telemetry.
+
+    Returns ``(result, payload)`` where ``payload`` carries the worker's
+    metrics snapshot and serialized spans for the parent to fold back in
+    with :func:`absorb_payload`.  Installing a fresh instance also
+    shields forked workers from the parent's open JSONL sink.
+    """
+    telemetry = Telemetry.in_memory()
+    with use_telemetry(telemetry):
+        result = fn(*args, **kwargs)
+    payload = {
+        "metrics": telemetry.registry.snapshot(),
+        "spans": [span.to_dict() for span in telemetry.tracer.spans],
+    }
+    return result, payload
+
+
+def absorb_payload(payload: Optional[Dict[str, Any]]) -> None:
+    """Fold a worker payload into the current telemetry (if enabled)."""
+    if not payload:
+        return
+    telemetry = get_telemetry()
+    if not telemetry.enabled:
+        return
+    telemetry.registry.merge(payload.get("metrics") or empty_snapshot())
+    telemetry.tracer.absorb(payload.get("spans") or [])

@@ -1,0 +1,352 @@
+"""Process-wide metrics: counters, gauges, fixed-bucket histograms.
+
+The registry is the numeric half of the telemetry layer (the
+:mod:`repro.obs.tracing` spans are the temporal half).  Three instrument
+kinds cover everything the pipeline reports:
+
+- :class:`Counter` -- monotonically increasing totals (probes run, PMU
+  exceptions taken, fault injections);
+- :class:`Gauge` -- last-observed values (the live per-core MPKI fed by
+  :meth:`repro.sim.hierarchy.MemoryHierarchy.harvest_interval`);
+- :class:`Histogram` -- fixed-bucket distributions (trace-log lengths).
+
+Instruments are identified by ``(name, labels)``; asking the registry
+for the same pair twice returns the same instrument, so call sites never
+coordinate.  A single lock guards instrument creation and snapshotting,
+which makes the registry safe for threads; across the ``max_workers=``
+**process** pools nothing is shared, so workers instead return a
+:func:`MetricsRegistry.snapshot` (a plain JSON-ready dict) that the
+parent folds back in with :meth:`MetricsRegistry.merge`.  Snapshot
+merging (:func:`merge_snapshots`) is associative and order-independent
+-- counters and histogram buckets add, gauges resolve by the
+lexicographically greatest ``(seq, value)`` -- so any fold order over
+any worker partitioning produces the same totals (a property the
+hypothesis suite verifies).
+
+:class:`NullRegistry` is the zero-cost default: every instrument it
+hands out is a shared do-nothing singleton, so instrumented code pays an
+attribute lookup and a no-op call when telemetry is off.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullRegistry",
+    "empty_snapshot",
+    "merge_snapshots",
+]
+
+#: Default histogram bucket upper bounds (powers of ten around trace-log
+#: and duration scales); instruments can override per call site.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    1e1, 1e2, 1e3, 1e4, 1e5, 1e6, 1e7,
+)
+
+LabelItems = Tuple[Tuple[str, str], ...]
+
+
+def _label_key(labels: Dict[str, object]) -> LabelItems:
+    return tuple(sorted((key, str(value)) for key, value in labels.items()))
+
+
+class Counter:
+    """A monotonically increasing total."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only increase")
+        self.value += amount
+
+
+class Gauge:
+    """A last-observed value with an update sequence number.
+
+    The sequence number makes snapshot merging order-independent: the
+    merged gauge is the one with the lexicographically greatest
+    ``(seq, value)``, i.e. the most-updated writer wins and ties resolve
+    deterministically.
+    """
+
+    __slots__ = ("value", "seq")
+
+    def __init__(self) -> None:
+        self.value = 0.0
+        self.seq = 0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+        self.seq += 1
+
+
+class Histogram:
+    """A fixed-bucket distribution.
+
+    ``bounds`` are inclusive upper bounds; one overflow bucket catches
+    everything beyond the last bound.  Fixed buckets keep merges exact:
+    two histograms with the same bounds combine by adding counts.
+    """
+
+    __slots__ = ("bounds", "counts", "sum", "count")
+
+    def __init__(self, bounds: Sequence[float] = DEFAULT_BUCKETS) -> None:
+        if not bounds:
+            raise ValueError("a histogram needs at least one bucket bound")
+        ordered = tuple(float(bound) for bound in bounds)
+        if list(ordered) != sorted(set(ordered)):
+            raise ValueError("bucket bounds must be strictly increasing")
+        self.bounds = ordered
+        self.counts = [0] * (len(ordered) + 1)
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        index = len(self.bounds)
+        for position, bound in enumerate(self.bounds):
+            if value <= bound:
+                index = position
+                break
+        self.counts[index] += 1
+        self.sum += value
+        self.count += 1
+
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+
+class _NullCounter(Counter):
+    __slots__ = ()
+
+    def inc(self, amount: int = 1) -> None:  # noqa: ARG002 - deliberate no-op
+        pass
+
+
+class _NullGauge(Gauge):
+    __slots__ = ()
+
+    def set(self, value: float) -> None:  # noqa: ARG002 - deliberate no-op
+        pass
+
+
+class _NullHistogram(Histogram):
+    __slots__ = ()
+
+    def observe(self, value: float) -> None:  # noqa: ARG002 - deliberate no-op
+        pass
+
+
+_NULL_COUNTER = _NullCounter()
+_NULL_GAUGE = _NullGauge()
+_NULL_HISTOGRAM = _NullHistogram()
+
+
+class MetricsRegistry:
+    """Instrument factory plus snapshot/merge.
+
+    One registry serves a whole process; the module-level telemetry
+    context (:mod:`repro.obs`) decides which registry call sites see.
+    """
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: Dict[Tuple[str, LabelItems], Counter] = {}
+        self._gauges: Dict[Tuple[str, LabelItems], Gauge] = {}
+        self._histograms: Dict[Tuple[str, LabelItems], Histogram] = {}
+
+    # -- instruments --------------------------------------------------------
+
+    def counter(self, name: str, **labels: object) -> Counter:
+        key = (name, _label_key(labels))
+        with self._lock:
+            instrument = self._counters.get(key)
+            if instrument is None:
+                instrument = self._counters[key] = Counter()
+        return instrument
+
+    def gauge(self, name: str, **labels: object) -> Gauge:
+        key = (name, _label_key(labels))
+        with self._lock:
+            instrument = self._gauges.get(key)
+            if instrument is None:
+                instrument = self._gauges[key] = Gauge()
+        return instrument
+
+    def histogram(
+        self,
+        name: str,
+        bounds: Sequence[float] = DEFAULT_BUCKETS,
+        **labels: object,
+    ) -> Histogram:
+        key = (name, _label_key(labels))
+        with self._lock:
+            instrument = self._histograms.get(key)
+            if instrument is None:
+                instrument = self._histograms[key] = Histogram(bounds)
+            elif instrument.bounds != tuple(float(b) for b in bounds):
+                raise ValueError(
+                    f"histogram {name!r} already registered with bounds "
+                    f"{instrument.bounds}"
+                )
+        return instrument
+
+    # -- reading ------------------------------------------------------------
+
+    def counter_total(self, name: str) -> int:
+        """Sum of one counter name over every label set."""
+        with self._lock:
+            return sum(
+                counter.value
+                for (key_name, _), counter in self._counters.items()
+                if key_name == name
+            )
+
+    def snapshot(self) -> Dict[str, List[Dict[str, object]]]:
+        """A plain, picklable, JSON-ready view of every instrument."""
+        with self._lock:
+            counters = [
+                {"name": name, "labels": dict(labels), "value": c.value}
+                for (name, labels), c in sorted(self._counters.items())
+            ]
+            gauges = [
+                {"name": name, "labels": dict(labels),
+                 "value": g.value, "seq": g.seq}
+                for (name, labels), g in sorted(self._gauges.items())
+            ]
+            histograms = [
+                {"name": name, "labels": dict(labels),
+                 "bounds": list(h.bounds), "counts": list(h.counts),
+                 "sum": h.sum, "count": h.count}
+                for (name, labels), h in sorted(self._histograms.items())
+            ]
+        return {"counters": counters, "gauges": gauges,
+                "histograms": histograms}
+
+    # -- merging ------------------------------------------------------------
+
+    def merge(self, snapshot: Dict[str, List[Dict[str, object]]]) -> None:
+        """Fold a worker's snapshot into this registry's live instruments."""
+        for entry in snapshot.get("counters", ()):
+            self.counter(entry["name"], **entry["labels"]).inc(
+                int(entry["value"])
+            )
+        for entry in snapshot.get("gauges", ()):
+            gauge = self.gauge(entry["name"], **entry["labels"])
+            incoming = (int(entry["seq"]), float(entry["value"]))
+            with self._lock:
+                if incoming > (gauge.seq, gauge.value):
+                    gauge.value = incoming[1]
+                    gauge.seq = incoming[0]
+        for entry in snapshot.get("histograms", ()):
+            histogram = self.histogram(
+                entry["name"], bounds=entry["bounds"], **entry["labels"]
+            )
+            with self._lock:
+                for index, count in enumerate(entry["counts"]):
+                    histogram.counts[index] += int(count)
+                histogram.sum += float(entry["sum"])
+                histogram.count += int(entry["count"])
+
+
+class NullRegistry(MetricsRegistry):
+    """The zero-cost default: instruments are shared do-nothing singletons."""
+
+    enabled = False
+
+    def __init__(self) -> None:
+        super().__init__()
+
+    def counter(self, name: str, **labels: object) -> Counter:  # noqa: ARG002
+        return _NULL_COUNTER
+
+    def gauge(self, name: str, **labels: object) -> Gauge:  # noqa: ARG002
+        return _NULL_GAUGE
+
+    def histogram(
+        self, name: str, bounds: Sequence[float] = DEFAULT_BUCKETS,
+        **labels: object,
+    ) -> Histogram:  # noqa: ARG002
+        return _NULL_HISTOGRAM
+
+    def merge(self, snapshot: Dict[str, List[Dict[str, object]]]) -> None:
+        pass
+
+
+def empty_snapshot() -> Dict[str, List[Dict[str, object]]]:
+    return {"counters": [], "gauges": [], "histograms": []}
+
+
+def _entry_key(entry: Dict[str, object]) -> Tuple[str, LabelItems]:
+    return (str(entry["name"]), _label_key(dict(entry["labels"])))
+
+
+def merge_snapshots(
+    *snapshots: Dict[str, List[Dict[str, object]]],
+) -> Dict[str, List[Dict[str, object]]]:
+    """Pure snapshot merge: associative, commutative, identity-friendly.
+
+    Counters and histogram buckets add; gauges resolve by the greatest
+    ``(seq, value)`` pair.  The result is sorted by ``(name, labels)``,
+    so equal multisets of inputs produce byte-equal outputs regardless
+    of fold order.
+    """
+    counters: Dict[Tuple[str, LabelItems], int] = {}
+    gauges: Dict[Tuple[str, LabelItems], Tuple[int, float]] = {}
+    histograms: Dict[Tuple[str, LabelItems], Dict[str, object]] = {}
+    for snapshot in snapshots:
+        for entry in snapshot.get("counters", ()):
+            key = _entry_key(entry)
+            counters[key] = counters.get(key, 0) + int(entry["value"])
+        for entry in snapshot.get("gauges", ()):
+            key = _entry_key(entry)
+            incoming = (int(entry["seq"]), float(entry["value"]))
+            if key not in gauges or incoming > gauges[key]:
+                gauges[key] = incoming
+        for entry in snapshot.get("histograms", ()):
+            key = _entry_key(entry)
+            bounds = [float(bound) for bound in entry["bounds"]]
+            merged = histograms.get(key)
+            if merged is None:
+                histograms[key] = {
+                    "bounds": bounds,
+                    "counts": [int(count) for count in entry["counts"]],
+                    "sum": float(entry["sum"]),
+                    "count": int(entry["count"]),
+                }
+                continue
+            if merged["bounds"] != bounds:
+                raise ValueError(
+                    f"histogram {key[0]!r} bounds differ across snapshots"
+                )
+            merged["counts"] = [
+                a + int(b) for a, b in zip(merged["counts"], entry["counts"])
+            ]
+            merged["sum"] += float(entry["sum"])
+            merged["count"] += int(entry["count"])
+    return {
+        "counters": [
+            {"name": name, "labels": dict(labels), "value": value}
+            for (name, labels), value in sorted(counters.items())
+        ],
+        "gauges": [
+            {"name": name, "labels": dict(labels), "value": value, "seq": seq}
+            for (name, labels), (seq, value) in sorted(gauges.items())
+        ],
+        "histograms": [
+            {"name": name, "labels": dict(labels), **payload}
+            for (name, labels), payload in sorted(histograms.items())
+        ],
+    }

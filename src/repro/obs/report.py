@@ -1,0 +1,289 @@
+"""Run reports: a finished telemetry capture rendered for operators.
+
+:class:`RunReport` is the read side of the telemetry layer.  It loads a
+capture either live (:meth:`RunReport.from_telemetry`) or from the JSONL
+written by ``--telemetry out.jsonl`` (:meth:`RunReport.from_jsonl`), and
+renders the Table-2-style per-stage cost breakdown -- trace logging vs
+MRC calculation, the split paper Section 5.2.2 accounts for in cycles --
+next to the analytic cycle model of :mod:`repro.analysis.overhead`, plus
+the reliability statistics (retries, ladder degradations, gate failures,
+fault injections) and the PMU-channel and simulated-hierarchy counters.
+
+The measured split is wall-clock over *this* reproduction's Python
+pipeline, the modeled split is POWER5 cycles; the report compares their
+*shares*, which is the structural claim the paper makes (logging
+dominated by exception cost, calculation linear in log size).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.obs.metrics import empty_snapshot, merge_snapshots
+from repro.obs.tracing import STAGE_NAMES, Span
+
+__all__ = ["RunReport", "LOGGING_SPANS", "CALCULATION_SPANS"]
+
+#: Span names whose durations count as trace logging (Table 2 col a).
+LOGGING_SPANS = ("trace_collect",)
+
+#: Span names whose durations count as MRC calculation (Table 2 col b).
+CALCULATION_SPANS = ("correction", "stack_distance", "calibration")
+
+
+@dataclass
+class RunReport:
+    """One run's spans and metrics, ready to aggregate and render."""
+
+    spans: List[Span] = field(default_factory=list)
+    metrics: Dict[str, List[Dict[str, object]]] = field(
+        default_factory=empty_snapshot
+    )
+
+    # -- construction -------------------------------------------------------
+
+    @classmethod
+    def from_telemetry(cls, telemetry) -> "RunReport":
+        """Capture a live :class:`~repro.obs.Telemetry` instance."""
+        return cls(
+            spans=list(telemetry.tracer.spans),
+            metrics=telemetry.registry.snapshot(),
+        )
+
+    @classmethod
+    def from_jsonl(cls, path: str) -> "RunReport":
+        """Load a ``--telemetry`` JSONL capture.
+
+        Multiple ``metrics`` lines (e.g. several sessions appended to
+        one file) are merged with the registry's associative merge.
+        """
+        spans: List[Span] = []
+        snapshots = []
+        with open(path, "r", encoding="utf-8") as handle:
+            for line_number, line in enumerate(handle, 1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    payload = json.loads(line)
+                except json.JSONDecodeError as error:
+                    raise ValueError(
+                        f"{path}:{line_number}: not JSON ({error})"
+                    ) from None
+                kind = payload.get("type")
+                if kind == "span":
+                    try:
+                        spans.append(Span.from_dict(payload))
+                    except (KeyError, TypeError, ValueError) as error:
+                        raise ValueError(
+                            f"{path}:{line_number}: bad span record "
+                            f"({error!r})"
+                        ) from None
+                elif kind == "metrics":
+                    snapshots.append(payload.get("snapshot") or empty_snapshot())
+                # Unknown record types are skipped: forward compatibility.
+        return cls(spans=spans, metrics=merge_snapshots(*snapshots))
+
+    def to_jsonl(self, path: str) -> None:
+        """Write the capture back out in the ``--telemetry`` format."""
+        with open(path, "w", encoding="utf-8") as handle:
+            for span in self.spans:
+                handle.write(json.dumps(span.to_dict()) + "\n")
+            handle.write(
+                json.dumps({"type": "metrics", "snapshot": self.metrics})
+                + "\n"
+            )
+
+    # -- aggregation --------------------------------------------------------
+
+    def span_stats(self) -> Dict[str, Tuple[int, float]]:
+        """Per-name ``(count, total_seconds)`` over finished spans."""
+        stats: Dict[str, Tuple[int, float]] = {}
+        for span in self.spans:
+            if span.end_ns is None:
+                continue
+            count, total = stats.get(span.name, (0, 0.0))
+            stats[span.name] = (count + 1, total + span.duration_seconds)
+        return stats
+
+    def counter_total(self, name: str) -> int:
+        """Sum of one counter over every label set."""
+        return sum(
+            int(entry["value"])
+            for entry in self.metrics.get("counters", ())
+            if entry["name"] == name
+        )
+
+    def counter_by_label(self, name: str, label: str) -> Dict[str, int]:
+        """One counter's totals keyed by a label's values."""
+        out: Dict[str, int] = {}
+        for entry in self.metrics.get("counters", ()):
+            if entry["name"] != name:
+                continue
+            key = str(entry["labels"].get(label, ""))
+            out[key] = out.get(key, 0) + int(entry["value"])
+        return out
+
+    def gauges(self, name: str) -> Dict[str, float]:
+        """One gauge's values keyed by their full label rendering."""
+        out: Dict[str, float] = {}
+        for entry in self.metrics.get("gauges", ()):
+            if entry["name"] != name:
+                continue
+            labels = ",".join(
+                f"{k}={v}" for k, v in sorted(entry["labels"].items())
+            )
+            out[labels] = float(entry["value"])
+        return out
+
+    def logging_calculation_split(self) -> Tuple[float, float]:
+        """Measured (logging_seconds, calculation_seconds) from spans.
+
+        This is the wall-clock twin of Table 2 columns (a) and (b):
+        logging is the armed trace-collection window, calculation is
+        correction + stack simulation + calibration.
+        """
+        stats = self.span_stats()
+        logging = sum(stats.get(name, (0, 0.0))[1] for name in LOGGING_SPANS)
+        calculation = sum(
+            stats.get(name, (0, 0.0))[1] for name in CALCULATION_SPANS
+        )
+        return logging, calculation
+
+    def dominant_engine(self) -> Optional[str]:
+        """The stack engine that computed the most MRCs, if any."""
+        by_engine = self.counter_by_label("mrc.computes", "engine")
+        if not by_engine:
+            return None
+        return max(sorted(by_engine), key=lambda engine: by_engine[engine])
+
+    # -- rendering ----------------------------------------------------------
+
+    def render(self) -> str:
+        """The operator-facing report (what ``repro obs report`` prints)."""
+        lines: List[str] = []
+        out = lines.append
+        stats = self.span_stats()
+        total_seconds = sum(total for _, total in stats.values())
+
+        out("== telemetry run report ==")
+        out(f"spans: {len(self.spans)} recorded, "
+            f"{total_seconds * 1e3:.2f} ms total span time")
+        out("")
+        out("per-stage cost breakdown (paper Table 2 structure):")
+        out(f"  {'stage':<20} {'count':>7} {'total ms':>12} "
+            f"{'mean ms':>10} {'share':>7}")
+        ordered = [name for name in STAGE_NAMES if name in stats]
+        ordered += sorted(name for name in stats if name not in STAGE_NAMES)
+        for name in ordered:
+            count, total = stats[name]
+            share = total / total_seconds if total_seconds else 0.0
+            out(f"  {name:<20} {count:>7} {total * 1e3:>12.3f} "
+                f"{total * 1e3 / count:>10.3f} {share:>6.1%}")
+
+        logging_s, calc_s = self.logging_calculation_split()
+        split_total = logging_s + calc_s
+        out("")
+        out("trace-logging vs MRC-calculation split (Table 2 cols a/b):")
+        if split_total > 0:
+            out(f"  measured: logging {logging_s * 1e3:.3f} ms "
+                f"({logging_s / split_total:.1%}) / "
+                f"calculation {calc_s * 1e3:.3f} ms "
+                f"({calc_s / split_total:.1%})")
+        else:
+            out("  measured: no probe spans recorded")
+        model = self._modeled_split()
+        if model is not None:
+            model_logging, model_calc = model
+            model_total = model_logging + model_calc
+            out(f"  modeled (cycle model): logging {model_logging:.3g} cycles "
+                f"({model_logging / model_total:.1%}) / "
+                f"calculation {model_calc:.3g} cycles "
+                f"({model_calc / model_total:.1%})")
+
+        self._render_counters(out)
+        return "\n".join(lines)
+
+    def _modeled_split(self) -> Optional[Tuple[float, float]]:
+        """The analytic cycle model over this run's counters.
+
+        Uses :mod:`repro.analysis.overhead` constants so the printed
+        model and the Table-2 model cannot drift apart.  Returns
+        ``None`` when the capture lacks the PMU counters it needs.
+        """
+        from repro.analysis.overhead import (
+            CALC_CYCLES_PER_ENTRY,
+            DEFAULT_EXCEPTION_COST_CYCLES,
+            DEFAULT_SLOWDOWN_IPC_FRACTION,
+        )
+
+        instructions = self.counter_total("pmu.probe_instructions")
+        log_entries = self.counter_total("pmu.log_entries")
+        if instructions <= 0 or log_entries <= 0:
+            return None
+        exceptions = self.counter_total("pmu.exceptions")
+        engine = self.dominant_engine() or "rangelist"
+        per_entry = CALC_CYCLES_PER_ENTRY.get(
+            engine, CALC_CYCLES_PER_ENTRY["rangelist"]
+        )
+        # ~1 IPC of application progress during the probe, as the
+        # Table-2 benchmark assumes.
+        logging = (
+            instructions / DEFAULT_SLOWDOWN_IPC_FRACTION
+            + exceptions * DEFAULT_EXCEPTION_COST_CYCLES
+        )
+        calculation = float(log_entries * per_entry)
+        return logging, calculation
+
+    def _render_counters(self, out) -> None:
+        sections = [
+            ("pmu channel", "pmu.", None),
+            ("reliability", "reliability.", None),
+            ("fault injection", "faults.", None),
+            ("probes & quality", "probe.", None),
+            ("quality gate failures", "quality.", None),
+            ("dynamic manager", "dynamic.", None),
+            ("mrc engine", "mrc.", None),
+            ("fast path", "fastpath.", None),
+            ("simulated hierarchy", "sim.", None),
+        ]
+        counters = self.metrics.get("counters", ())
+        for title, prefix, _ in sections:
+            matching = [
+                entry for entry in counters
+                if str(entry["name"]).startswith(prefix)
+            ]
+            if not matching:
+                continue
+            out("")
+            out(f"{title}:")
+            for entry in matching:
+                labels = ",".join(
+                    f"{k}={v}" for k, v in sorted(entry["labels"].items())
+                )
+                suffix = f"{{{labels}}}" if labels else ""
+                out(f"  {entry['name']}{suffix} = {entry['value']}")
+        gauges = self.metrics.get("gauges", ())
+        if gauges:
+            out("")
+            out("gauges (latest values):")
+            for entry in gauges:
+                labels = ",".join(
+                    f"{k}={v}" for k, v in sorted(entry["labels"].items())
+                )
+                suffix = f"{{{labels}}}" if labels else ""
+                out(f"  {entry['name']}{suffix} = {float(entry['value']):.3f}")
+        histograms = self.metrics.get("histograms", ())
+        if histograms:
+            out("")
+            out("histograms:")
+            for entry in histograms:
+                labels = ",".join(
+                    f"{k}={v}" for k, v in sorted(entry["labels"].items())
+                )
+                suffix = f"{{{labels}}}" if labels else ""
+                count = int(entry["count"])
+                mean = float(entry["sum"]) / count if count else 0.0
+                out(f"  {entry['name']}{suffix}: count={count} mean={mean:.1f}")

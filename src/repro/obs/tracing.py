@@ -1,0 +1,262 @@
+"""Structured span tracing on the monotonic clock.
+
+A :class:`Span` is one timed stage of the pipeline; the canonical names
+(``probe``, ``trace_collect``, ``correction``, ``stack_distance``,
+``calibration``, ``partition_decision``) mirror the cost structure of
+paper Section 5.2.2, so a finished trace *is* the Table-2 breakdown in
+event form.  Spans nest: :meth:`Tracer.span` is a context manager that
+parents any span opened inside it, and for stages that are not lexical
+scopes (the dynamic manager's probes interleave with execution over many
+calls) :meth:`Tracer.begin` / :meth:`Tracer.end` open and close a
+*floating* span, with :meth:`Tracer.attach` temporarily re-entering it
+so later work (the MRC computation of a finished probe) nests correctly.
+
+Timing uses ``time.perf_counter_ns`` -- monotonic, unaffected by wall
+clock steps.  Finished spans land in an in-memory buffer and, when a
+sink is attached, as one JSON line each (the ``--telemetry out.jsonl``
+format consumed by ``repro obs report``).
+
+:class:`NullTracer` is the zero-cost default: ``span``/``attach`` return
+a shared reusable no-op context manager and ``begin``/``end`` do
+nothing, so instrumented code costs a method call when telemetry is off.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, TextIO
+
+__all__ = ["Span", "Tracer", "NullTracer", "STAGE_NAMES"]
+
+#: The canonical pipeline stages, in cost-breakdown display order.
+STAGE_NAMES = (
+    "probe",
+    "trace_collect",
+    "correction",
+    "stack_distance",
+    "calibration",
+    "partition_decision",
+)
+
+
+@dataclass
+class Span:
+    """One timed, possibly nested stage.
+
+    ``end_ns`` is ``None`` while the span is open; ``labels`` carry
+    call-site context (workload, engine, pid, status).
+    """
+
+    span_id: int
+    parent_id: Optional[int]
+    name: str
+    start_ns: int
+    end_ns: Optional[int] = None
+    labels: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def duration_ns(self) -> int:
+        if self.end_ns is None:
+            raise ValueError(f"span {self.name!r} is still open")
+        return self.end_ns - self.start_ns
+
+    @property
+    def duration_seconds(self) -> float:
+        return self.duration_ns / 1e9
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "type": "span",
+            "id": self.span_id,
+            "parent": self.parent_id,
+            "name": self.name,
+            "start_ns": self.start_ns,
+            "end_ns": self.end_ns,
+            "labels": dict(self.labels),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "Span":
+        return cls(
+            span_id=int(payload["id"]),
+            parent_id=(
+                None if payload.get("parent") is None
+                else int(payload["parent"])
+            ),
+            name=str(payload["name"]),
+            start_ns=int(payload["start_ns"]),
+            end_ns=(
+                None if payload.get("end_ns") is None
+                else int(payload["end_ns"])
+            ),
+            labels=dict(payload.get("labels") or {}),
+        )
+
+
+class _SpanContext:
+    """Context manager for one lexical span (push on enter, pop on exit)."""
+
+    __slots__ = ("_tracer", "_span")
+
+    def __init__(self, tracer: "Tracer", span: Span):
+        self._tracer = tracer
+        self._span = span
+
+    def __enter__(self) -> Span:
+        self._tracer._stack.append(self._span)
+        return self._span
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self._tracer._stack.pop()
+        if exc_type is not None:
+            self._span.labels.setdefault("error", exc_type.__name__)
+        self._tracer._close(self._span)
+
+
+class _AttachContext:
+    """Temporarily re-enter an open floating span as the parent."""
+
+    __slots__ = ("_tracer", "_span")
+
+    def __init__(self, tracer: "Tracer", span: Span):
+        self._tracer = tracer
+        self._span = span
+
+    def __enter__(self) -> Span:
+        self._tracer._stack.append(self._span)
+        return self._span
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self._tracer._stack.pop()
+
+
+class Tracer:
+    """Collects nested spans into a buffer and an optional JSONL sink."""
+
+    enabled = True
+
+    def __init__(self, sink: Optional[TextIO] = None):
+        self.spans: List[Span] = []
+        self._stack: List[Span] = []
+        self._sink = sink
+        self._next_id = 1
+
+    # -- opening/closing spans ---------------------------------------------
+
+    def span(self, name: str, **labels: object) -> _SpanContext:
+        """A lexical span: ``with tracer.span("stack_distance"): ...``."""
+        return _SpanContext(self, self._open(name, labels))
+
+    def begin(self, name: str, **labels: object) -> Span:
+        """Open a floating span (closed later with :meth:`end`).
+
+        The span is parented to whatever is active now but is *not*
+        pushed onto the nesting stack, so unrelated spans opened before
+        it ends do not become its children; use :meth:`attach` to nest
+        work under it explicitly.
+        """
+        return self._open(name, labels)
+
+    def end(self, span: Optional[Span], **labels: object) -> None:
+        """Close a floating span (``None`` is tolerated for ease of use)."""
+        if span is None:
+            return
+        span.labels.update(labels)
+        self._close(span)
+
+    def attach(self, span: Optional[Span]):
+        """Re-enter an open floating span as the current parent.
+
+        ``None`` (no span was begun, e.g. under a no-op tracer) yields a
+        no-op context so call sites need no conditionals.
+        """
+        if span is None:
+            return _NULL_CONTEXT
+        return _AttachContext(self, span)
+
+    # -- internals ----------------------------------------------------------
+
+    def _open(self, name: str, labels: Dict[str, object]) -> Span:
+        span = Span(
+            span_id=self._next_id,
+            parent_id=self._stack[-1].span_id if self._stack else None,
+            name=name,
+            start_ns=time.perf_counter_ns(),
+            labels=labels,
+        )
+        self._next_id += 1
+        return span
+
+    def _close(self, span: Span) -> None:
+        if span.end_ns is not None:
+            raise ValueError(f"span {span.name!r} already closed")
+        span.end_ns = time.perf_counter_ns()
+        self.spans.append(span)
+        if self._sink is not None:
+            self._sink.write(json.dumps(span.to_dict()) + "\n")
+
+    # -- merging worker traces ---------------------------------------------
+
+    def absorb(self, span_dicts: List[Dict[str, object]]) -> None:
+        """Fold a worker's serialized spans into this tracer's buffer.
+
+        Worker span ids are renumbered into this tracer's id space (with
+        parent links preserved) so merged traces keep unique ids.  Ids
+        are assigned before parents are remapped because spans arrive in
+        close order -- children precede their parents.
+        """
+        absorbed: List[Span] = []
+        mapping: Dict[int, int] = {}
+        for payload in span_dicts:
+            span = Span.from_dict(payload)
+            mapping[span.span_id] = self._next_id
+            span.span_id = self._next_id
+            self._next_id += 1
+            absorbed.append(span)
+        for span in absorbed:
+            if span.parent_id is not None:
+                span.parent_id = mapping.get(span.parent_id)
+            self.spans.append(span)
+            if self._sink is not None and span.end_ns is not None:
+                self._sink.write(json.dumps(span.to_dict()) + "\n")
+
+
+class _NullContext:
+    """Shared reusable no-op context manager."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        return None
+
+
+_NULL_CONTEXT = _NullContext()
+
+
+class NullTracer(Tracer):
+    """The zero-cost default tracer: every operation is a no-op."""
+
+    enabled = False
+
+    def __init__(self) -> None:
+        super().__init__()
+
+    def span(self, name: str, **labels: object):  # noqa: ARG002
+        return _NULL_CONTEXT
+
+    def begin(self, name: str, **labels: object):  # noqa: ARG002
+        return None
+
+    def end(self, span, **labels: object) -> None:  # noqa: ARG002
+        return None
+
+    def attach(self, span):  # noqa: ARG002
+        return _NULL_CONTEXT
+
+    def absorb(self, span_dicts) -> None:  # noqa: ARG002
+        return None

@@ -24,6 +24,7 @@ import random
 from dataclasses import dataclass
 from typing import List, Optional
 
+from repro.obs import get_telemetry
 from repro.pmu.registers import PerformanceCounter, SampledDataAddressRegister
 from repro.pmu.tracelog import TraceLog
 from repro.sim.cpu import IssueMode
@@ -184,6 +185,15 @@ class TraceCollector:
 
     def finish(self) -> ProbeTrace:
         """Package the collected probe."""
+        # One-shot channel accounting: whole-probe totals, never per event.
+        registry = get_telemetry().registry
+        registry.counter("pmu.probes").inc()
+        registry.counter("pmu.log_entries").inc(len(self.log))
+        registry.counter("pmu.probe_instructions").inc(self.instructions)
+        registry.counter("pmu.l1d_misses").inc(self.l1d_misses)
+        registry.counter("pmu.exceptions").inc(self.exceptions)
+        registry.counter("pmu.dropped_events").inc(self.dropped_events)
+        registry.counter("pmu.stale_entries").inc(self.stale_entries)
         return ProbeTrace(
             entries=self.log.entries(),
             instructions=self.instructions,

@@ -21,9 +21,10 @@ from __future__ import annotations
 
 import enum
 import random
-from dataclasses import dataclass, field, replace as dc_replace
+from dataclasses import dataclass, replace as dc_replace
 from typing import Dict, Iterable, Optional, Tuple
 
+from repro.obs import Counter, get_telemetry
 from repro.pmu.sampling import ProbeTrace
 from repro.sim.hierarchy import AccessResult
 
@@ -195,15 +196,36 @@ class FaultPlan:
         return cls(specs=tuple(specs), seed=seed)
 
 
-@dataclass
 class InjectionReport:
-    """What the wrapper actually injected during one probe."""
+    """What the wrapper actually injected during one probe.
 
-    corrupted_entries: int = 0
-    lost_exceptions: int = 0
-    truncated: bool = False
-    phase_shifted: bool = False
-    counts: Dict[str, int] = field(default_factory=dict)
+    The integer fields are read-only views over real
+    :class:`~repro.obs.Counter` instruments, so the report works the
+    same whether telemetry is enabled or not; the wrapper additionally
+    mirrors every injection into the process-wide registry under
+    ``faults.*``.
+    """
+
+    def __init__(self) -> None:
+        self._corrupted = Counter()
+        self._lost = Counter()
+        self.truncated = False
+        self.phase_shifted = False
+        self.counts: Dict[str, int] = {}
+
+    @property
+    def corrupted_entries(self) -> int:
+        return self._corrupted.value
+
+    @property
+    def lost_exceptions(self) -> int:
+        return self._lost.value
+
+    def record_corrupted(self) -> None:
+        self._corrupted.inc()
+
+    def record_lost(self) -> None:
+        self._lost.inc()
 
     def summary(self) -> str:
         parts = [
@@ -254,13 +276,26 @@ class FaultyTraceCollector:
         self._truncate = plan.spec_for(FaultKind.TRUNCATE_LOG)
         self._lost = plan.spec_for(FaultKind.LOST_EXCEPTIONS)
         self._shift = plan.spec_for(FaultKind.PHASE_SHIFT)
+        # Registry instruments, cached once per wrapped probe (null
+        # no-ops when telemetry is off).
+        registry = get_telemetry().registry
+        self._corrupt_counter = registry.counter(
+            "faults.injected", kind=FaultKind.CORRUPT_SDAR.value
+        )
+        self._lost_counter = registry.counter(
+            "faults.injected", kind=FaultKind.LOST_EXCEPTIONS.value
+        )
+        self._truncated_counter = registry.counter("faults.truncated_probes")
+        self._shift_counter = registry.counter("faults.phase_shifted_probes")
 
     # -- collector interface ------------------------------------------------
 
     @property
     def done(self) -> bool:
         if self._truncated_now():
-            self.report.truncated = True
+            if not self.report.truncated:
+                self.report.truncated = True
+                self._truncated_counter.inc()
             return True
         return self.inner.done
 
@@ -289,7 +324,8 @@ class FaultyTraceCollector:
         if self._lost is not None and self._rng.random() < self._lost.rate:
             # The overflow exception never fired: no SDAR read, no log
             # entry, and the underlying collector never sees the miss.
-            self.report.lost_exceptions += 1
+            self.report.record_lost()
+            self._lost_counter.inc()
             return
 
         line = result.line
@@ -298,11 +334,13 @@ class FaultyTraceCollector:
         if self._phase_shifted_now():
             if not self.report.phase_shifted:
                 self.report.phase_shifted = True
+                self._shift_counter.inc()
             line = self._relocate(line)
             prefetched = [self._relocate(pf) for pf in prefetched]
             mutated = True
         if self._corrupt is not None and self._rng.random() < self._corrupt.rate:
-            self.report.corrupted_entries += 1
+            self.report.record_corrupted()
+            self._corrupt_counter.inc()
             line = self._rng.getrandbits(48)
             mutated = True
         if mutated:

@@ -41,6 +41,7 @@ from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 from repro.core.rapidmrc import RapidMRCResult
+from repro.obs import get_telemetry
 from repro.pmu.sampling import ProbeTrace
 
 __all__ = [
@@ -175,6 +176,19 @@ class ProbeQuality:
         return f"probe rejected: {failed}"
 
 
+def _record_verdict(quality: ProbeQuality) -> ProbeQuality:
+    """Publish one verdict to the telemetry registry (no-op by default)."""
+    registry = get_telemetry().registry
+    registry.counter("probe.assessed").inc()
+    if quality.ok:
+        registry.counter("probe.ok").inc()
+    else:
+        registry.counter("probe.rejected").inc()
+        for check in quality.failures:
+            registry.counter("quality.gate_failures", gate=check.name).inc()
+    return quality
+
+
 def assess_probe(
     probe: ProbeTrace,
     result: Optional[RapidMRCResult],
@@ -254,7 +268,7 @@ def assess_probe(
             bound=1.0,
             detail="no MRC could be computed from this probe",
         ))
-        return ProbeQuality(checks=tuple(checks))
+        return _record_verdict(ProbeQuality(checks=tuple(checks)))
 
     checks.append(QualityCheck(
         name="warmup-fraction",
@@ -294,7 +308,7 @@ def assess_probe(
         value=violations,
         bound=config.max_monotone_violation_fraction,
     ))
-    return ProbeQuality(checks=tuple(checks))
+    return _record_verdict(ProbeQuality(checks=tuple(checks)))
 
 
 def assess_anchor(

@@ -29,6 +29,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.core.mrc import MissRateCurve
 from repro.core.rapidmrc import RapidMRCResult
+from repro.obs import Counter, get_telemetry
 from repro.reliability.quality import (
     ProbeQuality,
     QualityConfig,
@@ -126,14 +127,27 @@ class ReliabilityEvent:
 
 
 class _Health:
-    """Per-process reliability state."""
+    """Per-process reliability state.
+
+    ``accepted``/``rejected`` are views over real telemetry
+    :class:`~repro.obs.Counter` instruments, so they read the same with
+    telemetry on or off.
+    """
 
     def __init__(self) -> None:
         self.last_good: Optional[MissRateCurve] = None
         self.consecutive_failures = 0
-        self.accepted = 0
-        self.rejected = 0
+        self._accepted = Counter()
+        self._rejected = Counter()
         self.rung = DegradationRung.UNIFORM_SPLIT
+
+    @property
+    def accepted(self) -> int:
+        return self._accepted.value
+
+    @property
+    def rejected(self) -> int:
+        return self._rejected.value
 
     @property
     def retries_left(self) -> int:
@@ -189,6 +203,13 @@ class ProbeSupervisor:
               detail: str = "") -> ReliabilityEvent:
         event = ReliabilityEvent(kind=kind, pid=pid, rung=rung, detail=detail)
         self.events.append(event)
+        registry = get_telemetry().registry
+        if rung is not None:
+            registry.counter(
+                "reliability.events", kind=kind, rung=rung.value
+            ).inc()
+        else:
+            registry.counter("reliability.events", kind=kind).inc()
         return event
 
     # -- admission ----------------------------------------------------------
@@ -227,12 +248,12 @@ class ProbeSupervisor:
                 detail = "uncalibrated (no anchor sample yet)"
             health.last_good = curve
             health.consecutive_failures = 0
-            health.accepted += 1
+            health._accepted.inc()
             health.rung = DegradationRung.FRESH
             self._emit("accepted", pid, DegradationRung.FRESH, detail=detail)
             return curve
 
-        health.rejected += 1
+        health._rejected.inc()
         health.consecutive_failures += 1
         reasons = [check.name for check in quality.failures]
         if anchor_bad:
@@ -243,7 +264,7 @@ class ProbeSupervisor:
     def report_deadline(self, pid: int, accesses: int) -> None:
         """Record a probe aborted by the access-budget deadline."""
         health = self.health(pid)
-        health.rejected += 1
+        health._rejected.inc()
         health.consecutive_failures += 1
         self._emit("deadline", pid,
                    detail=f"aborted after {accesses} accesses")
@@ -256,7 +277,7 @@ class ProbeSupervisor:
         curve that describes neither phase.
         """
         health = self.health(pid)
-        health.rejected += 1
+        health._rejected.inc()
         health.consecutive_failures += 1
         self._emit("invalidated", pid, detail=reason)
 

@@ -43,6 +43,7 @@ from repro.core.mrc import MissRateCurve
 from repro.core.partition import choose_partition_sizes_multi
 from repro.core.phase import PhaseDetector, PhaseDetectorConfig
 from repro.core.rapidmrc import ProbeConfig, RapidMRC, RapidMRCResult
+from repro.obs import get_telemetry
 from repro.pmu.sampling import PMUModel, TraceCollector
 from repro.reliability.faults import FaultPlan, wrap_collector
 from repro.reliability.quality import assess_probe
@@ -183,6 +184,9 @@ class _Managed:
         self.interval_instructions_seen = 0
         self.timeline: List[float] = []
         self.needs_probe = False
+        # Open telemetry span of the in-flight probe (floating: probes
+        # interleave with execution, so they cannot be lexical scopes).
+        self.probe_span = None
 
 
 class DynamicPartitionManager:
@@ -266,6 +270,9 @@ class DynamicPartitionManager:
         cycle_base = [m.process.cycles for m in self.managed]
         self._advance(quota_accesses, managed_hooks=True)
 
+        # Residue the interval harvests never saw (the final partial
+        # interval) still reaches the registry.
+        self.hierarchy.publish_telemetry()
         ipc = []
         for base, managed in zip(cycle_base, self.managed):
             window = managed.process.cycles - base
@@ -336,14 +343,15 @@ class DynamicPartitionManager:
             self._end_interval(index, managed)
 
     def _end_interval(self, index: int, managed: _Managed) -> None:
-        counters = self.hierarchy.counters[index]
-        mpki = counters.mpki()
+        telemetry = get_telemetry()
+        mpki = self.hierarchy.harvest_interval(index)
         managed.timeline.append(mpki)
-        counters.reset()
         managed.interval_instructions_seen = 0
         managed.intervals_since_probe += 1
+        telemetry.registry.counter("dynamic.intervals", pid=index).inc()
         event = managed.detector.observe(mpki)
         if event is not None:
+            telemetry.registry.counter("dynamic.transitions", pid=index).inc()
             self.events.append(ManagerEvent(
                 kind="transition",
                 pid=index,
@@ -355,6 +363,11 @@ class DynamicPartitionManager:
                 # Section 5.2.2: a probe spanning a phase boundary mixes
                 # two working sets -- discard it and reprobe.
                 managed.collector = None
+                telemetry.tracer.end(managed.probe_span, status="invalidated")
+                managed.probe_span = None
+                telemetry.registry.counter(
+                    "dynamic.probes_invalidated", pid=index
+                ).inc()
                 self.supervisor.report_invalidated(
                     index, reason="phase transition mid-probe"
                 )
@@ -386,6 +399,12 @@ class DynamicPartitionManager:
         )
         managed.needs_probe = False
         managed.intervals_since_probe = 0
+        telemetry = get_telemetry()
+        managed.probe_span = telemetry.tracer.begin(
+            "probe", pid=index,
+            workload=managed.process.workload.name, mode="dynamic",
+        )
+        telemetry.registry.counter("dynamic.probes_started", pid=index).inc()
         self.events.append(ManagerEvent(
             kind="probe", pid=index,
             instructions=self._global_instructions(), detail="started",
@@ -395,6 +414,10 @@ class DynamicPartitionManager:
                      probe_accesses: int) -> None:
         """Deadline expiry: the log never filled within the access budget."""
         managed.collector = None
+        telemetry = get_telemetry()
+        telemetry.tracer.end(managed.probe_span, status="deadline")
+        managed.probe_span = None
+        telemetry.registry.counter("dynamic.probe_deadlines", pid=index).inc()
         self.supervisor.report_deadline(index, probe_accesses)
         self.events.append(ManagerEvent(
             kind="probe-deadline", pid=index,
@@ -413,15 +436,18 @@ class DynamicPartitionManager:
         probe = collector.finish()
         log_entries = self.config.probe.resolved_log_entries(self.machine)
 
+        telemetry = get_telemetry()
         result: Optional[RapidMRCResult] = None
-        if probe.entries and probe.instructions > 0:
-            result = self.engine.compute(
-                probe.entries, probe.instructions,
-                label=f"dyn:{managed.process.workload.name}",
+        # attach() nests the computation under the probe's floating span.
+        with telemetry.tracer.attach(managed.probe_span):
+            if probe.entries and probe.instructions > 0:
+                result = self.engine.compute(
+                    probe.entries, probe.instructions,
+                    label=f"dyn:{managed.process.workload.name}",
+                )
+            quality = assess_probe(
+                probe, result, log_entries, self.config.reliability.quality
             )
-        quality = assess_probe(
-            probe, result, log_entries, self.config.reliability.quality
-        )
 
         # Calibrate at the *current* allocation: its miss rate is what
         # the PMU has been measuring all along.  A fault plan may hand
@@ -435,6 +461,11 @@ class DynamicPartitionManager:
             )
         curve = self.supervisor.admit(index, quality, result, anchor, recent)
         if curve is not None:
+            telemetry.tracer.end(managed.probe_span, status="admitted")
+            managed.probe_span = None
+            telemetry.registry.counter(
+                "dynamic.probes_admitted", pid=index
+            ).inc()
             managed.mrc = curve
             managed.cooldown_intervals = self.config.probe_cooldown_intervals
             self.probes_run += 1
@@ -446,6 +477,8 @@ class DynamicPartitionManager:
             self._redecide()
             return
 
+        telemetry.tracer.end(managed.probe_span, status="rejected")
+        managed.probe_span = None
         self.events.append(ManagerEvent(
             kind="probe-rejected", pid=index,
             instructions=self._global_instructions(),
@@ -455,9 +488,12 @@ class DynamicPartitionManager:
 
     def _handle_probe_failure(self, index: int, managed: _Managed) -> None:
         """Shared post-failure policy: retry with backoff, else degrade."""
+        registry = get_telemetry().registry
         self.probes_rejected += 1
+        registry.counter("dynamic.probes_rejected", pid=index).inc()
         retry, cooldown = self.supervisor.retry_guidance(index)
         if retry:
+            registry.counter("dynamic.probe_retries", pid=index).inc()
             managed.needs_probe = True
             managed.cooldown_intervals = max(
                 self.config.probe_cooldown_intervals, cooldown
@@ -474,6 +510,9 @@ class DynamicPartitionManager:
         # can still request a fresh probe.
         recent = managed.timeline[-1] if managed.timeline else None
         curve, rung = self.supervisor.fallback_curve(index, recent)
+        registry.counter(
+            "dynamic.degradations", pid=index, rung=rung.value
+        ).inc()
         managed.mrc = curve
         managed.cooldown_intervals = self.config.probe_cooldown_intervals
         managed.needs_probe = False
@@ -487,6 +526,7 @@ class DynamicPartitionManager:
     # -- decisions ---------------------------------------------------------------
 
     def _redecide(self) -> None:
+        telemetry = get_telemetry()
         curves = [m.mrc for m in self.managed]
         if any(curve is None for curve in curves):
             if all(curve is None for curve in curves):
@@ -497,13 +537,19 @@ class DynamicPartitionManager:
             # blind, so stop optimizing and split the cache evenly
             # rather than size partitions around a hole.
             self.degraded_decisions += 1
-            new_colors = self._materialize(self._uniform_counts())
+            with telemetry.tracer.span("partition_decision", mode="uniform"):
+                new_colors = self._materialize(self._uniform_counts())
+            telemetry.registry.counter(
+                "dynamic.decisions", mode="uniform"
+            ).inc()
             self._apply_colors(new_colors, detail="uniform-split (degraded)")
             return
-        decision = choose_partition_sizes_multi(
-            curves, self.machine.num_colors
-        )
-        new_colors = self._materialize(decision.colors)
+        with telemetry.tracer.span("partition_decision", mode="optimized"):
+            decision = choose_partition_sizes_multi(
+                curves, self.machine.num_colors
+            )
+            new_colors = self._materialize(decision.colors)
+        telemetry.registry.counter("dynamic.decisions", mode="optimized").inc()
         self._apply_colors(new_colors, detail=str([len(c) for c in new_colors]))
 
     def _apply_colors(
@@ -523,6 +569,7 @@ class DynamicPartitionManager:
             self.migration_cycles += report.cycles
         self.current_colors = new_colors
         self.resizes += 1
+        get_telemetry().registry.counter("dynamic.resizes").inc()
         self.events.append(ManagerEvent(
             kind="resize", pid=-1,
             instructions=self._global_instructions(),

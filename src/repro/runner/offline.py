@@ -17,6 +17,7 @@ from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
 from repro.core.mrc import MissRateCurve
+from repro.obs import absorb_payload, call_traced, telemetry_enabled
 from repro.runner.driver import Process, drive
 from repro.sim.cpu import IssueMode
 from repro.sim.hierarchy import MemoryHierarchy
@@ -92,7 +93,9 @@ def measure_mpki(
     drive(process, hierarchy, config.resolved_warmup(machine))
     hierarchy.reset_counters()
     drive(process, hierarchy, config.resolved_measure(machine))
-    return hierarchy.counters[0].mpki()
+    mpki = hierarchy.counters[0].mpki()
+    hierarchy.publish_telemetry()
+    return mpki
 
 
 def real_mrc(
@@ -120,16 +123,25 @@ def real_mrc(
     if max_workers is not None and max_workers > 1 and len(chosen) > 1:
         from concurrent.futures import ProcessPoolExecutor
 
+        # With telemetry on, workers run under call_traced and hand back
+        # (result, payload); the payloads merge into this process's
+        # registry, so the pooled run reports like the sequential one.
+        traced = telemetry_enabled()
         with ProcessPoolExecutor(max_workers=max_workers) as pool:
-            futures = {
-                size: pool.submit(
-                    measure_mpki, workload, machine, list(range(size)),
-                    config, seed_offset,
+            futures = {}
+            for size in chosen:
+                run_args = (
+                    workload, machine, list(range(size)), config, seed_offset,
                 )
-                for size in chosen
-            }
+                futures[size] = pool.submit(
+                    call_traced, measure_mpki, *run_args,
+                ) if traced else pool.submit(measure_mpki, *run_args)
             for size, future in futures.items():
-                points[size] = future.result()
+                if traced:
+                    points[size], payload = future.result()
+                    absorb_payload(payload)
+                else:
+                    points[size] = future.result()
     else:
         for size in chosen:
             colors = list(range(size))

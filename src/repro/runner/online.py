@@ -24,6 +24,7 @@ from dataclasses import dataclass, replace
 from typing import Optional, Sequence
 
 from repro.core.rapidmrc import ProbeConfig, RapidMRC, RapidMRCResult
+from repro.obs import get_telemetry
 from repro.pmu.ideal import IdealTraceCollector
 from repro.pmu.sampling import PMUModel, ProbeTrace, TraceCollector
 from repro.reliability.faults import (
@@ -186,59 +187,67 @@ def collect_trace(
     elif fast is False and probe_config.stack_engine == "batch":
         probe_config = replace(probe_config, stack_engine="rangelist")
     log_entries = probe_config.resolved_log_entries(machine)
-    hierarchy = MemoryHierarchy(machine, num_cores=1)
-    allocator = PageAllocator(machine)
-    process = Process(
-        pid=0,
-        workload=workload,
-        core=0,
-        allocator=allocator,
-        colors=online.colors,
-        issue_mode=online.issue_mode,
-        prefetcher=PrefetcherConfig(enabled=online.prefetch_enabled),
-    )
-    drive(process, hierarchy, online.resolved_warmup(machine))
-
-    if online.use_ideal_pmu:
-        collector = IdealTraceCollector(
-            log_capacity=log_entries,
-            buffer_entries=online.ideal_buffer_entries,
-        )
-    else:
-        collector = TraceCollector(
-            log_capacity=log_entries,
+    telemetry = get_telemetry()
+    with telemetry.tracer.span("probe", workload=workload.name):
+        hierarchy = MemoryHierarchy(machine, num_cores=1)
+        allocator = PageAllocator(machine)
+        process = Process(
+            pid=0,
+            workload=workload,
+            core=0,
+            allocator=allocator,
+            colors=online.colors,
             issue_mode=online.issue_mode,
-            pmu_model=online.pmu_model,
-            drop_probability=online.drop_probability,
-            seed=online.seed,
+            prefetcher=PrefetcherConfig(enabled=online.prefetch_enabled),
         )
-    collector = wrap_collector(collector, fault_plan, salt=workload.name)
-    instructions_before = process.instructions
-    executed = drive(
-        process,
-        hierarchy,
-        online.resolved_max_accesses(machine, log_entries),
-        observer=collector.observe,
-        stop=lambda: collector.done,
-    )
-    collector.observe_instructions(process.instructions - instructions_before)
-    probe = collector.finish()
+        drive(process, hierarchy, online.resolved_warmup(machine))
 
-    # A probe with nothing in the log or no retired instructions has no
-    # computable MRC; the quality verdict carries the diagnosis instead
-    # of a max(1, ...) masking the broken denominator.
-    result: Optional[RapidMRCResult] = None
-    if probe.entries and probe.instructions > 0:
-        engine = RapidMRC(machine, probe_config)
-        result = engine.compute(
-            probe.entries, probe.instructions,
-            label=f"rapidmrc:{workload.name}",
+        if online.use_ideal_pmu:
+            collector = IdealTraceCollector(
+                log_capacity=log_entries,
+                buffer_entries=online.ideal_buffer_entries,
+            )
+        else:
+            collector = TraceCollector(
+                log_capacity=log_entries,
+                issue_mode=online.issue_mode,
+                pmu_model=online.pmu_model,
+                drop_probability=online.drop_probability,
+                seed=online.seed,
+            )
+        collector = wrap_collector(collector, fault_plan, salt=workload.name)
+        instructions_before = process.instructions
+        with telemetry.tracer.span(
+            "trace_collect", workload=workload.name, log_capacity=log_entries
+        ):
+            executed = drive(
+                process,
+                hierarchy,
+                online.resolved_max_accesses(machine, log_entries),
+                observer=collector.observe,
+                stop=lambda: collector.done,
+            )
+            collector.observe_instructions(
+                process.instructions - instructions_before
+            )
+            probe = collector.finish()
+
+        # A probe with nothing in the log or no retired instructions has
+        # no computable MRC; the quality verdict carries the diagnosis
+        # instead of a max(1, ...) masking the broken denominator.
+        result: Optional[RapidMRCResult] = None
+        if probe.entries and probe.instructions > 0:
+            engine = RapidMRC(machine, probe_config)
+            result = engine.compute(
+                probe.entries, probe.instructions,
+                label=f"rapidmrc:{workload.name}",
+            )
+        quality = assess_probe(probe, result, log_entries, quality_config)
+        injection = (
+            collector.report
+            if isinstance(collector, FaultyTraceCollector) else None
         )
-    quality = assess_probe(probe, result, log_entries, quality_config)
-    injection = (
-        collector.report
-        if isinstance(collector, FaultyTraceCollector) else None
-    )
+        hierarchy.publish_telemetry()
     return OnlineProbe(
         result=result,
         probe=probe,

@@ -25,6 +25,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List
 
+from repro.obs import get_telemetry
 from repro.sim.cache import CacheConfig, SetAssociativeCache
 from repro.sim.machine import MachineConfig
 from repro.sim.victim import VictimCache
@@ -170,6 +171,50 @@ class MemoryHierarchy:
     def reset_counters(self) -> None:
         for counter in self.counters:
             counter.reset()
+
+    def _publish_core(self, registry, core: int, counters: CoreCounters) -> None:
+        for name, value in (
+            ("sim.instructions", counters.instructions),
+            ("sim.loads", counters.loads),
+            ("sim.stores", counters.stores),
+            ("sim.l1d_misses", counters.l1d_misses),
+            ("sim.l2_demand_accesses", counters.l2_demand_accesses),
+            ("sim.l2_demand_misses", counters.l2_demand_misses),
+            ("sim.l3_hits", counters.l3_hits),
+            ("sim.memory_accesses", counters.memory_accesses),
+        ):
+            if value:
+                registry.counter(name, core=core).inc(value)
+        registry.gauge("sim.mpki", core=core).set(counters.mpki())
+
+    def publish_telemetry(self) -> None:
+        """Publish every core's accumulated counters to the registry.
+
+        One-shot batched publication (never per access): counter values
+        become ``sim.*`` counter increments and each core's MPKI a
+        ``sim.mpki`` gauge.  No-op under the null telemetry.
+        """
+        telemetry = get_telemetry()
+        if not telemetry.enabled:
+            return
+        for core, counters in enumerate(self.counters):
+            self._publish_core(telemetry.registry, core, counters)
+
+    def harvest_interval(self, core: int) -> float:
+        """Read one core's interval MPKI, publish its counters, reset.
+
+        The dynamic manager's measurement loop: equivalent to
+        ``counters[core].mpki()`` followed by ``counters[core].reset()``,
+        but also feeds the telemetry registry (batched ``sim.*`` counter
+        deltas and the live ``sim.mpki`` gauge) along the way.
+        """
+        counters = self.counters[core]
+        mpki = counters.mpki()
+        telemetry = get_telemetry()
+        if telemetry.enabled:
+            self._publish_core(telemetry.registry, core, counters)
+        counters.reset()
+        return mpki
 
     # -- the access path ---------------------------------------------------------
 

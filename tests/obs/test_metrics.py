@@ -1,0 +1,195 @@
+"""Metrics registry: instruments, snapshots, and the merge algebra.
+
+The property the process-pool plumbing rests on: snapshot merging is
+associative and order-independent, so any partitioning of work across
+workers and any fold order in the parent produces identical totals.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+    empty_snapshot,
+    merge_snapshots,
+)
+
+
+class TestInstruments:
+    def test_counter_increments(self):
+        counter = Counter()
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Counter().inc(-1)
+
+    def test_gauge_tracks_seq(self):
+        gauge = Gauge()
+        gauge.set(3.5)
+        gauge.set(1.25)
+        assert gauge.value == 1.25
+        assert gauge.seq == 2
+
+    def test_histogram_buckets(self):
+        histogram = Histogram(bounds=(10, 100))
+        for value in (5, 10, 11, 1000):
+            histogram.observe(value)
+        assert histogram.counts == [2, 1, 1]
+        assert histogram.count == 4
+        assert histogram.mean() == pytest.approx((5 + 10 + 11 + 1000) / 4)
+
+    def test_histogram_rejects_unsorted_bounds(self):
+        with pytest.raises(ValueError):
+            Histogram(bounds=(100, 10))
+        with pytest.raises(ValueError):
+            Histogram(bounds=())
+
+
+class TestRegistry:
+    def test_same_name_and_labels_memoized(self):
+        registry = MetricsRegistry()
+        a = registry.counter("probes", workload="mcf")
+        b = registry.counter("probes", workload="mcf")
+        c = registry.counter("probes", workload="art")
+        assert a is b
+        assert a is not c
+
+    def test_label_order_irrelevant(self):
+        registry = MetricsRegistry()
+        a = registry.counter("x", one=1, two=2)
+        b = registry.counter("x", two=2, one=1)
+        assert a is b
+
+    def test_counter_total_sums_label_sets(self):
+        registry = MetricsRegistry()
+        registry.counter("probes", workload="mcf").inc(2)
+        registry.counter("probes", workload="art").inc(3)
+        assert registry.counter_total("probes") == 5
+        assert registry.counter_total("absent") == 0
+
+    def test_histogram_bounds_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.histogram("sizes", bounds=(1, 2))
+        with pytest.raises(ValueError):
+            registry.histogram("sizes", bounds=(1, 3))
+
+    def test_snapshot_merge_roundtrip(self):
+        source = MetricsRegistry()
+        source.counter("probes").inc(3)
+        source.gauge("mpki", core=0).set(7.5)
+        source.histogram("lens", bounds=(10, 100)).observe(42)
+        target = MetricsRegistry()
+        target.counter("probes").inc(1)
+        target.merge(source.snapshot())
+        assert target.counter_total("probes") == 4
+        assert target.gauge("mpki", core=0).value == 7.5
+        assert target.histogram("lens", bounds=(10, 100)).counts == [0, 1, 0]
+
+    def test_null_registry_is_inert(self):
+        registry = NullRegistry()
+        counter = registry.counter("probes")
+        counter.inc(100)
+        assert counter.value == 0
+        assert registry.enabled is False
+        gauge = registry.gauge("mpki")
+        gauge.set(9.0)
+        assert gauge.seq == 0
+        assert registry.snapshot() == empty_snapshot()
+
+
+# -- hypothesis: the merge algebra -----------------------------------------
+
+_names = st.sampled_from(["probes", "exceptions", "entries"])
+_labels = st.sampled_from([{}, {"pid": "0"}, {"pid": "1"}])
+
+_counter_entries = st.lists(
+    st.builds(
+        lambda name, labels, value: {
+            "name": name, "labels": labels, "value": value,
+        },
+        _names, _labels, st.integers(min_value=0, max_value=10**6),
+    ),
+    max_size=6,
+)
+_gauge_entries = st.lists(
+    st.builds(
+        lambda name, labels, value, seq: {
+            "name": name, "labels": labels, "value": value, "seq": seq,
+        },
+        _names, _labels,
+        st.floats(min_value=0, max_value=1e6, allow_nan=False),
+        st.integers(min_value=0, max_value=50),
+    ),
+    max_size=4,
+)
+_histogram_entries = st.lists(
+    st.builds(
+        lambda name, labels, counts: {
+            "name": name, "labels": labels, "bounds": [10.0, 100.0],
+            "counts": counts, "sum": float(sum(counts)),
+            "count": sum(counts),
+        },
+        _names, _labels,
+        st.lists(st.integers(min_value=0, max_value=100),
+                 min_size=3, max_size=3),
+    ),
+    max_size=4,
+)
+_snapshots = st.builds(
+    lambda c, g, h: {"counters": c, "gauges": g, "histograms": h},
+    _counter_entries, _gauge_entries, _histogram_entries,
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(a=_snapshots, b=_snapshots, c=_snapshots)
+def test_merge_is_associative(a, b, c):
+    left = merge_snapshots(merge_snapshots(a, b), c)
+    right = merge_snapshots(a, merge_snapshots(b, c))
+    flat = merge_snapshots(a, b, c)
+    assert left == right == flat
+
+
+@settings(max_examples=60, deadline=None)
+@given(a=_snapshots, b=_snapshots)
+def test_merge_is_order_independent(a, b):
+    assert merge_snapshots(a, b) == merge_snapshots(b, a)
+
+
+@settings(max_examples=30, deadline=None)
+@given(a=_snapshots)
+def test_empty_snapshot_is_identity(a):
+    merged = merge_snapshots(a, empty_snapshot())
+    assert merged == merge_snapshots(a)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    ops=st.lists(
+        st.tuples(_names, st.sampled_from(["0", "1"]),
+                  st.integers(min_value=0, max_value=100)),
+        max_size=30,
+    ),
+    cut=st.integers(min_value=0, max_value=30),
+)
+def test_worker_partitioning_matches_sequential(ops, cut):
+    """Splitting counter work across two 'workers' loses nothing."""
+    cut = min(cut, len(ops))
+    sequential = MetricsRegistry()
+    worker_a, worker_b = MetricsRegistry(), MetricsRegistry()
+    for index, (name, pid, amount) in enumerate(ops):
+        sequential.counter(name, pid=pid).inc(amount)
+        worker = worker_a if index < cut else worker_b
+        worker.counter(name, pid=pid).inc(amount)
+    merged = merge_snapshots(worker_a.snapshot(), worker_b.snapshot())
+    parent = MetricsRegistry()
+    parent.merge(merged)
+    for name in ("probes", "exceptions", "entries"):
+        assert parent.counter_total(name) == sequential.counter_total(name)

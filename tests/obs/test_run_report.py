@@ -1,0 +1,142 @@
+"""RunReport: JSONL round-trip, aggregation, and rendering."""
+
+import json
+
+import pytest
+
+from repro.obs import Telemetry, use_telemetry
+from repro.obs.report import CALCULATION_SPANS, LOGGING_SPANS, RunReport
+
+
+def _capture_sample():
+    """A small but representative live capture."""
+    telemetry = Telemetry.in_memory()
+    tracer, registry = telemetry.tracer, telemetry.registry
+    with tracer.span("probe", workload="mcf"):
+        with tracer.span("trace_collect"):
+            pass
+        with tracer.span("correction", engine="batch"):
+            pass
+        with tracer.span("stack_distance", engine="batch"):
+            pass
+    registry.counter("pmu.probes").inc()
+    registry.counter("pmu.probe_instructions").inc(68750)
+    registry.counter("pmu.log_entries").inc(4800)
+    registry.counter("pmu.exceptions").inc(4800)
+    registry.counter("mrc.computes", engine="batch").inc()
+    registry.gauge("sim.mpki", core=0).set(12.5)
+    registry.histogram("mrc.trace_length").observe(4800)
+    return telemetry
+
+
+class TestRoundTrip:
+    def test_jsonl_roundtrip_preserves_report(self, tmp_path):
+        report = RunReport.from_telemetry(_capture_sample())
+        path = str(tmp_path / "run.jsonl")
+        report.to_jsonl(path)
+        again = RunReport.from_jsonl(path)
+        assert [s.to_dict() for s in again.spans] == [
+            s.to_dict() for s in report.spans
+        ]
+        assert again.metrics == report.metrics
+
+    def test_flush_writes_metrics_line(self, tmp_path):
+        path = str(tmp_path / "run.jsonl")
+        telemetry = Telemetry.with_sink(path)
+        with use_telemetry(telemetry):
+            telemetry.registry.counter("pmu.probes").inc(2)
+            with telemetry.tracer.span("probe"):
+                pass
+        telemetry.flush()
+        report = RunReport.from_jsonl(path)
+        assert report.counter_total("pmu.probes") == 2
+        assert [span.name for span in report.spans] == ["probe"]
+
+    def test_multiple_metrics_lines_merge(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        snapshot = {
+            "counters": [{"name": "pmu.probes", "labels": {}, "value": 3}],
+            "gauges": [], "histograms": [],
+        }
+        with open(path, "w") as handle:
+            for _ in range(2):
+                handle.write(json.dumps(
+                    {"type": "metrics", "snapshot": snapshot}) + "\n")
+            handle.write(json.dumps({"type": "future-record"}) + "\n")
+        report = RunReport.from_jsonl(str(path))
+        assert report.counter_total("pmu.probes") == 6
+
+    def test_bad_json_reports_line_number(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"type": "future"}\nnot json\n')
+        with pytest.raises(ValueError, match="bad.jsonl:2"):
+            RunReport.from_jsonl(str(path))
+
+    def test_malformed_span_reports_line_number(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"type": "span"}\n')
+        with pytest.raises(ValueError, match="bad.jsonl:1"):
+            RunReport.from_jsonl(str(path))
+
+
+class TestAggregation:
+    def test_span_stats_counts_and_totals(self):
+        report = RunReport.from_telemetry(_capture_sample())
+        stats = report.span_stats()
+        assert stats["probe"][0] == 1
+        assert stats["trace_collect"][0] == 1
+        assert all(total >= 0.0 for _, total in stats.values())
+
+    def test_split_uses_designated_span_names(self):
+        report = RunReport.from_telemetry(_capture_sample())
+        logging_s, calc_s = report.logging_calculation_split()
+        stats = report.span_stats()
+        assert logging_s == pytest.approx(
+            sum(stats[name][1] for name in LOGGING_SPANS if name in stats)
+        )
+        assert calc_s == pytest.approx(
+            sum(stats[name][1] for name in CALCULATION_SPANS if name in stats)
+        )
+
+    def test_counter_helpers(self):
+        report = RunReport.from_telemetry(_capture_sample())
+        assert report.counter_total("pmu.log_entries") == 4800
+        assert report.counter_by_label("mrc.computes", "engine") == {
+            "batch": 1,
+        }
+        assert report.dominant_engine() == "batch"
+        assert report.gauges("sim.mpki") == {"core=0": 12.5}
+
+    def test_modeled_split_matches_overhead_constants(self):
+        from repro.analysis.overhead import (
+            CALC_CYCLES_PER_ENTRY,
+            DEFAULT_EXCEPTION_COST_CYCLES,
+            DEFAULT_SLOWDOWN_IPC_FRACTION,
+        )
+
+        report = RunReport.from_telemetry(_capture_sample())
+        logging_c, calc_c = report._modeled_split()
+        assert logging_c == pytest.approx(
+            68750 / DEFAULT_SLOWDOWN_IPC_FRACTION
+            + 4800 * DEFAULT_EXCEPTION_COST_CYCLES
+        )
+        assert calc_c == pytest.approx(4800 * CALC_CYCLES_PER_ENTRY["batch"])
+
+    def test_modeled_split_absent_without_pmu_counters(self):
+        assert RunReport()._modeled_split() is None
+
+
+class TestRender:
+    def test_render_contains_breakdown_and_split(self):
+        text = RunReport.from_telemetry(_capture_sample()).render()
+        assert "per-stage cost breakdown" in text
+        assert "trace_collect" in text
+        assert "measured: logging" in text
+        assert "modeled (cycle model)" in text
+        assert "pmu.log_entries = 4800" in text
+        assert "sim.mpki{core=0} = 12.500" in text
+        assert "mrc.trace_length" in text
+
+    def test_render_empty_capture(self):
+        text = RunReport().render()
+        assert "no probe spans recorded" in text

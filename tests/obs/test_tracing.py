@@ -1,0 +1,145 @@
+"""Span tracing: nesting, ordering, floating spans, and the JSONL sink."""
+
+import io
+import json
+
+import pytest
+
+from repro.obs.tracing import NullTracer, Span, Tracer
+
+
+def spans_by_name(tracer):
+    return {span.name: span for span in tracer.spans}
+
+
+class TestLexicalSpans:
+    def test_nested_spans_record_parent(self):
+        tracer = Tracer()
+        with tracer.span("probe"):
+            with tracer.span("trace_collect"):
+                pass
+            with tracer.span("correction"):
+                pass
+        spans = spans_by_name(tracer)
+        assert spans["trace_collect"].parent_id == spans["probe"].span_id
+        assert spans["correction"].parent_id == spans["probe"].span_id
+        assert spans["probe"].parent_id is None
+
+    def test_spans_close_inner_first(self):
+        tracer = Tracer()
+        with tracer.span("probe"):
+            with tracer.span("stack_distance"):
+                pass
+        assert [span.name for span in tracer.spans] == [
+            "stack_distance", "probe",
+        ]
+
+    def test_durations_are_monotonic_and_nested(self):
+        tracer = Tracer()
+        with tracer.span("probe"):
+            with tracer.span("stack_distance"):
+                pass
+        spans = spans_by_name(tracer)
+        inner, outer = spans["stack_distance"], spans["probe"]
+        assert inner.duration_ns >= 0
+        assert outer.start_ns <= inner.start_ns
+        assert inner.end_ns <= outer.end_ns
+
+    def test_exception_labels_span_and_propagates(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("probe"):
+                raise RuntimeError("boom")
+        (span,) = tracer.spans
+        assert span.labels["error"] == "RuntimeError"
+        assert span.end_ns is not None
+
+
+class TestFloatingSpans:
+    def test_begin_end_with_attach(self):
+        tracer = Tracer()
+        floating = tracer.begin("probe", pid=3)
+        # Work done while the floating span is open but not attached
+        # must not become its child.
+        with tracer.span("partition_decision"):
+            pass
+        with tracer.attach(floating):
+            with tracer.span("correction"):
+                pass
+        tracer.end(floating, status="admitted")
+        spans = spans_by_name(tracer)
+        assert spans["partition_decision"].parent_id is None
+        assert spans["correction"].parent_id == floating.span_id
+        assert spans["probe"].labels == {"pid": 3, "status": "admitted"}
+
+    def test_end_none_is_tolerated(self):
+        tracer = Tracer()
+        tracer.end(None, status="x")
+        assert tracer.spans == []
+
+    def test_attach_none_yields_noop_context(self):
+        tracer = Tracer()
+        with tracer.attach(None):
+            with tracer.span("correction"):
+                pass
+        (span,) = tracer.spans
+        assert span.parent_id is None
+
+    def test_double_close_raises(self):
+        tracer = Tracer()
+        span = tracer.begin("probe")
+        tracer.end(span)
+        with pytest.raises(ValueError):
+            tracer.end(span)
+
+
+class TestSinkAndSerialization:
+    def test_sink_receives_one_json_line_per_span(self):
+        sink = io.StringIO()
+        tracer = Tracer(sink=sink)
+        with tracer.span("probe", workload="mcf"):
+            pass
+        lines = sink.getvalue().strip().splitlines()
+        assert len(lines) == 1
+        payload = json.loads(lines[0])
+        assert payload["type"] == "span"
+        assert payload["name"] == "probe"
+        assert payload["labels"] == {"workload": "mcf"}
+
+    def test_span_dict_roundtrip(self):
+        tracer = Tracer()
+        with tracer.span("probe", workload="mcf"):
+            with tracer.span("correction"):
+                pass
+        for span in tracer.spans:
+            again = Span.from_dict(span.to_dict())
+            assert again == span
+
+    def test_absorb_renumbers_ids(self):
+        worker = Tracer()
+        with worker.span("probe"):
+            with worker.span("stack_distance"):
+                pass
+        parent = Tracer()
+        with parent.span("partition_decision"):
+            pass
+        parent.absorb([span.to_dict() for span in worker.spans])
+        ids = [span.span_id for span in parent.spans]
+        assert len(set(ids)) == len(ids)
+        spans = spans_by_name(parent)
+        assert spans["stack_distance"].parent_id == spans["probe"].span_id
+
+
+class TestNullTracer:
+    def test_everything_is_a_noop(self):
+        tracer = NullTracer()
+        with tracer.span("probe"):
+            pass
+        span = tracer.begin("probe")
+        assert span is None
+        tracer.end(span)
+        with tracer.attach(span):
+            pass
+        tracer.absorb([{"id": 1}])
+        assert tracer.spans == []
+        assert tracer.enabled is False

@@ -123,3 +123,50 @@ class TestFastPath:
         fast_out = capsys.readouterr().out
         # Identical curves, identical rendering: bit-identical fast path.
         assert fast_out == scalar_out
+
+
+class TestTelemetry:
+    def test_telemetry_flag_parsed(self):
+        args = build_parser().parse_args(
+            ["probe", "mcf", "--telemetry", "out.jsonl"]
+        )
+        assert args.telemetry == "out.jsonl"
+
+    def test_obs_report_command_parsed(self):
+        args = build_parser().parse_args(["obs", "report", "run.jsonl"])
+        assert args.telemetry_file == "run.jsonl"
+
+    def test_obs_requires_action(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["obs"])
+
+    def test_probe_then_report(self, capsys, tmp_path):
+        path = str(tmp_path / "run.jsonl")
+        assert main(["--scale", "32", "probe", "crafty", "--fast",
+                     "--telemetry", path]) == 0
+        capsys.readouterr()
+        assert main(["obs", "report", path]) == 0
+        out = capsys.readouterr().out
+        assert "per-stage cost breakdown" in out
+        assert "trace_collect" in out
+        assert "measured: logging" in out
+        assert "pmu.probes = 1" in out
+
+    def test_probe_output_identical_with_telemetry(self, capsys, tmp_path):
+        assert main(["--scale", "32", "probe", "crafty", "--fast"]) == 0
+        plain = capsys.readouterr().out
+        path = str(tmp_path / "run.jsonl")
+        assert main(["--scale", "32", "probe", "crafty", "--fast",
+                     "--telemetry", path]) == 0
+        observed = capsys.readouterr().out
+        assert observed == plain
+
+    def test_obs_report_missing_file(self, capsys, tmp_path):
+        assert main(["obs", "report", str(tmp_path / "nope.jsonl")]) == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_obs_report_bad_file(self, capsys, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("not json\n")
+        assert main(["obs", "report", str(path)]) == 2
+        assert "not JSON" in capsys.readouterr().err
