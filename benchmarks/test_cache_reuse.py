@@ -1,0 +1,117 @@
+"""Cache-reuse smoke: recurring phases must get cheaper, not different.
+
+A phased workload alternates between two working sets while a steady
+streamer pollutes the other partition.  Run twice -- once probe-only,
+once with the phase-signature MRC store -- and hold the reuse bargain:
+
+- the store serves recurring phases, cutting full probes by >= 30%;
+- the final partition decision is unchanged (exactly, or within
+  0.5 MPKI of predicted total if the splits differ);
+- every reuse is visible in the store statistics.
+
+Writes ``benchmarks/results/BENCH_cache_reuse.json``.
+"""
+
+import json
+
+from repro.core.partition import choose_partition_sizes_multi
+from repro.core.phase import PhaseDetectorConfig
+from repro.core.rapidmrc import ProbeConfig
+from repro.runner.dynamic import DynamicConfig, DynamicPartitionManager
+from repro.sim.machine import MachineConfig
+from repro.store import SignatureConfig, StoreConfig
+from repro.workloads.base import Workload
+from repro.workloads.patterns import (
+    LoopingScan,
+    RandomWorkingSet,
+    SequentialStream,
+)
+from repro.workloads.phased import Phase, PhasedWorkload
+
+LINE = 128
+QUOTA = 150_000
+WARMUP = 500
+
+
+def _manager(machine, with_store):
+    lines = machine.l2_lines
+    phased = PhasedWorkload(
+        "phased",
+        [
+            Phase(RandomWorkingSet(machine.l2_size), 16 * lines, "big"),
+            Phase(LoopingScan(32 * LINE), 16 * lines, "small"),
+        ],
+        instructions_per_access=10,
+        store_fraction=0.0,
+    )
+    streamer = Workload(
+        "streamer", SequentialStream(8 * machine.l2_size),
+        instructions_per_access=10, store_fraction=0.0,
+    )
+    config = DynamicConfig(
+        interval_instructions=3 * lines * 10,
+        probe=ProbeConfig(log_entries=1500),
+        probe_cooldown_intervals=1,
+        detector=PhaseDetectorConfig(threshold_mpki=10.0),
+        store=StoreConfig(
+            signature=SignatureConfig(
+                level_quantum_mpki=4.0, match_tolerance_mpki=6.0,
+            ),
+        ) if with_store else None,
+    )
+    return DynamicPartitionManager(machine, [phased, streamer], config)
+
+
+def _predicted_total(manager, report):
+    curves = [m.mrc for m in manager.managed]
+    if any(curve is None for curve in curves):
+        return None
+    return choose_partition_sizes_multi(
+        curves, manager.machine.num_colors
+    ).total_mpki
+
+
+def test_cache_reuse_smoke(report_dir):
+    machine = MachineConfig.scaled(32)
+    base_mgr = _manager(machine, with_store=False)
+    baseline = base_mgr.run(QUOTA, warmup_accesses=WARMUP)
+    reuse_mgr = _manager(machine, with_store=True)
+    reused = reuse_mgr.run(QUOTA, warmup_accesses=WARMUP)
+
+    report = {
+        "machine": machine.name,
+        "quota_accesses": QUOTA,
+        "baseline": {
+            "probes_run": baseline.probes_run,
+            "resizes": baseline.resizes,
+            "final_colors": [len(c) for c in baseline.final_colors],
+        },
+        "reuse": {
+            "probes_run": reused.probes_run,
+            "probes_reused": reused.probes_reused,
+            "reuse_rejected": reused.reuse_rejected,
+            "resizes": reused.resizes,
+            "final_colors": [len(c) for c in reused.final_colors],
+            "store": reused.store_stats,
+        },
+        "probe_reduction": (
+            1.0 - reused.probes_run / baseline.probes_run
+            if baseline.probes_run else 0.0
+        ),
+    }
+    path = report_dir / "BENCH_cache_reuse.json"
+    path.write_text(json.dumps(report, indent=2) + "\n")
+
+    assert baseline.probes_run > 0
+    assert reused.probes_reused > 0
+    # The headline gate: recurring phases cost >= 30% fewer probes.
+    assert reused.probes_run <= 0.7 * baseline.probes_run
+    # Same decision -- identical splits, or predicted totals within
+    # 0.5 MPKI when the selector was indifferent between them.
+    if reused.final_colors != baseline.final_colors:
+        base_total = _predicted_total(base_mgr, baseline)
+        reuse_total = _predicted_total(reuse_mgr, reused)
+        assert base_total is not None and reuse_total is not None
+        assert abs(base_total - reuse_total) <= 0.5
+    # Accounting closes: every reuse is a store hit.
+    assert reused.store_stats["hits"] == reused.probes_reused

@@ -10,6 +10,7 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -21,6 +22,8 @@ from repro.runner.offline import OfflineConfig, real_mrc
 from repro.reliability.faults import FAULT_KINDS, FaultPlan
 from repro.runner.online import OnlineProbeConfig, collect_trace
 from repro.sim.machine import MachineConfig
+from repro.store.mrc_store import MRCStore
+from repro.store.signature import workload_signature
 from repro.workloads import WORKLOAD_NAMES, make_workload
 
 __all__ = ["main"]
@@ -28,6 +31,19 @@ __all__ = ["main"]
 
 def _machine(args: argparse.Namespace) -> MachineConfig:
     return MachineConfig.scaled(args.scale) if args.scale > 1 else MachineConfig()
+
+
+def _open_store(args: argparse.Namespace) -> Optional[MRCStore]:
+    """Load (or create) the one-shot MRC cache behind ``--mrc-cache``."""
+    if not getattr(args, "mrc_cache", None):
+        return None
+    if os.path.exists(args.mrc_cache):
+        store = MRCStore.load(args.mrc_cache)
+        print(f"# mrc cache: {args.mrc_cache} ({len(store)} entries)")
+    else:
+        store = MRCStore()
+        print(f"# mrc cache: {args.mrc_cache} (new)")
+    return store
 
 
 def _cmd_list(_args: argparse.Namespace) -> int:
@@ -41,6 +57,30 @@ def _cmd_probe(args: argparse.Namespace) -> int:
     workload = make_workload(args.workload, machine)
     print(f"# machine: {machine.name} (L2 {machine.l2_lines} lines, "
           f"{machine.num_colors} colors)")
+    store = _open_store(args)
+    signature = (
+        workload_signature(args.workload, machine.name)
+        if store is not None else None
+    )
+    if store is not None and not args.no_mrc_reuse:
+        entry = store.get(signature)
+        if entry is not None:
+            # One-shot runs key on workload identity alone: a cached
+            # curve for this (workload, machine) skips the probe.
+            print(f"# cache hit: {entry.signature.key()} "
+                  f"(reuse #{entry.reuses})")
+            curves = {"rapidmrc": entry.mrc}
+            if args.real:
+                real = real_mrc(workload, machine, OfflineConfig(),
+                                max_workers=args.workers)
+                matched, shift = entry.mrc.v_offset_matched(8, real[8])
+                curves = {"real": real, "rapidmrc": matched}
+                print(f"# v-offset shift: {shift:+.3f} MPKI")
+                print(f"# MPKI distance: "
+                      f"{mpki_distance(real, matched):.3f}")
+            print(render_curves(curves))
+            store.save(args.mrc_cache)
+            return 0
     plan = None
     if args.inject_faults:
         try:
@@ -66,6 +106,11 @@ def _cmd_probe(args: argparse.Namespace) -> int:
     if probe.result is None:
         print("probe failed: no MRC could be computed", file=sys.stderr)
         return 1
+    if store is not None and probe.ok:
+        # Only admitted probes are worth reusing later.
+        store.put_result(signature, probe.result)
+        store.save(args.mrc_cache)
+        print(f"# cached under {signature.key()} -> {args.mrc_cache}")
     curves = {"rapidmrc": probe.result.mrc}
     if args.real:
         real = real_mrc(workload, machine, OfflineConfig(),
@@ -80,15 +125,33 @@ def _cmd_probe(args: argparse.Namespace) -> int:
 def _cmd_partition(args: argparse.Namespace) -> int:
     machine = _machine(args)
     names = [args.workload_a, args.workload_b]
+    store = _open_store(args)
     curves = {}
     for name in names:
         workload = make_workload(name, machine)
-        probe = collect_trace(workload, machine,
-                              fast=True if args.fast else None)
         real = real_mrc(workload, machine, OfflineConfig(),
                         max_workers=args.workers)
+        signature = (
+            workload_signature(name, machine.name)
+            if store is not None else None
+        )
+        if store is not None and not args.no_mrc_reuse:
+            entry = store.get(signature)
+            if entry is not None:
+                matched, _shift = entry.mrc.v_offset_matched(8, real[8])
+                curves[name] = matched
+                print(f"# cache hit: {entry.signature.key()} "
+                      f"(reuse #{entry.reuses})")
+                continue
+        probe = collect_trace(workload, machine,
+                              fast=True if args.fast else None)
         probe.calibrate(8, real[8])
         curves[name] = probe.result.best_mrc
+        if store is not None and probe.ok:
+            store.put_result(signature, probe.result)
+    if store is not None:
+        store.save(args.mrc_cache)
+        print(f"# mrc cache saved: {args.mrc_cache} ({len(store)} entries)")
     decision = choose_partition_sizes(
         curves[names[0]], curves[names[1]], machine.num_colors
     )
@@ -225,6 +288,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="record spans and metrics to this JSONL file "
              "(render with 'rapidmrc obs report PATH')",
     )
+    probe.add_argument(
+        "--mrc-cache", metavar="PATH", default=None,
+        help="reuse/record probed curves in this JSON cache file "
+             "(created if missing; a hit skips the probe)",
+    )
+    probe.add_argument(
+        "--no-mrc-reuse", action="store_true",
+        help="with --mrc-cache: never serve cached curves, only "
+             "record fresh probes (cache priming)",
+    )
     probe.set_defaults(fn=_cmd_probe)
 
     part = sub.add_parser("partition", help="size a 2-way cache partition")
@@ -241,6 +314,16 @@ def build_parser() -> argparse.ArgumentParser:
     part.add_argument(
         "--telemetry", metavar="PATH", default=None,
         help="record spans and metrics to this JSONL file",
+    )
+    part.add_argument(
+        "--mrc-cache", metavar="PATH", default=None,
+        help="reuse/record probed curves in this JSON cache file "
+             "(created if missing; a hit skips that workload's probe)",
+    )
+    part.add_argument(
+        "--no-mrc-reuse", action="store_true",
+        help="with --mrc-cache: never serve cached curves, only "
+             "record fresh probes (cache priming)",
     )
     part.set_defaults(fn=_cmd_partition)
 

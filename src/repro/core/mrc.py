@@ -18,6 +18,7 @@ Two curve operations from the paper live here:
 from __future__ import annotations
 
 import math
+from bisect import bisect_left
 from dataclasses import dataclass
 from typing import Dict, Iterable, Iterator, Mapping, Tuple
 
@@ -54,13 +55,18 @@ class MissRateCurve:
                 raise ValueError(f"MPKI must be non-negative, got {value!r}")
             clean[int(size)] = float(value)
         object.__setattr__(self, "mpki", dict(sorted(clean.items())))
+        # Cached once: value_at() sits on the partition selectors' inner
+        # loops (O(N*C^2) calls) and on the cache-reuse re-anchor path,
+        # where rebuilding the tuple and linear-scanning for neighbours
+        # dominated the lookup.
+        object.__setattr__(self, "_sizes", tuple(self.mpki.keys()))
 
     # -- basic accessors ---------------------------------------------------
 
     @property
     def sizes(self) -> Tuple[int, ...]:
         """Cache sizes (in colors) at which the curve is defined, ascending."""
-        return tuple(self.mpki.keys())
+        return self._sizes
 
     @property
     def num_points(self) -> int:
@@ -84,13 +90,14 @@ class MissRateCurve:
         """
         if size in self.mpki:
             return self.mpki[size]
-        sizes = self.sizes
+        sizes = self._sizes
         if size <= sizes[0]:
             return self.mpki[sizes[0]]
         if size >= sizes[-1]:
             return self.mpki[sizes[-1]]
-        lo = max(s for s in sizes if s < size)
-        hi = min(s for s in sizes if s > size)
+        index = bisect_left(sizes, size)
+        lo = sizes[index - 1]
+        hi = sizes[index]
         frac = (size - lo) / (hi - lo)
         return self.mpki[lo] + frac * (self.mpki[hi] - self.mpki[lo])
 

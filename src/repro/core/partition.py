@@ -71,7 +71,11 @@ def choose_partition_sizes(
         if total < best_total - 1e-12 or (
             abs(total - best_total) <= 1e-12 and imbalance < best_imbalance
         ):
-            best_total = min(total, best_total)
+            # Always record *this* split's total: keeping the previous
+            # total on a tie-accepted update would return an assignment
+            # whose total_mpki no longer equals MRCa(x) + MRCb(C-x) at
+            # the returned colors.
+            best_total = total
             best_imbalance = imbalance
             best_x = x
     assert best_x is not None
@@ -106,9 +110,13 @@ def choose_partition_sizes_multi(
 
     Qureshi-style lookahead [29]: every application starts with one
     color; the remaining colors go one at a time to whichever application
-    gains the largest miss-rate reduction from its next color.  For two
-    applications with convex MRCs this matches the exhaustive optimum;
-    in general it is the standard approximation for the NP-hard problem.
+    gains the largest miss-rate reduction from its next color.  Exactly
+    tied marginal gains (flat or insensitive curves) go to the
+    application currently holding the *fewest* colors, so indifference
+    produces a balanced split -- the multi-way analogue of the two-way
+    selector's tie rule.  For two applications with convex MRCs this
+    matches the exhaustive optimum; in general it is the standard
+    approximation for the NP-hard problem.
     """
     num_apps = len(mrcs)
     if num_apps < 1:
@@ -119,10 +127,12 @@ def choose_partition_sizes_multi(
     remaining = total_colors - num_apps
     for _ in range(remaining):
         best_app = 0
-        best_gain = float("-inf")
-        for app, mrc in enumerate(mrcs):
+        best_gain = mrcs[0].value_at(colors[0]) - mrcs[0].value_at(colors[0] + 1)
+        for app, mrc in enumerate(mrcs[1:], start=1):
             gain = mrc.value_at(colors[app]) - mrc.value_at(colors[app] + 1)
-            if gain > best_gain + 1e-12:
+            if gain > best_gain + 1e-12 or (
+                gain > best_gain - 1e-12 and colors[app] < colors[best_app]
+            ):
                 best_gain = gain
                 best_app = app
         colors[best_app] += 1

@@ -245,6 +245,7 @@ class RunReport:
             ("probes & quality", "probe.", None),
             ("quality gate failures", "quality.", None),
             ("dynamic manager", "dynamic.", None),
+            ("mrc store", "store.", None),
             ("mrc engine", "mrc.", None),
             ("fast path", "fastpath.", None),
             ("simulated hierarchy", "sim.", None),

@@ -40,6 +40,7 @@ import math
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
+from repro.core.mrc import MissRateCurve
 from repro.core.rapidmrc import RapidMRCResult
 from repro.obs import get_telemetry
 from repro.pmu.sampling import ProbeTrace
@@ -50,6 +51,7 @@ __all__ = [
     "ProbeQuality",
     "assess_probe",
     "assess_anchor",
+    "assess_reuse",
 ]
 
 
@@ -95,6 +97,13 @@ class QualityConfig:
             flag engine bugs or hand-built curves.
         max_plausible_mpki: anchor measurements above this (or negative,
             or non-finite) are rejected as garbage.
+        max_reuse_shift_mpki: maximum |v-offset| allowed when re-anchoring
+            a *cached* curve at the currently measured MPKI point.  A
+            fresh probe tolerates any shift (the shape was just
+            measured); a cached shape whose level disagrees with the
+            live measurement by more than this is evidence the phase
+            did *not* actually recur, so reuse is rejected and the
+            ordinary probe path runs.
     """
 
     min_fill_fraction: float = 0.5
@@ -108,6 +117,7 @@ class QualityConfig:
     streaming_unique_fraction: float = 0.8
     max_monotone_violation_fraction: float = 0.35
     max_plausible_mpki: float = 10_000.0
+    max_reuse_shift_mpki: float = 25.0
 
     def __post_init__(self) -> None:
         for name in ("min_fill_fraction", "max_out_of_range_fraction",
@@ -124,6 +134,8 @@ class QualityConfig:
             raise ValueError("max_plausible_line must be >= 1")
         if self.max_plausible_mpki <= 0:
             raise ValueError("max_plausible_mpki must be positive")
+        if self.max_reuse_shift_mpki <= 0:
+            raise ValueError("max_reuse_shift_mpki must be positive")
 
 
 @dataclass(frozen=True)
@@ -309,6 +321,79 @@ def assess_probe(
         bound=config.max_monotone_violation_fraction,
     ))
     return _record_verdict(ProbeQuality(checks=tuple(checks)))
+
+
+def assess_reuse(
+    curve: MissRateCurve,
+    anchor_size: int,
+    anchor_mpki: Optional[float],
+    config: QualityConfig = QualityConfig(),
+    warmup_fraction: float = 0.0,
+) -> ProbeQuality:
+    """Quality-gate the *reuse* of a cached curve (no fresh probe ran).
+
+    Reuse substitutes a remembered shape for a measurement, so the gates
+    differ from :func:`assess_probe`: there is no channel to judge, but
+    the substitution itself must be defensible.
+
+    - ``anchor``: reuse always re-anchors at the live PMU sample, so a
+      missing or implausible anchor makes reuse meaningless -- probe
+      instead.
+    - ``reuse-shift``: the v-offset needed to pin the cached shape at
+      the live measurement.  Within bounds it is ordinary calibration
+      (Table 2 column h); beyond ``max_reuse_shift_mpki`` the "same"
+      phase measures nothing like the cached one, so the match is
+      rejected.
+    - ``monotonicity``: cached curves may come from disk; a corrupted
+      or hand-edited file must not reach the partition selector.
+    - ``warmup-fraction``: re-checks the stored probe metadata (same
+      bound as the fresh-probe gate) so a file edit cannot smuggle in a
+      curve the original gates would have rejected.
+
+    Args:
+        curve: the cached :class:`~repro.core.mrc.MissRateCurve`.
+        anchor_size: current allocation (colors) -- the re-anchor point.
+        anchor_mpki: most recent measured MPKI at that allocation.
+        config: gate thresholds (shared with the probe gates).
+        warmup_fraction: stored metadata of the probe that produced the
+            curve.
+    """
+    checks: List[QualityCheck] = [assess_anchor(anchor_mpki, config)]
+    if anchor_mpki is not None and checks[0].passed:
+        shift = anchor_mpki - curve.value_at(anchor_size)
+        checks.append(QualityCheck(
+            name="reuse-shift",
+            passed=abs(shift) <= config.max_reuse_shift_mpki,
+            value=abs(shift),
+            bound=config.max_reuse_shift_mpki,
+            detail=f"v-offset {shift:+.2f} MPKI at {anchor_size} colors",
+        ))
+    pairs = max(1, curve.num_points - 1)
+    violations = curve.monotone_violations() / pairs
+    checks.append(QualityCheck(
+        name="monotonicity",
+        passed=violations <= config.max_monotone_violation_fraction,
+        value=violations,
+        bound=config.max_monotone_violation_fraction,
+    ))
+    checks.append(QualityCheck(
+        name="warmup-fraction",
+        passed=warmup_fraction <= config.max_warmup_fraction,
+        value=warmup_fraction,
+        bound=config.max_warmup_fraction,
+    ))
+    quality = ProbeQuality(checks=tuple(checks))
+    registry = get_telemetry().registry
+    registry.counter("store.reuse_assessed").inc()
+    if quality.ok:
+        registry.counter("store.reuse_ok").inc()
+    else:
+        registry.counter("store.reuse_rejected").inc()
+        for check in quality.failures:
+            registry.counter(
+                "quality.reuse_gate_failures", gate=check.name
+            ).inc()
+    return quality
 
 
 def assess_anchor(

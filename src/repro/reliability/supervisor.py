@@ -117,7 +117,8 @@ class ReliabilityEvent:
     """One structured supervisor decision.
 
     ``kind`` is one of ``accepted``, ``rejected``, ``retry``,
-    ``exhausted``, ``degraded``, ``deadline``.
+    ``exhausted``, ``degraded``, ``deadline``, ``invalidated``,
+    ``reused``.
     """
 
     kind: str
@@ -260,6 +261,23 @@ class ProbeSupervisor:
             reasons.append("anchor")
         self._emit("rejected", pid, detail=",".join(reasons) or "unknown")
         return None
+
+    def note_reuse(self, pid: int, curve: MissRateCurve,
+                   detail: str = "") -> None:
+        """Record a curve served from the MRC store instead of a probe.
+
+        A reused curve passed the reuse quality gates
+        (:func:`~repro.reliability.quality.assess_reuse`), so it counts
+        as a success: it becomes the process's last-known-good, clears
+        the consecutive-failure streak, and puts the process on the
+        ``FRESH`` rung -- the decision basis is as good as a probe's.
+        """
+        health = self.health(pid)
+        health.last_good = curve
+        health.consecutive_failures = 0
+        health._accepted.inc()
+        health.rung = DegradationRung.FRESH
+        self._emit("reused", pid, DegradationRung.FRESH, detail=detail)
 
     def report_deadline(self, pid: int, accesses: int) -> None:
         """Record a probe aborted by the access-budget deadline."""

@@ -35,7 +35,7 @@ decision is visible both as a :class:`ManagerEvent` and as a structured
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import heapq
 
@@ -46,12 +46,14 @@ from repro.core.rapidmrc import ProbeConfig, RapidMRC, RapidMRCResult
 from repro.obs import get_telemetry
 from repro.pmu.sampling import PMUModel, TraceCollector
 from repro.reliability.faults import FaultPlan, wrap_collector
-from repro.reliability.quality import assess_probe
+from repro.reliability.quality import assess_probe, assess_reuse
 from repro.reliability.supervisor import (
     ProbeSupervisor,
     ReliabilityEvent,
     SupervisorConfig,
 )
+from repro.store.mrc_store import MRCStore, StoreConfig
+from repro.store.signature import PhaseSignature, signature_of
 from repro.runner.driver import Process
 from repro.sim.cpu import IssueMode
 from repro.sim.hierarchy import MemoryHierarchy
@@ -90,6 +92,12 @@ class DynamicConfig:
             backoff, deadline, degradation ladder).
         fault_plan: optional deterministic fault injection applied to
             every probe's trace channel (tests / chaos drills).
+        store: phase-signature MRC cache policy; ``None`` disables
+            caching entirely (no store is built, every transition pays
+            a full probe -- the pre-cache behaviour).
+        reuse_enabled: consult the store before probing.  With a store
+            configured but reuse disabled, fresh admitted probes are
+            still recorded (cache priming / ``--no-mrc-reuse``).
     """
 
     interval_instructions: Optional[int] = None
@@ -102,6 +110,8 @@ class DynamicConfig:
     exception_cost_cycles: int = 1200
     reliability: SupervisorConfig = SupervisorConfig()
     fault_plan: Optional[FaultPlan] = None
+    store: Optional[StoreConfig] = None
+    reuse_enabled: bool = True
 
     def __post_init__(self) -> None:
         if self.interval_instructions is not None and self.interval_instructions <= 0:
@@ -137,7 +147,7 @@ class ManagerEvent:
 
     ``kind`` is one of ``probe``, ``transition``, ``resize``,
     ``probe-rejected``, ``probe-retry``, ``probe-deadline``,
-    ``degraded``.
+    ``degraded``, ``cache-reuse``, ``reuse-rejected``.
     """
 
     kind: str
@@ -161,6 +171,9 @@ class DynamicReport:
     probes_rejected: int = 0
     degraded_decisions: int = 0
     reliability_events: List[ReliabilityEvent] = field(default_factory=list)
+    probes_reused: int = 0
+    reuse_rejected: int = 0
+    store_stats: Optional[Dict[str, int]] = None
 
     def events_of_kind(self, kind: str) -> List[ManagerEvent]:
         return [event for event in self.events if event.kind == kind]
@@ -187,6 +200,12 @@ class _Managed:
         # Open telemetry span of the in-flight probe (floating: probes
         # interleave with execution, so they cannot be lexical scopes).
         self.probe_span = None
+        # Index into ``timeline`` of the current phase's first *settled*
+        # sample.  Transition-interval samples straddle the boundary
+        # (they mix two working sets, Section 5.2.2), so fingerprints
+        # must not include them: the window advances past every
+        # in-transition interval and starts at the first steady one.
+        self.phase_sample_start = 0
 
 
 class DynamicPartitionManager:
@@ -197,6 +216,10 @@ class DynamicPartitionManager:
         workloads: the co-scheduled applications (each gets a core).
         config: loop tunables.
         issue_mode: processor mode for execution and the PMU channel.
+        store: an existing :class:`~repro.store.mrc_store.MRCStore` to
+            use (e.g. loaded from disk for a warm start); overrides
+            ``config.store``.  ``None`` builds one from ``config.store``
+            when that is set, else runs without a cache.
     """
 
     def __init__(
@@ -206,6 +229,7 @@ class DynamicPartitionManager:
         config: DynamicConfig = DynamicConfig(),
         issue_mode: IssueMode = IssueMode.COMPLEX,
         prefetcher: Optional[PrefetcherConfig] = None,
+        store: Optional[MRCStore] = None,
     ):
         if not workloads:
             raise ValueError("need at least one workload")
@@ -220,12 +244,20 @@ class DynamicPartitionManager:
         self.supervisor = ProbeSupervisor(
             config.reliability, num_colors=machine.num_colors
         )
+        if store is not None:
+            self.store: Optional[MRCStore] = store
+        elif config.store is not None:
+            self.store = MRCStore(config.store)
+        else:
+            self.store = None
         self._interval = config.resolved_interval(machine)
         self.events: List[ManagerEvent] = []
         self.migration_cycles = 0.0
         self.probes_run = 0
         self.probes_rejected = 0
         self.degraded_decisions = 0
+        self.probes_reused = 0
+        self.reuse_rejected = 0
         self.resizes = 0
 
         # Start from an even split -- the uninformed default.
@@ -295,6 +327,9 @@ class DynamicPartitionManager:
             probes_rejected=self.probes_rejected,
             degraded_decisions=self.degraded_decisions,
             reliability_events=list(self.supervisor.events),
+            probes_reused=self.probes_reused,
+            reuse_rejected=self.reuse_rejected,
+            store_stats=self.store.stats() if self.store else None,
         )
 
     def _advance(self, target_extra: int, managed_hooks: bool) -> None:
@@ -337,7 +372,24 @@ class DynamicPartitionManager:
         elif managed.needs_probe and (
             managed.intervals_since_probe >= managed.cooldown_intervals
         ):
-            self._start_probe(index, managed)
+            # Section 7 future work: when the workload returns to a
+            # phase already profiled, reuse the cached curve instead of
+            # paying a full probe.  A miss (or a failed reuse gate)
+            # falls through to the ordinary probe path.
+            if not self._try_reuse(index, managed):
+                if (
+                    self.store is not None
+                    and self.config.reuse_enabled
+                    and not self._phase_window(managed)
+                ):
+                    # The phase has no settled sample yet, so the cache
+                    # could not even be consulted.  Hold the probe for
+                    # the interval(s) it takes one to arrive: a hit then
+                    # saves the whole probe, and a probe started now
+                    # could not be fingerprinted for storage anyway.
+                    pass
+                else:
+                    self._start_probe(index, managed)
 
         if managed.interval_instructions_seen >= self._interval:
             self._end_interval(index, managed)
@@ -377,6 +429,81 @@ class DynamicPartitionManager:
                     detail="invalidated by phase transition",
                 ))
                 self._handle_probe_failure(index, managed)
+        if managed.detector.in_transition:
+            # This interval's sample straddles (or ramps through) a
+            # phase boundary; keep the fingerprint window ahead of it so
+            # signatures describe only the settled phase.
+            managed.phase_sample_start = len(managed.timeline)
+
+    def _phase_window(self, managed: _Managed) -> List[float]:
+        """Settled MPKI samples of the current phase (fingerprint input)."""
+        return managed.timeline[managed.phase_sample_start:]
+
+    def _phase_signature(self, managed: _Managed) -> Optional[PhaseSignature]:
+        window = self._phase_window(managed)
+        if self.store is None or not window:
+            return None
+        return signature_of(
+            managed.process.workload.name,
+            window,
+            self.store.config.signature,
+        )
+
+    def _try_reuse(self, index: int, managed: _Managed) -> bool:
+        """Serve a cached curve for this phase if the store has one.
+
+        Returns ``True`` when a cached curve was re-anchored at the
+        currently measured MPKI point and fed to the selector -- the
+        probe is then skipped entirely.
+        """
+        if self.store is None or not self.config.reuse_enabled:
+            return False
+        signature = self._phase_signature(managed)
+        if signature is None:
+            # No settled sample of this phase yet: nothing to
+            # fingerprint and nothing to re-anchor against.
+            return False
+        telemetry = get_telemetry()
+        entry = self.store.get(
+            signature, now_instructions=self._global_instructions()
+        )
+        if entry is None:
+            telemetry.registry.counter("dynamic.cache_misses", pid=index).inc()
+            return False
+        anchor_size = len(self.current_colors[index])
+        anchor_mpki = managed.timeline[-1]
+        quality = assess_reuse(
+            entry.mrc, anchor_size, anchor_mpki,
+            self.config.reliability.quality,
+            warmup_fraction=entry.warmup_fraction,
+        )
+        if not quality.ok:
+            self.reuse_rejected += 1
+            telemetry.registry.counter(
+                "dynamic.reuse_rejected", pid=index
+            ).inc()
+            self.events.append(ManagerEvent(
+                kind="reuse-rejected", pid=index,
+                instructions=self._global_instructions(),
+                detail=quality.describe(),
+            ))
+            return False
+        curve, shift = entry.mrc.v_offset_matched(anchor_size, anchor_mpki)
+        managed.mrc = curve
+        managed.needs_probe = False
+        managed.intervals_since_probe = 0
+        managed.cooldown_intervals = self.config.probe_cooldown_intervals
+        self.probes_reused += 1
+        detail = f"{entry.signature.key()} shift {shift:+.2f} MPKI"
+        self.supervisor.note_reuse(index, curve, detail=detail)
+        telemetry.registry.counter("dynamic.cache_hits", pid=index).inc()
+        self.events.append(ManagerEvent(
+            kind="cache-reuse", pid=index,
+            instructions=self._global_instructions(),
+            detail=detail,
+        ))
+        self._redecide()
+        return True
 
     def _start_probe(self, index: int, managed: _Managed) -> None:
         log_entries = self.config.probe.resolved_log_entries(self.machine)
@@ -469,6 +596,19 @@ class DynamicPartitionManager:
             managed.mrc = curve
             managed.cooldown_intervals = self.config.probe_cooldown_intervals
             self.probes_run += 1
+            # Fingerprint at admit time: by now the phase has settled
+            # samples (the probe itself spans several intervals), so the
+            # stored signature matches what a later revisit's settled
+            # window will produce.  A mid-probe transition would have
+            # invalidated the probe, so the window is still this phase.
+            signature = self._phase_signature(managed)
+            if signature is not None and result is not None:
+                # Cache the *raw* shape: reuse re-anchors it at the
+                # then-current measurement, so the stored level is moot.
+                self.store.put_result(
+                    signature, result,
+                    now_instructions=self._global_instructions(),
+                )
             self.events.append(ManagerEvent(
                 kind="probe", pid=index,
                 instructions=self._global_instructions(),

@@ -1,0 +1,40 @@
+"""``repro.store``: the phase-signature MRC cache.
+
+The paper's Section 7 future work envisions *reusing* miss-rate curves
+when phases recur instead of paying a fresh probe on every transition;
+the MRC-construction literature treats cached locality profiles as the
+standard lever for making online MRC generation cheap.  This package is
+that lever:
+
+- :mod:`repro.store.signature` -- fingerprint a phase from its
+  per-interval MPKI history (quantized level + slope + workload
+  identity) so near-identical recurring phases hash to the same key;
+- :mod:`repro.store.mrc_store` -- a bounded LRU :class:`MRCStore` keyed
+  by signature, holding admitted curves plus quality metadata, with an
+  instruction-based staleness TTL and JSON persistence so repeated runs
+  warm-start from disk.
+
+The dynamic manager (:mod:`repro.runner.dynamic`) consults the store on
+every phase transition: a hit re-anchors the cached curve at the
+currently measured MPKI point (v-offset matching, paper Section 3.2)
+and skips the probe entirely; a miss or a failed re-anchor quality gate
+falls through to the ordinary probe path.
+"""
+
+from repro.store.signature import (
+    PhaseSignature,
+    SignatureConfig,
+    signature_of,
+    workload_signature,
+)
+from repro.store.mrc_store import MRCStore, StoreConfig, StoredCurve
+
+__all__ = [
+    "PhaseSignature",
+    "SignatureConfig",
+    "signature_of",
+    "workload_signature",
+    "MRCStore",
+    "StoreConfig",
+    "StoredCurve",
+]

@@ -1,0 +1,196 @@
+"""Phase fingerprints: hashable keys for recurring program phases.
+
+The monitoring loop already measures one MRC point per interval (the
+L2 MPKI at the current allocation, paper Section 5.2.2).  That history
+is enough to *recognize* a phase when the workload returns to it: a
+phase is characterized by the identity of the process running it, the
+MPKI level it settles at, and the direction the level is drifting.
+
+Raw MPKI is noisy, so two visits to the same phase never produce the
+same floating-point history.  The fingerprint therefore quantizes:
+
+- **level** -- the mean of the last ``history`` interval samples,
+  bucketed by ``level_quantum_mpki``;
+- **slope** -- the per-interval drift across the same window, bucketed
+  by ``slope_quantum_mpki`` (steady phases land in bucket 0);
+- **workload** -- the workload/process identity string.
+
+Near-identical recurring phases then hash to the *same*
+:class:`PhaseSignature`, which makes the signature usable as a plain
+dict key.  For visits that land one bucket apart (a level straddling a
+bucket edge), :meth:`PhaseSignature.matches` provides the
+tolerance-based comparison the store's lookup falls back to.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+__all__ = [
+    "SignatureConfig",
+    "PhaseSignature",
+    "signature_of",
+    "workload_signature",
+]
+
+
+@dataclass(frozen=True)
+class SignatureConfig:
+    """Quantization and matching parameters.
+
+    Args:
+        level_quantum_mpki: bucket width for the MPKI level.  Two phases
+            whose mean MPKI differs by less than this land in the same
+            bucket (and hence the same cache entry).  The default sits
+            below the phase detector's 3-MPKI transition threshold:
+            anything the detector calls "the same phase" should also
+            fingerprint the same.
+        slope_quantum_mpki: bucket width for the per-interval MPKI
+            drift.  Steady phases (the reusable kind) land in bucket 0;
+            ramps fingerprint separately so a mid-transition probe is
+            never mistaken for the settled phase.
+        history: interval samples summarized by one fingerprint.  Kept
+            to a few intervals so the fingerprint describes the *current*
+            phase, not the transition into it.
+        match_tolerance_mpki: maximum level distance (in MPKI) at which
+            two signatures still :meth:`~PhaseSignature.matches` during
+            the store's tolerant lookup.
+    """
+
+    level_quantum_mpki: float = 2.0
+    slope_quantum_mpki: float = 1.5
+    history: int = 3
+    match_tolerance_mpki: float = 2.5
+
+    def __post_init__(self) -> None:
+        if self.level_quantum_mpki <= 0:
+            raise ValueError(
+                f"level_quantum_mpki must be positive, "
+                f"got {self.level_quantum_mpki!r}"
+            )
+        if self.slope_quantum_mpki <= 0:
+            raise ValueError(
+                f"slope_quantum_mpki must be positive, "
+                f"got {self.slope_quantum_mpki!r}"
+            )
+        if self.history < 1:
+            raise ValueError(f"history must be >= 1, got {self.history!r}")
+        if self.match_tolerance_mpki < 0:
+            raise ValueError(
+                f"match_tolerance_mpki must be >= 0, "
+                f"got {self.match_tolerance_mpki!r}"
+            )
+
+
+@dataclass(frozen=True)
+class PhaseSignature:
+    """One phase's fingerprint: hashable, JSON-serializable.
+
+    Attributes:
+        workload: workload/process identity string.
+        level_bucket: quantized MPKI level (``round(mean / quantum)``).
+        slope_bucket: quantized per-interval MPKI drift.
+        level_quantum_mpki: the quantum the buckets were built with --
+            carried so tolerance matching and persistence survive config
+            changes between runs.
+    """
+
+    workload: str
+    level_bucket: int
+    slope_bucket: int
+    level_quantum_mpki: float = 2.0
+
+    @property
+    def level_mpki(self) -> float:
+        """Representative MPKI level (bucket center)."""
+        return self.level_bucket * self.level_quantum_mpki
+
+    def matches(
+        self, other: "PhaseSignature", tolerance_mpki: float
+    ) -> bool:
+        """Tolerance-based comparison for the store's fallback lookup.
+
+        Two signatures match when they describe the same workload, the
+        same drift direction, and MPKI levels within ``tolerance_mpki``
+        of each other -- the "near-identical recurring phase" case where
+        exact bucketing straddled an edge.
+        """
+        return (
+            self.workload == other.workload
+            and self.slope_bucket == other.slope_bucket
+            and abs(self.level_mpki - other.level_mpki) <= tolerance_mpki
+        )
+
+    def key(self) -> str:
+        """Stable string form (the JSON persistence key)."""
+        return (
+            f"{self.workload}|L{self.level_bucket}|S{self.slope_bucket}"
+            f"|q{self.level_quantum_mpki:g}"
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "workload": self.workload,
+            "level_bucket": self.level_bucket,
+            "slope_bucket": self.slope_bucket,
+            "level_quantum_mpki": self.level_quantum_mpki,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "PhaseSignature":
+        return cls(
+            workload=str(payload["workload"]),
+            level_bucket=int(payload["level_bucket"]),
+            slope_bucket=int(payload["slope_bucket"]),
+            level_quantum_mpki=float(
+                payload.get("level_quantum_mpki", 2.0)
+            ),
+        )
+
+
+def signature_of(
+    workload: str,
+    mpki_history: Sequence[float],
+    config: SignatureConfig = SignatureConfig(),
+) -> PhaseSignature:
+    """Fingerprint a phase from its recent per-interval MPKI history.
+
+    Uses the last ``config.history`` samples.  A single sample yields a
+    zero slope (no drift information; the level alone identifies the
+    phase).
+
+    Raises:
+        ValueError: on an empty history -- with no monitoring sample at
+            all there is nothing to fingerprint (the caller should probe
+            instead).
+    """
+    if not mpki_history:
+        raise ValueError("cannot fingerprint an empty MPKI history")
+    window = list(mpki_history[-config.history:])
+    level = sum(window) / len(window)
+    if len(window) > 1:
+        slope = (window[-1] - window[0]) / (len(window) - 1)
+    else:
+        slope = 0.0
+    return PhaseSignature(
+        workload=workload,
+        level_bucket=round(level / config.level_quantum_mpki),
+        slope_bucket=round(slope / config.slope_quantum_mpki),
+        level_quantum_mpki=config.level_quantum_mpki,
+    )
+
+
+def workload_signature(workload: str, machine_name: str = "") -> PhaseSignature:
+    """Identity-only fingerprint for one-shot (whole-run) probes.
+
+    The CLI's ``probe``/``partition`` commands profile a workload once,
+    with no monitoring history to fingerprint; the phase being cached is
+    simply "this workload on this machine".  Level and slope buckets are
+    pinned to zero so repeated runs of the same command hit the same
+    entry.
+    """
+    if not workload:
+        raise ValueError("workload identity must be non-empty")
+    identity = f"{workload}@{machine_name}" if machine_name else workload
+    return PhaseSignature(workload=identity, level_bucket=0, slope_bucket=0)

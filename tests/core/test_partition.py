@@ -70,6 +70,27 @@ class TestTwoWay:
         assert decision.colors == (10, 6)
 
 
+class TestTwoWayTies:
+    def test_flat_curves_split_evenly(self):
+        decision = choose_partition_sizes(flat(3.0), flat(3.0), 16)
+        assert decision.colors == (8, 8)
+        assert decision.total_mpki == pytest.approx(6.0)
+
+    def test_tie_accepted_split_reports_its_own_total(self):
+        # Regression: a tie-accepted split (within the 1e-12 window but
+        # not bit-identical) must report *that* split's total, not the
+        # slightly smaller total of the split it displaced -- otherwise
+        # total_mpki no longer equals MRCa(x) + MRCb(C-x) at the
+        # returned colors.
+        values = [1.0] * 16
+        values[7] = 1.0 + 1e-13          # size 8 is 1e-13 worse
+        a = curve(values)
+        b = flat(1.0)
+        decision = choose_partition_sizes(a, b, 16)
+        assert decision.colors == (8, 8)  # balance wins the tie
+        assert decision.total_mpki == a.value_at(8) + b.value_at(8)
+
+
 class TestMultiWay:
     def test_two_apps_matches_exhaustive_for_convex_curves(self):
         a = curve([float(40 - 2.5 * i) for i in range(16)])
@@ -97,6 +118,46 @@ class TestMultiWay:
     def test_single_app_gets_everything(self):
         decision = choose_partition_sizes_multi([linear_decline(10.0)], 16)
         assert decision.colors == (16,)
+
+    def test_flat_tie_splits_evenly_three_ways(self):
+        # Regression: exactly-tied marginal gains must go to the app
+        # holding the fewest colors, not always to the first app --
+        # three insensitive apps used to end up at (14, 1, 1).
+        decision = choose_partition_sizes_multi([flat(2.0)] * 3, 16)
+        assert sorted(decision.colors) == [5, 5, 6]
+
+    def test_flat_tie_splits_evenly_four_ways(self):
+        decision = choose_partition_sizes_multi([flat(2.0)] * 4, 16)
+        assert decision.colors == (4, 4, 4, 4)
+
+    def test_identical_curves_stay_balanced(self):
+        mrcs = [linear_decline(30.0)] * 4
+        decision = choose_partition_sizes_multi(mrcs, 16)
+        assert max(decision.colors) - min(decision.colors) <= 1
+
+    @given(
+        curves_values=st.lists(
+            st.lists(st.floats(min_value=0, max_value=5), min_size=15,
+                     max_size=15),
+            min_size=2, max_size=4,
+        )
+    )
+    def test_property_greedy_matches_dp_on_convex_curves(
+        self, curves_values
+    ):
+        # Non-increasing marginal gains (convex decreasing MRCs) are the
+        # regime where greedy marginal allocation is provably optimal.
+        mrcs = []
+        for decrements in curves_values:
+            steps = sorted(decrements, reverse=True)
+            values = [sum(steps)]
+            for step in steps:
+                # Clamp float-cancellation dust: MPKI must stay >= 0.
+                values.append(max(0.0, values[-1] - step))
+            mrcs.append(curve(values))
+        greedy = choose_partition_sizes_multi(mrcs, 16)
+        dp = choose_partition_sizes_optimal(mrcs, 16)
+        assert greedy.total_mpki == pytest.approx(dp.total_mpki, abs=1e-6)
 
 
 class TestOptimalDP:
@@ -168,6 +229,29 @@ class TestPooling:
         assert insensitive == ["w"]
         _, insensitive = pool_insensitive({"w": wiggle}, tolerance_mpki=0.5)
         assert insensitive == []
+
+
+@given(
+    a=st.lists(st.floats(min_value=0, max_value=100), min_size=16, max_size=16),
+    b=st.lists(st.floats(min_value=0, max_value=100), min_size=16, max_size=16),
+)
+def test_property_total_mpki_is_sum_at_returned_colors(a, b):
+    # The reported total must be *exactly* the curve sum at the returned
+    # allocation -- a consistency invariant the tie-handling regression
+    # in choose_partition_sizes used to violate.
+    mrc_a, mrc_b = curve(a), curve(b)
+    two_way = choose_partition_sizes(mrc_a, mrc_b, 16)
+    assert two_way.total_mpki == (
+        mrc_a.value_at(two_way.colors[0]) + mrc_b.value_at(two_way.colors[1])
+    )
+    multi = choose_partition_sizes_multi([mrc_a, mrc_b], 16)
+    assert multi.total_mpki == sum(
+        mrc.value_at(c) for mrc, c in zip([mrc_a, mrc_b], multi.colors)
+    )
+    dp = choose_partition_sizes_optimal([mrc_a, mrc_b], 16)
+    assert dp.total_mpki == pytest.approx(sum(
+        mrc.value_at(c) for mrc, c in zip([mrc_a, mrc_b], dp.colors)
+    ), abs=1e-9)
 
 
 @given(

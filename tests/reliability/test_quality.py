@@ -189,3 +189,60 @@ class TestAnchor:
         config = QualityConfig(max_plausible_mpki=10.0)
         assert not assess_anchor(50.0, config).passed
         assert assess_anchor(5.0, config).passed
+
+
+class TestReuseGate:
+    def _curve(self, top=40.0):
+        return MissRateCurve({i: top / i for i in range(1, 17)})
+
+    def test_good_reuse_passes(self):
+        from repro.reliability.quality import assess_reuse
+
+        quality = assess_reuse(self._curve(), anchor_size=8, anchor_mpki=6.0)
+        assert quality.ok
+        assert {c.name for c in quality.checks} == {
+            "anchor", "reuse-shift", "monotonicity", "warmup-fraction",
+        }
+
+    def test_excessive_shift_rejected(self):
+        from repro.reliability.quality import assess_reuse
+
+        config = QualityConfig(max_reuse_shift_mpki=10.0)
+        # Curve says 5 MPKI at 8 colors; the machine measures 40: this
+        # is not the phase the cache remembers.
+        quality = assess_reuse(
+            self._curve(), anchor_size=8, anchor_mpki=40.0, config=config
+        )
+        assert not quality.ok
+        assert quality.failures[0].name == "reuse-shift"
+
+    def test_missing_anchor_rejected(self):
+        from repro.reliability.quality import assess_reuse
+
+        quality = assess_reuse(self._curve(), anchor_size=8, anchor_mpki=None)
+        assert not quality.ok
+        assert quality.failures[0].name == "anchor"
+
+    def test_non_monotone_disk_curve_rejected(self):
+        from repro.reliability.quality import assess_reuse
+
+        sawtooth = MissRateCurve(
+            {i: 10.0 + (5.0 if i % 2 else -5.0) for i in range(1, 17)}
+        )
+        quality = assess_reuse(sawtooth, anchor_size=8, anchor_mpki=10.0)
+        assert not quality.ok
+        assert any(c.name == "monotonicity" for c in quality.failures)
+
+    def test_stored_warmup_metadata_still_gated(self):
+        from repro.reliability.quality import assess_reuse
+
+        quality = assess_reuse(
+            self._curve(), anchor_size=8, anchor_mpki=6.0,
+            warmup_fraction=0.99,
+        )
+        assert not quality.ok
+        assert any(c.name == "warmup-fraction" for c in quality.failures)
+
+    def test_bad_shift_bound_rejected(self):
+        with pytest.raises(ValueError):
+            QualityConfig(max_reuse_shift_mpki=0.0)

@@ -1,0 +1,107 @@
+"""Tests for phase fingerprints (repro.store.signature)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.store.signature import (
+    PhaseSignature,
+    SignatureConfig,
+    signature_of,
+    workload_signature,
+)
+
+
+class TestSignatureOf:
+    def test_steady_history_lands_in_slope_bucket_zero(self):
+        sig = signature_of("mcf", [20.1, 19.8, 20.3])
+        assert sig.slope_bucket == 0
+        assert sig.workload == "mcf"
+
+    def test_level_is_quantized_mean(self):
+        config = SignatureConfig(level_quantum_mpki=4.0)
+        sig = signature_of("w", [19.0, 21.0, 20.0], config)
+        assert sig.level_bucket == 5          # round(20 / 4)
+        assert sig.level_mpki == pytest.approx(20.0)
+
+    def test_two_visits_to_same_phase_hash_equal(self):
+        # Different floating-point noise, same phase: same dict key.
+        a = signature_of("w", [20.1, 19.9, 20.2])
+        b = signature_of("w", [19.8, 20.3, 19.9])
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_ramp_fingerprints_apart_from_steady(self):
+        steady = signature_of("w", [20.0, 20.0, 20.0])
+        ramp = signature_of("w", [5.0, 20.0, 35.0])
+        assert steady != ramp
+        assert ramp.slope_bucket != 0
+
+    def test_window_limited_to_configured_history(self):
+        config = SignatureConfig(history=2)
+        sig = signature_of("w", [500.0, 10.0, 10.0], config)
+        assert sig.level_bucket == round(10.0 / config.level_quantum_mpki)
+
+    def test_single_sample_has_zero_slope(self):
+        sig = signature_of("w", [12.0])
+        assert sig.slope_bucket == 0
+
+    def test_empty_history_rejected(self):
+        with pytest.raises(ValueError):
+            signature_of("w", [])
+
+
+class TestMatching:
+    def test_adjacent_level_buckets_match_within_tolerance(self):
+        a = PhaseSignature("w", level_bucket=10, slope_bucket=0)
+        b = PhaseSignature("w", level_bucket=11, slope_bucket=0)
+        assert a.matches(b, tolerance_mpki=2.5)   # 2.0 MPKI apart
+        assert not a.matches(b, tolerance_mpki=1.0)
+
+    def test_workload_identity_is_required(self):
+        a = PhaseSignature("w1", level_bucket=10, slope_bucket=0)
+        b = PhaseSignature("w2", level_bucket=10, slope_bucket=0)
+        assert not a.matches(b, tolerance_mpki=100.0)
+
+    def test_drift_direction_is_required(self):
+        a = PhaseSignature("w", level_bucket=10, slope_bucket=0)
+        b = PhaseSignature("w", level_bucket=10, slope_bucket=2)
+        assert not a.matches(b, tolerance_mpki=100.0)
+
+    @given(
+        level=st.floats(min_value=0, max_value=200),
+        noise=st.floats(min_value=-0.4, max_value=0.4),
+    )
+    def test_property_noise_below_half_quantum_matches(self, level, noise):
+        config = SignatureConfig(level_quantum_mpki=2.0,
+                                 match_tolerance_mpki=2.5)
+        a = signature_of("w", [level] * 3, config)
+        b = signature_of("w", [level + noise] * 3, config)
+        assert a.matches(b, config.match_tolerance_mpki)
+
+
+class TestSerialization:
+    def test_round_trip(self):
+        sig = signature_of("astar", [31.0, 29.5, 30.1])
+        assert PhaseSignature.from_dict(sig.to_dict()) == sig
+
+    def test_key_is_stable_and_distinct(self):
+        a = signature_of("w", [10.0] * 3)
+        b = signature_of("w", [30.0] * 3)
+        assert a.key() == signature_of("w", [10.0] * 3).key()
+        assert a.key() != b.key()
+
+
+class TestWorkloadSignature:
+    def test_repeated_calls_hit_same_entry(self):
+        assert workload_signature("mcf", "POWER5") == workload_signature(
+            "mcf", "POWER5"
+        )
+
+    def test_machine_scopes_the_identity(self):
+        assert workload_signature("mcf", "POWER5") != workload_signature(
+            "mcf", "POWER5/16"
+        )
+
+    def test_empty_workload_rejected(self):
+        with pytest.raises(ValueError):
+            workload_signature("")

@@ -170,3 +170,49 @@ class TestTelemetry:
         path.write_text("not json\n")
         assert main(["obs", "report", str(path)]) == 2
         assert "not JSON" in capsys.readouterr().err
+
+
+class TestMrcCache:
+    def test_flags_parsed(self):
+        args = build_parser().parse_args(
+            ["probe", "mcf", "--mrc-cache", "cache.json", "--no-mrc-reuse"]
+        )
+        assert args.mrc_cache == "cache.json"
+        assert args.no_mrc_reuse
+
+    def test_probe_cold_then_warm(self, capsys, tmp_path):
+        path = str(tmp_path / "cache.json")
+        assert main(["--scale", "32", "probe", "crafty", "--fast",
+                     "--mrc-cache", path]) == 0
+        cold = capsys.readouterr().out
+        assert "cached under crafty@" in cold
+        assert main(["--scale", "32", "probe", "crafty", "--fast",
+                     "--mrc-cache", path]) == 0
+        warm = capsys.readouterr().out
+        assert "cache hit: crafty@" in warm
+        # The served curve is the probed one, verbatim.
+        assert cold.splitlines()[-1] == warm.splitlines()[-1]
+
+    def test_no_reuse_probes_again(self, capsys, tmp_path):
+        path = str(tmp_path / "cache.json")
+        assert main(["--scale", "32", "probe", "crafty", "--fast",
+                     "--mrc-cache", path]) == 0
+        capsys.readouterr()
+        assert main(["--scale", "32", "probe", "crafty", "--fast",
+                     "--mrc-cache", path, "--no-mrc-reuse"]) == 0
+        out = capsys.readouterr().out
+        assert "cache hit" not in out
+        assert "log entries" in out
+
+    def test_partition_reuses_probe_cache(self, capsys, tmp_path):
+        path = str(tmp_path / "cache.json")
+        assert main(["--scale", "32", "partition", "crafty", "gzip",
+                     "--fast", "--mrc-cache", path]) == 0
+        cold = capsys.readouterr().out
+        assert "mrc cache saved" in cold
+        assert main(["--scale", "32", "partition", "crafty", "gzip",
+                     "--fast", "--mrc-cache", path]) == 0
+        warm = capsys.readouterr().out
+        assert "cache hit: crafty@" in warm
+        assert "cache hit: gzip@" in warm
+        assert cold.splitlines()[-1] == warm.splitlines()[-1]
