@@ -30,7 +30,13 @@ __all__ = ["main"]
 
 
 def _machine(args: argparse.Namespace) -> MachineConfig:
-    return MachineConfig.scaled(args.scale) if args.scale > 1 else MachineConfig()
+    machine = (
+        MachineConfig.scaled(args.scale) if args.scale > 1 else MachineConfig()
+    )
+    engine = getattr(args, "sim_engine", None)
+    if engine:
+        machine = machine.with_engine(engine)
+    return machine
 
 
 def _open_store(args: argparse.Namespace) -> Optional[MRCStore]:
@@ -56,7 +62,7 @@ def _cmd_probe(args: argparse.Namespace) -> int:
     machine = _machine(args)
     workload = make_workload(args.workload, machine)
     print(f"# machine: {machine.name} (L2 {machine.l2_lines} lines, "
-          f"{machine.num_colors} colors)")
+          f"{machine.num_colors} colors, {machine.sim_engine} engine)")
     store = _open_store(args)
     signature = (
         workload_signature(args.workload, machine.name)
@@ -184,8 +190,11 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         print("no samples to analyze", file=sys.stderr)
         return 1
     instructions = args.instructions or 48 * len(trace)
+    # analyze has no hierarchy to simulate: --sim-engine batch means the
+    # batch stack-distance engine, exactly what --fast selects.
+    use_batch = args.fast or args.sim_engine == "batch"
     probe_config = (
-        ProbeConfig(stack_engine="batch") if args.fast else ProbeConfig()
+        ProbeConfig(stack_engine="batch") if use_batch else ProbeConfig()
     )
     engine = RapidMRC(machine, probe_config)
     result = engine.compute(trace, instructions, label=args.trace)
@@ -280,6 +289,12 @@ def build_parser() -> argparse.ArgumentParser:
              "(bit-identical to rangelist, several times faster)",
     )
     probe.add_argument(
+        "--sim-engine", choices=["scalar", "batch"], default=None,
+        help="hierarchy simulation engine: 'batch' drives the probe and "
+             "--real runs through the vectorized fast path "
+             "(bit-identical results, several times faster)",
+    )
+    probe.add_argument(
         "--workers", type=int, default=None, metavar="N",
         help="parallel worker processes for the --real per-size runs",
     )
@@ -306,6 +321,11 @@ def build_parser() -> argparse.ArgumentParser:
     part.add_argument(
         "--fast", action="store_true",
         help="compute each MRC with the vectorized batch engine",
+    )
+    part.add_argument(
+        "--sim-engine", choices=["scalar", "batch"], default=None,
+        help="hierarchy simulation engine: 'batch' drives both probes "
+             "and the real-MRC runs through the vectorized fast path",
     )
     part.add_argument(
         "--workers", type=int, default=None, metavar="N",
@@ -353,6 +373,11 @@ def build_parser() -> argparse.ArgumentParser:
     analyze.add_argument(
         "--fast", action="store_true",
         help="load and analyze the trace with the vectorized batch engine",
+    )
+    analyze.add_argument(
+        "--sim-engine", choices=["scalar", "batch"], default=None,
+        help="'batch' selects the vectorized stack-distance engine for "
+             "the MRC computation (same engine --fast enables)",
     )
     analyze.add_argument(
         "--telemetry", metavar="PATH", default=None,

@@ -159,6 +159,14 @@ class RunReport:
             return None
         return max(sorted(by_engine), key=lambda engine: by_engine[engine])
 
+    def sim_engine(self) -> str:
+        """Which simulation engine drove the run's accesses.
+
+        ``"batch"`` when any accesses went through the fast engine
+        (:mod:`repro.sim.fastsim`), ``"scalar"`` otherwise.
+        """
+        return "batch" if self.counter_total("sim.batch_accesses") else "scalar"
+
     # -- rendering ----------------------------------------------------------
 
     def render(self) -> str:
@@ -171,6 +179,17 @@ class RunReport:
         out("== telemetry run report ==")
         out(f"spans: {len(self.spans)} recorded, "
             f"{total_seconds * 1e3:.2f} ms total span time")
+        engine = self.sim_engine()
+        if engine == "batch":
+            by_path = self.counter_by_label("sim.batch_accesses", "engine")
+            detail = ", ".join(
+                f"{path} {count}" for path, count in sorted(by_path.items())
+            )
+            fallbacks = self.counter_total("sim.batch_fallbacks")
+            out(f"simulation engine: batch ({detail} accesses; "
+                f"{fallbacks} fallbacks)")
+        else:
+            out("simulation engine: scalar")
         out("")
         out("per-stage cost breakdown (paper Table 2 structure):")
         out(f"  {'stage':<20} {'count':>7} {'total ms':>12} "

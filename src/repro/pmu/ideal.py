@@ -67,14 +67,18 @@ class IdealTraceCollector:
 
     def observe(self, result: AccessResult) -> None:
         """Feed one hierarchy access event during the probe."""
-        if self.done or result.is_ifetch:
+        if result.is_ifetch:
             return
-        if result.l1_hit:
+        self.observe_event(result.line, result.l1_hit, result.prefetched_lines)
+
+    def observe_event(self, line, l1_hit, prefetched_lines=()) -> None:
+        """Raw-event form of :meth:`observe` (the batch engine's path)."""
+        if self.done or l1_hit:
             return
         self.l1d_misses += 1
-        self._record(result.line)
+        self._record(line)
         if self.record_prefetches:
-            for pf_line in result.prefetched_lines:
+            for pf_line in prefetched_lines:
                 if self.done:
                     break
                 self._record(pf_line)

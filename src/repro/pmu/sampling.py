@@ -128,11 +128,23 @@ class TraceCollector:
 
     def observe(self, result: AccessResult) -> None:
         """Feed one hierarchy access event that occurred during the probe."""
-        if self.done or result.is_ifetch:
+        if result.is_ifetch:
+            self._tick()
+            return
+        self.observe_event(result.line, result.l1_hit, result.prefetched_lines)
+
+    def observe_event(self, line, l1_hit, prefetched_lines=()) -> None:
+        """Raw-event form of :meth:`observe` (no ``AccessResult`` needed).
+
+        The batch engine's slab-scalar loop feeds collectors through this
+        method so it never materializes per-access result objects; it is
+        exactly :meth:`observe` for a non-ifetch event.
+        """
+        if self.done:
             self._tick()
             return
 
-        if result.l1_hit:
+        if l1_hit:
             self._tick()
             # L1 hits never reach the L2 and are invisible to the L1D-miss
             # selection criterion (this is RapidMRC's central economy:
@@ -147,7 +159,7 @@ class TraceCollector:
 
         # The hardware updates the SDAR, the PMC overflows, the exception
         # handler reads the SDAR into the log.
-        self.sdar.update(result.line)
+        self.sdar.update(line)
         self.pmc.count()
         if self.pmc.take_overflow():
             self.exceptions += 1
@@ -158,7 +170,7 @@ class TraceCollector:
 
         # Prefetches triggered by this miss: stale-SDAR entries on POWER5.
         if self.pmu_model.prefetch_raises_stale_entry:
-            for _pf_line in result.prefetched_lines:
+            for _pf_line in prefetched_lines:
                 if self.done:
                     break
                 self.pmc.count()

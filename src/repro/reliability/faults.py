@@ -315,10 +315,19 @@ class FaultyTraceCollector:
         self.inner.observe_instructions(count)
 
     def observe(self, result: AccessResult) -> None:
+        if result.is_ifetch:
+            if self.done:
+                return
+            self.inner.observe(result)
+            return
+        self.observe_event(result.line, result.l1_hit, result.prefetched_lines)
+
+    def observe_event(self, line, l1_hit, prefetched_lines=()) -> None:
+        """Raw-event form of :meth:`observe`, with identical fault draws."""
         if self.done:
             return
-        if result.l1_hit or result.is_ifetch:
-            self.inner.observe(result)
+        if l1_hit:
+            self.inner.observe_event(line, True, prefetched_lines)
             return
 
         if self._lost is not None and self._rng.random() < self._lost.rate:
@@ -328,24 +337,18 @@ class FaultyTraceCollector:
             self._lost_counter.inc()
             return
 
-        line = result.line
-        prefetched = result.prefetched_lines
-        mutated = False
+        prefetched = prefetched_lines
         if self._phase_shifted_now():
             if not self.report.phase_shifted:
                 self.report.phase_shifted = True
                 self._shift_counter.inc()
             line = self._relocate(line)
             prefetched = [self._relocate(pf) for pf in prefetched]
-            mutated = True
         if self._corrupt is not None and self._rng.random() < self._corrupt.rate:
             self.report.record_corrupted()
             self._corrupt_counter.inc()
             line = self._rng.getrandbits(48)
-            mutated = True
-        if mutated:
-            result = dc_replace(result, line=line, prefetched_lines=list(prefetched))
-        self.inner.observe(result)
+        self.inner.observe_event(line, False, prefetched)
 
     def finish(self) -> ProbeTrace:
         trace = self.inner.finish()

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass
+from functools import partial
 from typing import List, Optional, Sequence, Tuple
 
 from repro.runner.driver import Process
@@ -101,6 +102,21 @@ def corun(
             )
         )
 
+    steps = [partial(p.step, hierarchy) for p in processes]
+    flushes = []
+    if machine.sim_engine == "batch":
+        from repro.obs import get_telemetry
+        from repro.sim.fastsim import FastStepper, slab_eligible
+
+        if all(slab_eligible(p, hierarchy) for p in processes):
+            steppers = [FastStepper(p, hierarchy) for p in processes]
+            steps = [s.step for s in steppers]
+            flushes = [s.flush for s in steppers]
+        else:
+            get_telemetry().registry.counter(
+                "sim.batch_fallbacks", reason="replacement"
+            ).inc()
+
     def run_until(target_extra: int) -> None:
         """Advance processes clock-fairly until one executes target_extra
         more accesses than it had when this call began."""
@@ -114,23 +130,27 @@ def corun(
         while heap:
             _cycles, index = heapq.heappop(heap)
             process = processes[index]
-            process.step(hierarchy)
+            steps[index]()
             if process.accesses - start[index] >= target_extra:
                 return
             heapq.heappush(heap, (process.cycles, index))
 
-    if warmup_accesses > 0:
-        run_until(warmup_accesses)
-        hierarchy.reset_counters()
-        for process in processes:
-            process.reset_metrics()
-        # Cycle clocks are *not* reset: fairness carries over; but IPC
-        # accounting below uses deltas.
-        cycle_base = [p.cycles for p in processes]
-    else:
-        cycle_base = [0.0] * len(processes)
+    try:
+        if warmup_accesses > 0:
+            run_until(warmup_accesses)
+            hierarchy.reset_counters()
+            for process in processes:
+                process.reset_metrics()
+            # Cycle clocks are *not* reset: fairness carries over; but IPC
+            # accounting below uses deltas.
+            cycle_base = [p.cycles for p in processes]
+        else:
+            cycle_base = [0.0] * len(processes)
 
-    run_until(quota_accesses)
+        run_until(quota_accesses)
+    finally:
+        for flush in flushes:
+            flush()
 
     ipc: List[float] = []
     mpki: List[float] = []

@@ -20,7 +20,7 @@ from repro.sim.memory import PageAllocator
 from repro.sim.prefetcher import PrefetcherConfig, StreamPrefetcher
 from repro.workloads.base import MemoryAccess, Workload
 
-__all__ = ["Process", "drive"]
+__all__ = ["Process", "drive", "drive_batch"]
 
 
 class Process:
@@ -63,7 +63,12 @@ class Process:
         self.issue_mode = issue_mode
         if colors is not None:
             allocator.set_colors(pid, colors)
-        self._stream: Iterator[MemoryAccess] = workload.accesses(seed_offset)
+        self._seed_offset = seed_offset
+        # Created lazily on first use so the batch engine can adopt a
+        # never-pulled stream with native array generation instead of
+        # wrapping a live iterator (repro.sim.fastsim redirects this
+        # through its BatchAccessSource either way).
+        self._stream: Optional[Iterator[MemoryAccess]] = None
         self.machine = allocator.machine
         self._pf_config = prefetcher or PrefetcherConfig()
         self.prefetcher = StreamPrefetcher(self._pf_config)
@@ -76,35 +81,61 @@ class Process:
         self._expose = issue_mode.overlap_factor
         self._line_size = self.machine.line_size
         self._page_size = self.machine.page_size
+        self._lines_per_page = self._page_size // self._line_size
+        # Hot-path bindings: the per-access loop must not re-resolve these.
+        self._tlb = allocator.line_cache(pid)
+        self._pf_random = self._pf_rng.random
+        self._pf_late = self._pf_config.late_probability
+        self._pf_install = self._pf_config.l1_install_probability
+        # Set by the batch engine when it adopts this process's stream;
+        # scalar step() keeps working through it (see repro.sim.fastsim).
+        self._fastsim_source = None
 
     def step(self, hierarchy: MemoryHierarchy) -> AccessResult:
         """Execute one access (plus its surrounding instructions)."""
-        access = next(self._stream)
-        vline = access.vaddr // self._line_size
-        line = self.allocator.translate(self.pid, access.vaddr) // self._line_size
-        result = hierarchy.access(self.core, line, is_store=access.is_store)
+        stream = self._stream
+        if stream is None:
+            stream = self._stream = self.workload.accesses(self._seed_offset)
+        access = next(stream)
+        vaddr = access.vaddr
+        vline = vaddr // self._line_size
+        lines_per_page = self._lines_per_page
+        tlb = self._tlb
+        vpage, page_line = divmod(vline, lines_per_page)
+        base = tlb.get(vpage)
+        translated = base is None
+        if translated:
+            base = self.allocator.translate_page_lines(self.pid, vpage)
+        result = hierarchy.access(
+            self.core, base + page_line, is_store=access.is_store
+        )
         if result.l1_miss:
+            pf_random = self._pf_random
             for pf_vline in self.prefetcher.observe_miss(vline):
-                pf_line = self.allocator.translate(
-                    self.pid, pf_vline * self._line_size
-                ) // self._line_size
+                pf_vpage, pf_page_line = divmod(pf_vline, lines_per_page)
+                pf_base = tlb.get(pf_vpage)
+                if pf_base is None:
+                    pf_base = self.allocator.translate_page_lines(
+                        self.pid, pf_vpage
+                    )
+                    translated = True
+                pf_line = pf_base + pf_page_line
                 # Every *request* is visible to the PMU (stale entries);
                 # late prefetches install nothing, timely ones always
                 # reach the L2 and sometimes the L1.
                 result.prefetched_lines.append(pf_line)
-                if self._pf_rng.random() < self._pf_config.late_probability:
+                if pf_random() < self._pf_late:
                     continue
-                install_l1 = (
-                    self._pf_rng.random()
-                    < self._pf_config.l1_install_probability
-                )
+                install_l1 = pf_random() < self._pf_install
                 hierarchy.prefetch_fill(self.core, pf_line, install_l1=install_l1)
         hierarchy.counters[self.core].instructions += self._ipa
         self.instructions += self._ipa
         self.accesses += 1
         self.cycles += self._base_cost + self._penalty(result, hierarchy.machine)
-        # Lazy page migrations performed by this access are charged here.
-        self.cycles += self.allocator.take_migration_debt(self.pid)
+        if translated:
+            # Lazy page migrations only happen on a translation-cache
+            # miss; the cycles are charged to the access that migrated.
+            self.cycles += self.allocator.take_migration_debt(self.pid)
         return result
 
     def _penalty(self, result: AccessResult, machine: MachineConfig) -> float:
@@ -161,3 +192,26 @@ def drive(
         if stop is not None and stop():
             break
     return executed
+
+
+def drive_batch(
+    process: Process,
+    hierarchy: MemoryHierarchy,
+    num_accesses: int,
+    observer: Optional[Callable[[AccessResult], None]] = None,
+    stop: Optional[Callable[[], bool]] = None,
+    slab_size: Optional[int] = None,
+) -> int:
+    """Batched sibling of :func:`drive`: same semantics, same results.
+
+    Dispatches to :mod:`repro.sim.fastsim`, which simulates the access
+    stream in array slabs (kernelized when the configuration allows,
+    slab-scalar otherwise) and is bit-identical to :func:`drive`.
+    """
+    from repro.sim.fastsim import DEFAULT_SLAB
+    from repro.sim.fastsim import drive_batch as _drive_batch
+
+    return _drive_batch(
+        process, hierarchy, num_accesses, observer=observer, stop=stop,
+        slab_size=slab_size if slab_size is not None else DEFAULT_SLAB,
+    )

@@ -227,6 +227,7 @@ def fig3_accuracy(
     probe_config: ProbeConfig = ProbeConfig(),
     fast: Optional[bool] = None,
     max_workers: Optional[int] = None,
+    sim_engine: Optional[str] = None,
 ) -> List[AccuracyRow]:
     """Figure 3: RapidMRC vs the real MRC for every application.
 
@@ -235,8 +236,13 @@ def fig3_accuracy(
             ``True`` computes every probe's MRC with the batch engine.
         max_workers: probe the applications in parallel worker processes
             (each row is independent); ``None`` stays sequential.
+        sim_engine: override the machine's simulation engine
+            (``"batch"`` runs every measurement and probe through
+            :mod:`repro.sim.fastsim`; results are bit-identical).
     """
     machine = machine or default_machine()
+    if sim_engine is not None:
+        machine = machine.with_engine(sim_engine)
     chosen = list(names) if names is not None else list(WORKLOAD_NAMES)
     if max_workers is not None and max_workers > 1 and len(chosen) > 1:
         from concurrent.futures import ProcessPoolExecutor
@@ -524,6 +530,7 @@ def fig7_partitioning(
     disable_l3: bool = True,
     fast: Optional[bool] = None,
     max_workers: Optional[int] = None,
+    sim_engine: Optional[str] = None,
 ) -> List[Fig7Result]:
     """Figure 7: choose partition sizes from RapidMRC vs real MRCs and
     measure the normalized-IPC spectrum over all splits.
@@ -536,8 +543,13 @@ def fig7_partitioning(
             computes each co-runner's MRC with the batch engine.
         max_workers: probe the two co-runners of each pair in parallel
             worker processes (they are independent runs).
+        sim_engine: override the machine's simulation engine
+            (``"batch"`` runs probes, offline MRCs, and co-runs through
+            :mod:`repro.sim.fastsim`; results are bit-identical).
     """
     machine = machine or default_machine()
+    if sim_engine is not None:
+        machine = machine.with_engine(sim_engine)
     corun_machine = machine.without_l3() if disable_l3 else machine
     quota = quota_accesses or 24 * machine.l2_lines
     warm = warmup_accesses if warmup_accesses is not None else 8 * machine.l2_lines

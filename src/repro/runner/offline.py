@@ -18,7 +18,7 @@ from typing import List, Optional, Sequence
 
 from repro.core.mrc import MissRateCurve
 from repro.obs import absorb_payload, call_traced, telemetry_enabled
-from repro.runner.driver import Process, drive
+from repro.runner.driver import Process, drive, drive_batch
 from repro.sim.cpu import IssueMode
 from repro.sim.hierarchy import MemoryHierarchy
 from repro.sim.machine import MachineConfig
@@ -90,9 +90,10 @@ def measure_mpki(
     what the PMU's miss counters report on the real machine.
     """
     hierarchy, process = _build_run(workload, machine, colors, config, seed_offset)
-    drive(process, hierarchy, config.resolved_warmup(machine))
+    driver = drive_batch if machine.sim_engine == "batch" else drive
+    driver(process, hierarchy, config.resolved_warmup(machine))
     hierarchy.reset_counters()
-    drive(process, hierarchy, config.resolved_measure(machine))
+    driver(process, hierarchy, config.resolved_measure(machine))
     mpki = hierarchy.counters[0].mpki()
     hierarchy.publish_telemetry()
     return mpki
@@ -172,12 +173,25 @@ def mpki_timeline(
     series: List[float] = []
     counters = hierarchy.counters[0]
     executed = 0
-    while executed < total_accesses:
-        process.step(hierarchy)
-        executed += 1
-        if counters.instructions >= interval_instructions:
-            series.append(counters.mpki())
-            counters.reset()
+    if machine.sim_engine == "batch":
+        # Instructions advance by a fixed amount per access, so the index
+        # of each interval's closing access is known in advance: run to
+        # it in one batched call instead of checking after every step.
+        per_access = workload.instructions_per_access
+        while executed < total_accesses:
+            needed = interval_instructions - counters.instructions
+            chunk = min(-(-needed // per_access), total_accesses - executed)
+            executed += drive_batch(process, hierarchy, chunk)
+            if counters.instructions >= interval_instructions:
+                series.append(counters.mpki())
+                counters.reset()
+    else:
+        while executed < total_accesses:
+            process.step(hierarchy)
+            executed += 1
+            if counters.instructions >= interval_instructions:
+                series.append(counters.mpki())
+                counters.reset()
     if counters.instructions >= interval_instructions // 2:
         # Keep a final partial interval if it is at least half-length.
         series.append(counters.mpki())

@@ -38,7 +38,7 @@ from repro.reliability.quality import (
     QualityConfig,
     assess_probe,
 )
-from repro.runner.driver import Process, drive
+from repro.runner.driver import Process, drive, drive_batch
 from repro.sim.cpu import IssueMode
 from repro.sim.hierarchy import MemoryHierarchy
 from repro.sim.machine import MachineConfig
@@ -187,6 +187,7 @@ def collect_trace(
     elif fast is False and probe_config.stack_engine == "batch":
         probe_config = replace(probe_config, stack_engine="rangelist")
     log_entries = probe_config.resolved_log_entries(machine)
+    driver = drive_batch if machine.sim_engine == "batch" else drive
     telemetry = get_telemetry()
     with telemetry.tracer.span("probe", workload=workload.name):
         hierarchy = MemoryHierarchy(machine, num_cores=1)
@@ -200,7 +201,7 @@ def collect_trace(
             issue_mode=online.issue_mode,
             prefetcher=PrefetcherConfig(enabled=online.prefetch_enabled),
         )
-        drive(process, hierarchy, online.resolved_warmup(machine))
+        driver(process, hierarchy, online.resolved_warmup(machine))
 
         if online.use_ideal_pmu:
             collector = IdealTraceCollector(
@@ -220,7 +221,7 @@ def collect_trace(
         with telemetry.tracer.span(
             "trace_collect", workload=workload.name, log_capacity=log_entries
         ):
-            executed = drive(
+            executed = driver(
                 process,
                 hierarchy,
                 online.resolved_max_accesses(machine, log_entries),

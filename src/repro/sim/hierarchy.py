@@ -317,10 +317,21 @@ class MemoryHierarchy:
     # -- maintenance ------------------------------------------------------------
 
     def flush_l2(self) -> None:
-        """Empty the L2 (used between partitioning configurations)."""
+        """Empty the L2 (used between partitioning configurations).
+
+        Prefetch provenance is advisory, but a repartition flush is a
+        measurement boundary: drop tracked lines the L1 has since
+        evicted so no pre-flush install can be reported afterwards.
+        """
         self.l2.flush()
+        for core in range(self.num_cores):
+            resident = set(self.l1d[core].resident_lines())
+            self._prefetched_l1[core].intersection_update(resident)
 
     def flush_all(self) -> None:
         for cache in self.l1d + self.l1i:
             cache.flush()
         self.l2.flush()
+        # The L1s are now empty, so no tracked prefetch install survives.
+        for tracked in self._prefetched_l1:
+            tracked.clear()

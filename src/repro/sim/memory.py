@@ -16,6 +16,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Tuple
 
+import numpy as np
+
 from repro.sim.coloring import ColorMapper
 from repro.sim.machine import MachineConfig
 
@@ -77,6 +79,11 @@ class PageAllocator:
         # process -> allowed colors (round-robin cursor kept alongside)
         self._allowed: Dict[int, List[int]] = {}
         self._cursor: Dict[int, int] = {}
+        # Bumped whenever an existing vpage -> frame mapping may change;
+        # per-process line caches handed out by line_cache() are cleared
+        # in place so holders' references stay valid.
+        self.translation_epoch = 0
+        self._line_cache: Dict[int, Dict[int, int]] = {}
 
     # -- policy -------------------------------------------------------------
 
@@ -110,6 +117,85 @@ class PageAllocator:
     def translate_line(self, process: int, vaddr: int) -> int:
         """Translate a virtual byte address to a physical *line* number."""
         return self.translate(process, vaddr) // self.machine.line_size
+
+    def line_cache(self, process: int) -> Dict[int, int]:
+        """The process's vpage -> physical-line-base cache (a stable dict).
+
+        Callers populate it via :meth:`translate_page_lines` or by caching
+        ``_frame_for(...) * lines_per_page`` themselves; entries survive
+        until :meth:`bump_translation_epoch` clears them (in place, so a
+        held reference never goes stale).
+        """
+        cache = self._line_cache.get(process)
+        if cache is None:
+            cache = self._line_cache[process] = {}
+        return cache
+
+    def translate_page_lines(self, process: int, vpage: int) -> int:
+        """Physical line number of the first line of ``vpage``, cached.
+
+        First touches (and post-resize stale pages) still route through
+        :meth:`_frame_for`, so allocation round-robin order and lazy
+        migration debt behave exactly as per-access translation.
+        """
+        cache = self.line_cache(process)
+        base = cache.get(vpage)
+        if base is None:
+            base = self._frame_for(process, vpage) * (
+                self.machine.page_size // self.machine.line_size
+            )
+            cache[vpage] = base
+        return base
+
+    def translate_lines_batch(
+        self, process: int, vaddrs: np.ndarray
+    ) -> Tuple[np.ndarray, Optional[np.ndarray]]:
+        """Translate a slab of virtual byte addresses to physical lines.
+
+        Returns ``(lines, debt)`` where ``debt`` is ``None`` when no lazy
+        migrations fired, else per-access migration cycles charged at the
+        access that first touched each stale page (matching the scalar
+        path's ``take_migration_debt`` timing).  Frames are allocated on
+        first touch in stream order, so the round-robin allocator state
+        advances exactly as per-access translation would.  Only valid
+        when no *other* process allocates concurrently (solo drives).
+        """
+        page_size = self.machine.page_size
+        lines_per_page = page_size // self.machine.line_size
+        vpages = vaddrs // page_size
+        line_offsets = (vaddrs % page_size) // self.machine.line_size
+        uniq, first_index, inverse = np.unique(
+            vpages, return_index=True, return_inverse=True
+        )
+        cache = self.line_cache(process)
+        bases = np.empty(uniq.size, dtype=np.int64)
+        missing: List[int] = []
+        for position, vpage in enumerate(uniq.tolist()):
+            base = cache.get(vpage)
+            if base is None:
+                missing.append(position)
+            else:
+                bases[position] = base
+        debt: Optional[np.ndarray] = None
+        if missing:
+            missing.sort(key=lambda position: first_index[position])
+            for position in missing:
+                vpage = int(uniq[position])
+                base = self._frame_for(process, vpage) * lines_per_page
+                cache[vpage] = base
+                bases[position] = base
+                owed = self._migration_debt.pop(process, 0)
+                if owed:
+                    if debt is None:
+                        debt = np.zeros(vaddrs.size, dtype=np.int64)
+                    debt[first_index[position]] += owed
+        return bases[inverse] + line_offsets, debt
+
+    def bump_translation_epoch(self) -> None:
+        """Invalidate all per-process line caches (mappings changed)."""
+        self.translation_epoch += 1
+        for cache in self._line_cache.values():
+            cache.clear()
 
     def _frame_for(self, process: int, vpage: int) -> int:
         key = (process, vpage)
@@ -174,6 +260,8 @@ class PageAllocator:
             else:
                 self._page_table[(proc, vpage)] = self._allocate(process)
                 migrated += 1
+        if migrated or marked:
+            self.bump_translation_epoch()
         return MigrationReport(
             pages_migrated=migrated,
             cycles=migrated * self.migration_cost_cycles,

@@ -14,9 +14,94 @@ from __future__ import annotations
 import abc
 import random
 from dataclasses import dataclass
-from typing import Iterator
+from typing import Iterator, Tuple
 
-__all__ = ["MemoryAccess", "Workload", "AccessPattern"]
+import numpy as np
+
+__all__ = [
+    "MemoryAccess",
+    "Workload",
+    "AccessPattern",
+    "AccessBatch",
+    "BatchCursor",
+    "draw_uniform",
+]
+
+#: One generated slab: line-aligned virtual addresses plus store flags.
+AccessBatch = Tuple[np.ndarray, np.ndarray]
+
+
+def draw_uniform(rng: random.Random, count: int) -> np.ndarray:
+    """``count`` consecutive ``rng.random()`` draws as a float64 array.
+
+    Bit-identical to calling ``rng.random()`` ``count`` times -- CPython's
+    ``random.Random`` and ``numpy.random.RandomState`` share the MT19937
+    core and build each double from the same two 32-bit words with the
+    same (exact, power-of-two) scaling -- but generated in C.  The
+    Python RNG's state is transferred in, advanced by the vectorized
+    draw, and written back, so scalar draws may continue seamlessly.
+    """
+    if count <= 0:
+        return np.empty(0, dtype=np.float64)
+    version, internal, gauss_next = rng.getstate()
+    if version != 3 or len(internal) != 625:  # pragma: no cover - exotic VM
+        return np.fromiter(
+            (rng.random() for _ in range(count)), np.float64, count
+        )
+    state = np.random.RandomState()
+    state.set_state(
+        ("MT19937", np.asarray(internal[:624], dtype=np.uint32), internal[624])
+    )
+    out = state.random_sample(count)
+    _mt, keys, pos, _hg, _cg = state.get_state()
+    rng.setstate((version, tuple(int(k) for k in keys) + (pos,), gauss_next))
+    return out
+
+
+class BatchCursor:
+    """Pull arbitrary-length array chunks from a batch iterator.
+
+    The glue for composite patterns: sub-patterns yield fixed-size
+    slabs, but the composite consumes a data-dependent number of
+    accesses per output batch.
+    """
+
+    __slots__ = ("_batches", "_vaddrs", "_stores", "_cursor")
+
+    def __init__(self, batches: Iterator[AccessBatch]):
+        self._batches = batches
+        self._vaddrs = np.empty(0, dtype=np.int64)
+        self._stores = np.empty(0, dtype=np.bool_)
+        self._cursor = 0
+
+    def take(self, count: int) -> AccessBatch:
+        """The next ``count`` accesses as ``(vaddrs, stores)`` arrays."""
+        start = self._cursor
+        end = start + count
+        if end <= self._vaddrs.size:
+            self._cursor = end
+            return self._vaddrs[start:end], self._stores[start:end]
+        vparts = [self._vaddrs[start:]]
+        sparts = [self._stores[start:]]
+        got = vparts[0].size
+        while got < count:
+            vaddrs, stores = next(self._batches)
+            need = count - got
+            if vaddrs.size > need:
+                self._vaddrs, self._stores = vaddrs, stores
+                self._cursor = need
+                vparts.append(vaddrs[:need])
+                sparts.append(stores[:need])
+                return np.concatenate(vparts), np.concatenate(sparts)
+            vparts.append(vaddrs)
+            sparts.append(stores)
+            got += vaddrs.size
+        self._vaddrs = np.empty(0, dtype=np.int64)
+        self._stores = np.empty(0, dtype=np.bool_)
+        self._cursor = 0
+        if len(vparts) == 1:
+            return vparts[0], sparts[0]
+        return np.concatenate(vparts), np.concatenate(sparts)
 
 
 @dataclass(frozen=True)
@@ -38,6 +123,30 @@ class AccessPattern(abc.ABC):
     @abc.abstractmethod
     def generate(self, rng: random.Random) -> Iterator[MemoryAccess]:
         """Yield accesses forever."""
+
+    def generate_batch(
+        self, rng: random.Random, batch_size: int = 8192
+    ) -> Iterator[AccessBatch]:
+        """Yield ``(vaddrs, is_store)`` array slabs forever.
+
+        The concatenation of the yielded slabs is exactly the stream
+        :meth:`generate` produces from an identically seeded RNG -- same
+        addresses, same store flags, same RNG draw order -- so the two
+        forms are interchangeable mid-stream.  The default implementation
+        buffers the scalar generator; hot patterns override it with
+        native vectorized generation.
+        """
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        stream = self.generate(rng)
+        while True:
+            vaddrs = np.empty(batch_size, dtype=np.int64)
+            stores = np.empty(batch_size, dtype=np.bool_)
+            for index in range(batch_size):
+                access = next(stream)
+                vaddrs[index] = access.vaddr
+                stores[index] = access.is_store
+            yield vaddrs, stores
 
     @abc.abstractmethod
     def footprint_bytes(self) -> int:
@@ -89,6 +198,29 @@ class Workload:
                 yield MemoryAccess(access.vaddr, is_store=True)
             else:
                 yield access
+
+    def access_batches(
+        self, seed_offset: int = 0, batch_size: int = 8192
+    ) -> Iterator[AccessBatch]:
+        """Array-slab form of :meth:`accesses` (same stream, same draws).
+
+        Store promotion consumes ``store_rng`` draws in the exact scalar
+        order: one draw per access the pattern did not already mark as a
+        store, in stream order.
+        """
+        rng = random.Random(f"{self.seed}/{seed_offset}")
+        store_rng = random.Random(f"{self.seed}/{seed_offset}/stores")
+        fraction = self.store_fraction
+        for vaddrs, stores in self.pattern.generate_batch(rng, batch_size):
+            load_positions = np.flatnonzero(~stores)
+            count = load_positions.size
+            if count:
+                draws = draw_uniform(store_rng, count)
+                promoted = draws < fraction
+                if promoted.any():
+                    stores = np.array(stores, dtype=np.bool_, copy=True)
+                    stores[load_positions[promoted]] = True
+            yield vaddrs, stores
 
     def footprint_bytes(self) -> int:
         return self.pattern.footprint_bytes()

@@ -24,7 +24,15 @@ from __future__ import annotations
 import random
 from typing import Iterator, List, Sequence, Tuple
 
-from repro.workloads.base import AccessPattern, MemoryAccess
+import numpy as np
+
+from repro.workloads.base import (
+    AccessBatch,
+    AccessPattern,
+    BatchCursor,
+    MemoryAccess,
+    draw_uniform,
+)
 
 __all__ = [
     "SequentialStream",
@@ -44,6 +52,21 @@ def _check_footprint(footprint: int) -> int:
     if footprint < _LINE:
         raise ValueError(f"footprint must be at least one line ({_LINE}B)")
     return (footprint // _LINE) * _LINE
+
+
+def _cyclic_batches(
+    order: np.ndarray, base: int, batch_size: int
+) -> Iterator[AccessBatch]:
+    """Walk a fixed line-index cycle in array slabs (no RNG consumed)."""
+    if batch_size < 1:
+        raise ValueError("batch_size must be >= 1")
+    period = order.size
+    offsets = np.arange(batch_size, dtype=np.int64)
+    cursor = 0
+    while True:
+        indices = order[(cursor + offsets) % period]
+        cursor = (cursor + batch_size) % period
+        yield base + indices * _LINE, np.zeros(batch_size, dtype=np.bool_)
 
 
 class SequentialStream(AccessPattern):
@@ -67,6 +90,14 @@ class SequentialStream(AccessPattern):
             if index >= lines:
                 index = 0
 
+    def generate_batch(
+        self, rng: random.Random, batch_size: int = 8192
+    ) -> Iterator[AccessBatch]:
+        lines = self.footprint // _LINE
+        return _cyclic_batches(
+            np.arange(lines, dtype=np.int64), self.base, batch_size
+        )
+
     def footprint_bytes(self) -> int:
         return self.footprint
 
@@ -89,6 +120,14 @@ class LoopingScan(AccessPattern):
             for index in range(lines):
                 yield MemoryAccess(self.base + index * _LINE)
 
+    def generate_batch(
+        self, rng: random.Random, batch_size: int = 8192
+    ) -> Iterator[AccessBatch]:
+        lines = self.footprint // _LINE
+        return _cyclic_batches(
+            np.arange(lines, dtype=np.int64), self.base, batch_size
+        )
+
     def footprint_bytes(self) -> int:
         return self.footprint
 
@@ -108,6 +147,25 @@ class RandomWorkingSet(AccessPattern):
         lines = self.footprint // _LINE
         while True:
             yield MemoryAccess(self.base + rng.randrange(lines) * _LINE)
+
+    def generate_batch(
+        self, rng: random.Random, batch_size: int = 8192
+    ) -> Iterator[AccessBatch]:
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        lines = self.footprint // _LINE
+        base = self.base
+        randrange = rng.randrange
+        while True:
+            # randrange uses rejection sampling internally, so the draws
+            # cannot be vectorized bit-identically; fromiter keeps the
+            # exact scalar draw sequence while batching the arithmetic.
+            indices = np.fromiter(
+                (randrange(lines) for _ in range(batch_size)),
+                np.int64,
+                batch_size,
+            )
+            yield base + indices * _LINE, np.zeros(batch_size, dtype=np.bool_)
 
     def footprint_bytes(self) -> int:
         return self.footprint
@@ -155,6 +213,34 @@ class ZipfWorkingSet(AccessPattern):
                 rank = lines - 1
             yield MemoryAccess(self.base + placement[rank] * _LINE)
 
+    def generate_batch(
+        self, rng: random.Random, batch_size: int = 8192
+    ) -> Iterator[AccessBatch]:
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        lines = self.footprint // _LINE
+        base = self.base
+        weights = [1.0 / ((rank + 1) ** self.alpha) for rank in range(lines)]
+        total = sum(weights)
+        cumulative = np.empty(lines, dtype=np.float64)
+        acc = 0.0
+        for rank, weight in enumerate(weights):
+            acc += weight / total
+            cumulative[rank] = acc
+        placement = list(range(lines))
+        random.Random(0xC0FFEE).shuffle(placement)
+        placement_arr = np.asarray(placement, dtype=np.int64)
+        while True:
+            # searchsorted(side="left") on the same float table is exactly
+            # bisect_left, so ranks match the scalar generator draw for draw.
+            draws = draw_uniform(rng, batch_size)
+            ranks = np.searchsorted(cumulative, draws, side="left")
+            np.minimum(ranks, lines - 1, out=ranks)
+            yield (
+                base + placement_arr[ranks] * _LINE,
+                np.zeros(batch_size, dtype=np.bool_),
+            )
+
     def footprint_bytes(self) -> int:
         return self.footprint
 
@@ -179,6 +265,16 @@ class PointerChase(AccessPattern):
         while True:
             for line in order:
                 yield MemoryAccess(self.base + line * _LINE)
+
+    def generate_batch(
+        self, rng: random.Random, batch_size: int = 8192
+    ) -> Iterator[AccessBatch]:
+        lines = self.footprint // _LINE
+        order = list(range(lines))
+        random.Random(self.permutation_seed).shuffle(order)
+        return _cyclic_batches(
+            np.asarray(order, dtype=np.int64), self.base, batch_size
+        )
 
     def footprint_bytes(self) -> int:
         return self.footprint
@@ -205,6 +301,19 @@ class StridedSweep(AccessPattern):
             for offset in range(min(stride, lines)):
                 for index in range(offset, lines, stride):
                     yield MemoryAccess(self.base + index * _LINE)
+
+    def generate_batch(
+        self, rng: random.Random, batch_size: int = 8192
+    ) -> Iterator[AccessBatch]:
+        lines = self.footprint // _LINE
+        stride = self.stride_lines
+        sweep = np.concatenate(
+            [
+                np.arange(offset, lines, stride, dtype=np.int64)
+                for offset in range(min(stride, lines))
+            ]
+        )
+        return _cyclic_batches(sweep, self.base, batch_size)
 
     def footprint_bytes(self) -> int:
         return self.footprint
@@ -246,6 +355,47 @@ class MixedPattern(AccessPattern):
             else:
                 yield next(iterators[-1])
 
+    def generate_batch(
+        self, rng: random.Random, batch_size: int = 8192
+    ) -> Iterator[AccessBatch]:
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        # Sub-stream seeds come off the shared RNG first, exactly as the
+        # scalar generator draws them; afterwards the shared RNG is used
+        # only for the per-access choice draws, so one vectorized draw
+        # block per batch replays the scalar draw order.
+        cursors = []
+        boundaries: List[float] = []
+        acc = 0.0
+        for weight, pattern in self.parts:
+            sub_rng = random.Random(rng.random())
+            cursors.append(BatchCursor(pattern.generate_batch(sub_rng, batch_size)))
+            acc += weight
+            boundaries.append(acc)
+        bounds = np.asarray(boundaries, dtype=np.float64)
+        top = len(cursors) - 1
+        while True:
+            choices = draw_uniform(rng, batch_size)
+            # 'first bound with choice <= bound' == searchsorted left;
+            # rounding can leave the total a hair under 1.0, in which
+            # case the scalar loop falls through to the last stream.
+            selection = np.searchsorted(bounds, choices, side="left")
+            if top:
+                np.minimum(selection, top, out=selection)
+            vaddrs = np.empty(batch_size, dtype=np.int64)
+            stores = np.empty(batch_size, dtype=np.bool_)
+            for index, cursor in enumerate(cursors):
+                positions = (
+                    np.flatnonzero(selection == index)
+                    if top
+                    else np.arange(batch_size)
+                )
+                if positions.size:
+                    sub_v, sub_s = cursor.take(positions.size)
+                    vaddrs[positions] = sub_v
+                    stores[positions] = sub_s
+            yield vaddrs, stores
+
     def footprint_bytes(self) -> int:
         return sum(pattern.footprint_bytes() for _w, pattern in self.parts)
 
@@ -262,6 +412,12 @@ class RegionOffset(AccessPattern):
     def generate(self, rng: random.Random) -> Iterator[MemoryAccess]:
         for access in self.inner.generate(rng):
             yield MemoryAccess(access.vaddr + self.offset, access.is_store)
+
+    def generate_batch(
+        self, rng: random.Random, batch_size: int = 8192
+    ) -> Iterator[AccessBatch]:
+        for vaddrs, stores in self.inner.generate_batch(rng, batch_size):
+            yield vaddrs + self.offset, stores
 
     def footprint_bytes(self) -> int:
         return self.inner.footprint_bytes()

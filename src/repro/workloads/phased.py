@@ -13,7 +13,15 @@ import random
 from dataclasses import dataclass
 from typing import Iterator, List, Sequence
 
-from repro.workloads.base import AccessPattern, MemoryAccess, Workload
+import numpy as np
+
+from repro.workloads.base import (
+    AccessBatch,
+    AccessPattern,
+    BatchCursor,
+    MemoryAccess,
+    Workload,
+)
 
 __all__ = ["Phase", "PhasedWorkload", "PhaseSchedule"]
 
@@ -61,6 +69,40 @@ class PhaseSchedule(AccessPattern):
             for stream, phase in zip(streams, self.phases):
                 for _ in range(phase.duration_accesses):
                     yield next(stream)
+
+    def generate_batch(
+        self, rng: random.Random, batch_size: int = 8192
+    ) -> Iterator[AccessBatch]:
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        # Per-phase seeds are drawn from the shared RNG up front in the
+        # scalar order; after that the schedule is deterministic, so each
+        # output batch is spliced from the phase sub-streams directly.
+        cursors = [
+            BatchCursor(
+                phase.pattern.generate_batch(
+                    random.Random(rng.random() + index), batch_size
+                )
+            )
+            for index, phase in enumerate(self.phases)
+        ]
+        phase_index = 0
+        left_in_phase = self.phases[0].duration_accesses
+        while True:
+            vaddrs = np.empty(batch_size, dtype=np.int64)
+            stores = np.empty(batch_size, dtype=np.bool_)
+            filled = 0
+            while filled < batch_size:
+                chunk = min(left_in_phase, batch_size - filled)
+                sub_v, sub_s = cursors[phase_index].take(chunk)
+                vaddrs[filled:filled + chunk] = sub_v
+                stores[filled:filled + chunk] = sub_s
+                filled += chunk
+                left_in_phase -= chunk
+                if left_in_phase == 0:
+                    phase_index = (phase_index + 1) % len(self.phases)
+                    left_in_phase = self.phases[phase_index].duration_accesses
+            yield vaddrs, stores
 
     def footprint_bytes(self) -> int:
         return max(phase.pattern.footprint_bytes() for phase in self.phases)
