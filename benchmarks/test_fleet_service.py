@@ -1,0 +1,116 @@
+"""Fleet service at scale: 8 processes across 4 cache domains.
+
+Times the event-driven decision loop and reports global probe-budget
+utilization, then gates graceful degradation: a run that suffers a
+domain blackout, a budget storm, and delayed/duplicated churn delivery
+must reconverge to the same co-residency groups as the fault-free run
+once every fault window has cleared (periodic re-placement is the
+mechanism; see DESIGN.md section 12).
+
+Writes ``benchmarks/results/BENCH_fleet_service.json``.
+"""
+
+import json
+import time
+
+from repro.core.phase import PhaseDetectorConfig
+from repro.core.rapidmrc import ProbeConfig
+from repro.fleet.churn import ChurnSchedule
+from repro.fleet.service import FleetConfig, FleetService
+from repro.reliability.faults import ServiceFaultPlan
+from repro.runner.dynamic import DynamicConfig
+from repro.workloads import make_workload
+
+MEMBERS = (
+    "gzip", "mcf", "art", "swim", "twolf", "equake", "libquantum", "mesa",
+)
+POOL = ("applu",)
+NUM_DOMAINS = 4
+TICKS = 18
+CHURN = "join:applu@5,crash:mcf@9"
+# Both windows clear by tick 11, leaving 7 ticks (and at least one
+# periodic re-placement) to reconverge.
+SERVICE_PLAN = (
+    "domain-blackout:0@3+3,budget-storm@8+2,churn-delay:1,churn-duplicate:2"
+)
+
+
+def run_fleet(machine, faulted: bool):
+    dynamic = DynamicConfig(
+        interval_instructions=8 * machine.l2_lines,
+        probe=ProbeConfig(log_entries=1500),
+        probe_cooldown_intervals=1,
+        detector=PhaseDetectorConfig(threshold_mpki=15.0),
+    )
+    service = FleetService(
+        machine,
+        [make_workload(name, machine) for name in MEMBERS],
+        FleetConfig(
+            num_domains=NUM_DOMAINS, ticks=TICKS, dynamic=dynamic,
+            replace_every_ticks=4,
+        ),
+        churn=ChurnSchedule.parse(CHURN),
+        fault_plan=ServiceFaultPlan.parse(SERVICE_PLAN) if faulted else None,
+        pool={name: make_workload(name, machine) for name in POOL},
+    )
+    start = time.perf_counter()
+    report = service.run()
+    return report, time.perf_counter() - start
+
+
+def test_fleet_service_benchmark(bench_machine, report_dir):
+    clean, clean_seconds = run_fleet(bench_machine, faulted=False)
+    faulted, faulted_seconds = run_fleet(bench_machine, faulted=True)
+
+    report = {
+        "machine": bench_machine.name,
+        "processes": len(MEMBERS),
+        "domains": NUM_DOMAINS,
+        "ticks": TICKS,
+        "decision_loop": {
+            "clean_seconds": round(clean_seconds, 3),
+            "clean_seconds_per_tick": round(clean_seconds / TICKS, 4),
+            "faulted_seconds": round(faulted_seconds, 3),
+            "faulted_seconds_per_tick": round(faulted_seconds / TICKS, 4),
+            "decisions_clean": len(list(clean.all_decisions())),
+            "decisions_faulted": len(list(faulted.all_decisions())),
+        },
+        "budget": {
+            "clean": clean.budget_stats,
+            "faulted": faulted.budget_stats,
+        },
+        "faults": {
+            "plan": SERVICE_PLAN,
+            "clear_tick": ServiceFaultPlan.parse(SERVICE_PLAN).clear_tick(),
+            "blackouts": len(faulted.events_of_kind("blackout-start")),
+            "storms": len(faulted.events_of_kind("storm")),
+            "quarantines": faulted.quarantines,
+            "churn_ignored": faulted.churn_ignored,
+        },
+        "placement": {
+            "clean": [list(members) for members in clean.placement_groups()],
+            "faulted": [
+                list(members) for members in faulted.placement_groups()
+            ],
+            "reconverged": (
+                clean.placement_groups() == faulted.placement_groups()
+            ),
+        },
+    }
+
+    path = report_dir / "BENCH_fleet_service.json"
+    path.write_text(json.dumps(report, indent=2) + "\n")
+
+    # Liveness: the loop kept deciding in both regimes.
+    assert report["decision_loop"]["decisions_clean"] >= 1
+    assert report["decision_loop"]["decisions_faulted"] >= 1
+    # The probe budget did real admission work in the clean run.
+    assert clean.budget_stats["admitted"] >= 1
+    assert 0.0 <= clean.budget_stats["utilization"] <= 1.0
+    # The faulted run actually faulted...
+    assert report["faults"]["blackouts"] >= 1
+    assert report["faults"]["storms"] >= 1
+    # ...and still reached the fault-free run's placement groups.
+    assert report["placement"]["reconverged"], (
+        f"faulted fleet failed to reconverge; see {path}"
+    )

@@ -15,12 +15,20 @@ greedy fallback handles larger sets.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Tuple
+from typing import Dict, List, Mapping, Optional, Tuple
 
 from repro.core.mrc import MissRateCurve
-from repro.core.partition import choose_partition_sizes
+from repro.core.partition import (
+    choose_partition_sizes,
+    choose_partition_sizes_multi,
+)
 
-__all__ = ["Pairing", "pair_for_coscheduling"]
+__all__ = [
+    "Pairing",
+    "pair_for_coscheduling",
+    "Placement",
+    "place_on_domains",
+]
 
 
 @dataclass(frozen=True)
@@ -111,6 +119,117 @@ def _exact_matching(count, cost):
         mask = previous
     pairs.reverse()
     return pairs, best[full]
+
+
+@dataclass(frozen=True)
+class Placement:
+    """An assignment of applications to cache domains.
+
+    ``assignments[d]`` lists the applications sharing domain ``d`` (in
+    placement order); ``splits[d]`` is the per-application color counts
+    the within-domain selector chose, aligned with ``assignments[d]``.
+    """
+
+    assignments: Tuple[Tuple[str, ...], ...]
+    splits: Tuple[Tuple[int, ...], ...]
+    predicted_total_mpki: float
+
+    def domain_of(self, name: str) -> int:
+        for domain, members in enumerate(self.assignments):
+            if name in members:
+                return domain
+        raise KeyError(name)
+
+
+def place_on_domains(
+    mrcs: Mapping[str, MissRateCurve],
+    num_domains: int,
+    colors_per_domain: int = 16,
+    slots_per_domain: Optional[int] = None,
+) -> Placement:
+    """Assign applications to cache domains, MRC-guided and deterministic.
+
+    Generalizes :func:`pair_for_coscheduling` beyond pairs: domains are
+    bins of ``slots_per_domain`` cores over a ``colors_per_domain``
+    shared cache.  Cache-sensitive applications (largest MRC dynamic
+    range) place first; each goes to the domain where its *marginal*
+    predicted miss cost -- the domain's best-split total with it minus
+    without it -- is smallest, with ties broken toward the lower domain
+    index, so the same inputs always yield the same placement (the
+    fleet's churn handler relies on that for reconvergence checks).
+
+    Every application must fit: ``num_domains * slots_per_domain >=
+    len(mrcs)`` and each domain must keep at least one color per
+    resident application.
+    """
+    if num_domains < 1:
+        raise ValueError(f"num_domains must be >= 1, got {num_domains!r}")
+    names = sorted(mrcs)
+    if not names:
+        raise ValueError("need at least one application")
+    if slots_per_domain is None:
+        slots_per_domain = -(-len(names) // num_domains)  # ceil
+    if slots_per_domain < 1:
+        raise ValueError(
+            f"slots_per_domain must be >= 1, got {slots_per_domain!r}"
+        )
+    if len(names) > num_domains * slots_per_domain:
+        raise ValueError(
+            f"{len(names)} applications exceed "
+            f"{num_domains} domains x {slots_per_domain} slots"
+        )
+    if slots_per_domain > colors_per_domain:
+        raise ValueError("more slots than colors per domain")
+
+    # Most cache-sensitive first: their placement constrains everyone
+    # else, so they get first pick of an empty domain.
+    order = sorted(
+        names, key=lambda name: (-mrcs[name].dynamic_range(), name)
+    )
+    members: List[List[str]] = [[] for _ in range(num_domains)]
+    costs = [0.0] * num_domains
+
+    def domain_cost(domain_names: List[str]) -> float:
+        if not domain_names:
+            return 0.0
+        decision = choose_partition_sizes_multi(
+            [mrcs[name] for name in domain_names], colors_per_domain
+        )
+        return decision.total_mpki
+
+    for name in order:
+        best_domain = -1
+        best_key = (float("inf"), 0, 0)
+        for domain in range(num_domains):
+            if len(members[domain]) >= slots_per_domain:
+                continue
+            marginal = domain_cost(members[domain] + [name]) - costs[domain]
+            # Ties (e.g. all-flat curves at startup) spread round-robin
+            # -- emptier domain first -- instead of piling into domain 0.
+            key = (round(marginal, 9), len(members[domain]), domain)
+            if key < best_key:
+                best_key = key
+                best_domain = domain
+        members[best_domain].append(name)
+        costs[best_domain] = domain_cost(members[best_domain])
+
+    assignments = tuple(tuple(domain_names) for domain_names in members)
+    splits: List[Tuple[int, ...]] = []
+    total = 0.0
+    for domain_names in members:
+        if not domain_names:
+            splits.append(())
+            continue
+        decision = choose_partition_sizes_multi(
+            [mrcs[name] for name in domain_names], colors_per_domain
+        )
+        splits.append(tuple(decision.colors))
+        total += decision.total_mpki
+    return Placement(
+        assignments=assignments,
+        splits=tuple(splits),
+        predicted_total_mpki=total,
+    )
 
 
 def _greedy_matching(count, cost):

@@ -10,6 +10,7 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import os
 import sys
 from typing import List, Optional
@@ -213,6 +214,133 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    from repro.core.phase import PhaseDetectorConfig
+    from repro.core.rapidmrc import ProbeConfig
+    from repro.fleet import BudgetConfig, ChurnSchedule, FleetConfig, FleetService
+    from repro.reliability.faults import ServiceFaultPlan
+    from repro.runner.dynamic import DynamicConfig
+
+    machine = _machine(args)
+    names = args.workloads
+    if len(set(names)) != len(names):
+        print("error: workload names must be unique", file=sys.stderr)
+        return 2
+    workloads = [make_workload(name, machine) for name in names]
+    pool = {
+        name: make_workload(name, machine)
+        for name in WORKLOAD_NAMES if name not in names
+    }
+    churn = None
+    if args.churn:
+        try:
+            churn = ChurnSchedule.parse(args.churn)
+        except ValueError as error:
+            print(f"error: --churn: {error}", file=sys.stderr)
+            return 2
+    service_plan = None
+    if args.inject_faults:
+        try:
+            service_plan = ServiceFaultPlan.parse(args.inject_faults)
+        except ValueError as error:
+            print(f"error: --inject-faults: {error}", file=sys.stderr)
+            return 2
+        print(f"# injecting service faults: {service_plan.describe()}")
+    probe_plan = None
+    if args.inject_probe_faults:
+        try:
+            probe_plan = FaultPlan.parse(
+                args.inject_probe_faults, seed=args.fault_seed
+            )
+        except ValueError as error:
+            print(f"error: --inject-probe-faults: {error}", file=sys.stderr)
+            return 2
+        print(f"# injecting probe faults: {probe_plan.describe()} "
+              f"(seed {probe_plan.seed})")
+    dynamic = DynamicConfig(
+        interval_instructions=8 * machine.l2_lines,
+        probe=ProbeConfig(log_entries=args.log_entries),
+        probe_cooldown_intervals=1,
+        detector=PhaseDetectorConfig(threshold_mpki=15.0),
+        fault_plan=probe_plan,
+    )
+    config = FleetConfig(
+        num_domains=args.domains,
+        ticks=args.ticks,
+        budget=(
+            BudgetConfig(capacity_accesses=args.budget)
+            if args.budget else None
+        ),
+        dynamic=dynamic,
+        replace_every_ticks=args.replace_every,
+    )
+    print(f"# machine: {machine.name} (per domain: {machine.l2_lines} L2 "
+          f"lines, {machine.num_colors} colors) x {args.domains} domains")
+    if churn is not None:
+        print(f"# churn: {churn.describe()}")
+    service = FleetService(
+        machine, workloads, config,
+        churn=churn, fault_plan=service_plan, pool=pool,
+    )
+    report = service.run()
+    print(f"# ticks: {report.ticks_run}, placements: {len(report.placements)}, "
+          f"churn applied/ignored: {report.churn_applied}/{report.churn_ignored}")
+    for domain, members in enumerate(report.assignments):
+        counts = [report.final_counts.get(name, 0) for name in members]
+        breaker = report.breaker_stats[domain]
+        print(f"# domain {domain}: "
+              + (", ".join(f"{n}={c}" for n, c in zip(members, counts))
+                 or "(empty)")
+              + f" | breaker {breaker['state']} ({breaker['opens']} opens)")
+    budget = report.budget_stats
+    print(f"# budget: {budget['admitted']} admitted, {budget['denied']} denied, "
+          f"utilization {budget['utilization']:.1%}")
+    if report.rungs_served:
+        served = ", ".join(
+            f"{rung}={count}"
+            for rung, count in sorted(report.rungs_served.items())
+        )
+        print(f"# ladder rungs served: {served}")
+    if report.quarantines:
+        print(f"# quarantines: {report.quarantines}")
+    optimized = sum(
+        1 for decision in report.all_decisions()
+        if decision.mode == "optimized"
+    )
+    uniform = sum(
+        1 for decision in report.all_decisions()
+        if decision.mode == "uniform"
+    )
+    print(f"# decisions: {optimized} optimized, {uniform} uniform fallback")
+    if args.check_convergence:
+        # The baseline must be genuinely fault-free: no service-level
+        # windows AND no per-probe injection.
+        clean_config = dataclasses.replace(
+            config,
+            dynamic=dataclasses.replace(dynamic, fault_plan=None),
+        )
+        baseline = FleetService(
+            machine,
+            [make_workload(name, machine) for name in names],
+            clean_config,
+            churn=churn,
+            pool={
+                name: make_workload(name, machine)
+                for name in WORKLOAD_NAMES if name not in names
+            },
+        ).run()
+        converged = (
+            report.placement_groups() == baseline.placement_groups()
+        )
+        print(f"# convergence vs fault-free run: "
+              f"{'MATCH' if converged else 'DIVERGED'}")
+        if not converged:
+            print(f"#   faulted:    {report.placement_groups()}")
+            print(f"#   fault-free: {baseline.placement_groups()}")
+            return 1
+    return 0
+
+
 def _cmd_obs_report(args: argparse.Namespace) -> int:
     from repro.obs.report import RunReport
 
@@ -395,6 +523,67 @@ def build_parser() -> argparse.ArgumentParser:
         help="v-offset match curve B onto curve A at this size first",
     )
     compare.set_defaults(fn=_cmd_compare)
+
+    fleet = sub.add_parser(
+        "fleet",
+        help="run the fault-tolerant multi-domain partition service",
+    )
+    fleet.add_argument(
+        "workloads", nargs="+", choices=WORKLOAD_NAMES, metavar="WORKLOAD",
+        help="initial fleet members (unique names)",
+    )
+    fleet.add_argument(
+        "--domains", type=int, default=2,
+        help="number of cache domains (default 2)",
+    )
+    fleet.add_argument(
+        "--ticks", type=int, default=30,
+        help="service ticks to run (default 30)",
+    )
+    fleet.add_argument(
+        "--budget", type=int, default=None, metavar="ACCESSES",
+        help="global probe budget capacity in accesses "
+             "(default: two probe deadlines)",
+    )
+    fleet.add_argument(
+        "--log-entries", type=int, default=1500,
+        help="probe trace-log length (default 1500)",
+    )
+    fleet.add_argument(
+        "--churn", metavar="SPEC", default=None,
+        help="churn schedule: comma-separated kind:workload@tick items, "
+             "e.g. 'join:gzip@5,crash:mcf@12'",
+    )
+    fleet.add_argument(
+        "--inject-faults", metavar="SPEC", default=None,
+        help="service-level faults: 'domain-blackout[:D]@T+N', "
+             "'budget-storm@T+N', 'churn-delay[:N]', "
+             "'churn-duplicate[:N]', or 'all'",
+    )
+    fleet.add_argument(
+        "--inject-probe-faults", metavar="SPEC", default=None,
+        help="per-probe channel faults (same spec as 'probe "
+             "--inject-faults'); used to exercise the circuit breaker",
+    )
+    fleet.add_argument(
+        "--fault-seed", type=int, default=0,
+        help="root seed for deterministic probe-fault injection",
+    )
+    fleet.add_argument(
+        "--replace-every", type=int, default=None, metavar="TICKS",
+        help="re-evaluate MRC placement every N ticks (not only on "
+             "churn); the reconvergence knob for chaos runs",
+    )
+    fleet.add_argument(
+        "--check-convergence", action="store_true",
+        help="re-run the same schedule fault-free and verify both runs "
+             "reach the same placement (exit 1 on divergence)",
+    )
+    fleet.add_argument(
+        "--telemetry", metavar="PATH", default=None,
+        help="record spans and metrics to this JSONL file",
+    )
+    fleet.set_defaults(fn=_cmd_fleet)
 
     obs = sub.add_parser(
         "obs", help="inspect telemetry recorded with --telemetry",

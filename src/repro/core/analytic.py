@@ -1,0 +1,217 @@
+"""Probe-free analytic MRC estimates (Che/Fagin power-law fit).
+
+The degradation ladder needs a rung between *last-known-good* and the
+flat single-anchor estimate: something that still carries size
+preference but costs zero probe accesses.  Fagin's asymptotic analysis
+of LRU under independent-reference popularity, and the Che
+approximation it converges to, show that for power-law (Zipf-like)
+popularity the steady-state miss ratio itself decays as a power law of
+the cache size (Berthet, arXiv:1705.10738).  That gives a two-parameter
+family
+
+    ``MPKI(c) ~ amplitude * c ** (-alpha)``
+
+that can be fitted from data the monitoring loop *already owns for
+free*: the per-interval PMU miss-rate samples, each taken at whatever
+partition size the process held during that interval.  Every resize the
+dynamic manager performs therefore contributes one more (size, MPKI)
+observation, and after a couple of resizes the fit pins both the level
+and the decay of the curve -- no probe, no trace log, no stack
+simulation.
+
+:class:`AnalyticMRCBank` accumulates those observations per workload,
+fits the power law in log-log space (least squares, slope clamped
+non-positive so the estimate is monotone non-increasing by
+construction), and caches successful fits keyed by the
+:mod:`repro.store.signature` phase fingerprint so a recurring phase can
+be served its analytic curve even before the new visit has sampled two
+distinct sizes.  Samples are discarded on phase transitions: a fit must
+never mix observations from different working sets (the same rule the
+probe path applies, paper Section 5.2.2).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.mrc import MissRateCurve
+from repro.obs import get_telemetry
+
+__all__ = ["AnalyticConfig", "AnalyticMRCBank", "fit_power_law"]
+
+#: Floor added before taking logs so zero-MPKI samples stay fittable.
+_LOG_FLOOR_MPKI = 1e-3
+
+
+@dataclass(frozen=True)
+class AnalyticConfig:
+    """Fit admission knobs.
+
+    Args:
+        min_samples: observations required before a fit is attempted.
+        min_distinct_sizes: distinct partition sizes required -- a power
+            law fitted from one size is just a flat line with extra
+            steps; the flat-anchor rung already covers that case.
+        max_samples: per-workload observation window (oldest dropped).
+        max_alpha: decay-exponent ceiling; steeper fits than any
+            plausible LRU miss curve are rejected as noise artifacts.
+    """
+
+    min_samples: int = 3
+    min_distinct_sizes: int = 2
+    max_samples: int = 64
+    max_alpha: float = 6.0
+
+    def __post_init__(self) -> None:
+        if self.min_samples < 2:
+            raise ValueError(f"min_samples must be >= 2, got {self.min_samples!r}")
+        if self.min_distinct_sizes < 2:
+            raise ValueError(
+                f"min_distinct_sizes must be >= 2, "
+                f"got {self.min_distinct_sizes!r}"
+            )
+        if self.max_samples < self.min_samples:
+            raise ValueError("max_samples must be >= min_samples")
+        if self.max_alpha <= 0:
+            raise ValueError(f"max_alpha must be positive, got {self.max_alpha!r}")
+
+
+def fit_power_law(
+    samples: List[Tuple[int, float]],
+    num_colors: int,
+    label: str = "analytic",
+    max_alpha: float = 6.0,
+) -> Optional[MissRateCurve]:
+    """Least-squares power-law fit ``mpki(c) = a * c^-alpha`` over samples.
+
+    The fit runs in log-log space; the exponent is clamped to
+    ``[0, max_alpha]`` so the returned curve is monotone non-increasing
+    (the Che/Fagin form never predicts more misses from more cache).
+    Returns ``None`` when the sample set cannot support a fit -- fewer
+    than two points, a single distinct size, or non-finite values.
+    """
+    clean = [
+        (size, value) for size, value in samples
+        if size >= 1 and math.isfinite(value) and value >= 0.0
+    ]
+    if len(clean) < 2:
+        return None
+    if len({size for size, _ in clean}) < 2:
+        return None
+    logs = [
+        (math.log(size), math.log(value + _LOG_FLOOR_MPKI))
+        for size, value in clean
+    ]
+    n = len(logs)
+    mean_x = sum(x for x, _ in logs) / n
+    mean_y = sum(y for _, y in logs) / n
+    var_x = sum((x - mean_x) ** 2 for x, _ in logs)
+    if var_x <= 0.0:
+        return None
+    cov = sum((x - mean_x) * (y - mean_y) for x, y in logs)
+    slope = cov / var_x
+    alpha = min(max_alpha, max(0.0, -slope))
+    intercept = mean_y + alpha * mean_x
+    amplitude = math.exp(intercept)
+    if not math.isfinite(amplitude):
+        return None
+    points = {
+        size: max(0.0, amplitude * size ** (-alpha) - _LOG_FLOOR_MPKI)
+        for size in range(1, num_colors + 1)
+    }
+    return MissRateCurve(points, label=label)
+
+
+class AnalyticMRCBank:
+    """Per-workload (size, MPKI) observations and their power-law fits.
+
+    One bank is shared across every process a manager (or the fleet
+    service) supervises; keys are workload identity strings.  The bank
+    is probe-free by construction: its only inputs are the monitoring
+    samples the PMU provides anyway.
+    """
+
+    def __init__(self, config: AnalyticConfig = AnalyticConfig()):
+        self.config = config
+        self._samples: Dict[str, List[Tuple[int, float]]] = {}
+        #: Fits cached under ``PhaseSignature.key()`` strings, so a
+        #: recurring phase gets its analytic curve back immediately.
+        self._fit_cache: Dict[str, MissRateCurve] = {}
+        self.fits = 0
+        self.fit_failures = 0
+        self.cache_hits = 0
+
+    # -- observation ---------------------------------------------------------
+
+    def record(self, workload: str, colors: int, mpki: float) -> None:
+        """Add one monitoring observation (current size, measured MPKI)."""
+        if colors < 1 or not math.isfinite(mpki) or mpki < 0.0:
+            return
+        window = self._samples.setdefault(workload, [])
+        window.append((colors, mpki))
+        if len(window) > self.config.max_samples:
+            del window[: len(window) - self.config.max_samples]
+
+    def note_transition(self, workload: str) -> None:
+        """Drop live samples on a phase transition (stale working set)."""
+        self._samples.pop(workload, None)
+
+    def sample_count(self, workload: str) -> int:
+        return len(self._samples.get(workload, ()))
+
+    # -- estimation ----------------------------------------------------------
+
+    def curve_for(
+        self,
+        workload: str,
+        num_colors: int,
+        signature_key: Optional[str] = None,
+    ) -> Optional[MissRateCurve]:
+        """The analytic estimate for ``workload``, if one is supportable.
+
+        A live fit (enough samples at enough distinct sizes) is
+        preferred and, when a ``signature_key`` is given, cached under
+        it; with insufficient live data a cached fit for the same phase
+        signature is served instead.  ``None`` means the ladder should
+        fall through to the flat-anchor rung.
+        """
+        registry = get_telemetry().registry
+        window = self._samples.get(workload, [])
+        distinct = len({size for size, _ in window})
+        if (
+            len(window) >= self.config.min_samples
+            and distinct >= self.config.min_distinct_sizes
+        ):
+            curve = fit_power_law(
+                window, num_colors,
+                label=f"analytic:{workload}",
+                max_alpha=self.config.max_alpha,
+            )
+            if curve is not None:
+                self.fits += 1
+                registry.counter("analytic.fits").inc()
+                if signature_key is not None:
+                    self._fit_cache[signature_key] = curve
+                return curve
+            self.fit_failures += 1
+            registry.counter("analytic.fit_failures").inc()
+        if signature_key is not None:
+            cached = self._fit_cache.get(signature_key)
+            if cached is not None:
+                self.cache_hits += 1
+                registry.counter("analytic.cache_hits").inc()
+                return cached
+        return None
+
+    # -- reporting -----------------------------------------------------------
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "workloads": len(self._samples),
+            "fits": self.fits,
+            "fit_failures": self.fit_failures,
+            "cache_hits": self.cache_hits,
+            "cached_fits": len(self._fit_cache),
+        }

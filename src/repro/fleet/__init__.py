@@ -1,0 +1,45 @@
+"""The fleet partition service: many processes, many cache domains.
+
+:mod:`repro.runner.dynamic` closes the RapidMRC loop for one shared
+cache; this package multiplexes that loop across a whole machine's
+cache domains and keeps it alive under real-world failure modes --
+PMU blackouts, probe-budget contention, and process churn.  The pieces:
+
+- :mod:`repro.fleet.budget` -- one global token bucket of probe
+  *accesses* shared by every domain, with priority aging so a starved
+  requester eventually wins over a noisy one;
+- :mod:`repro.fleet.breaker` -- a per-domain circuit breaker that
+  quarantines a domain after K consecutive probe failures and re-admits
+  it through a half-open probationary probe;
+- :mod:`repro.fleet.churn` -- deterministic join/leave/crash schedules,
+  including the delayed/duplicated delivery the fault plan injects;
+- :mod:`repro.fleet.service` -- the event loop tying it together:
+  per-tick budget refills, fault windows, churn-driven MRC placement
+  (:func:`repro.apps.coscheduling.place_on_domains`), and per-domain
+  degradation instead of fleet-wide stalls.
+"""
+
+from repro.fleet.breaker import BreakerConfig, BreakerState, DomainCircuitBreaker
+from repro.fleet.budget import BudgetConfig, GlobalProbeBudget
+from repro.fleet.churn import ChurnEvent, ChurnKind, ChurnSchedule
+from repro.fleet.service import (
+    FleetConfig,
+    FleetEvent,
+    FleetReport,
+    FleetService,
+)
+
+__all__ = [
+    "BreakerConfig",
+    "BreakerState",
+    "DomainCircuitBreaker",
+    "BudgetConfig",
+    "GlobalProbeBudget",
+    "ChurnEvent",
+    "ChurnKind",
+    "ChurnSchedule",
+    "FleetConfig",
+    "FleetEvent",
+    "FleetReport",
+    "FleetService",
+]

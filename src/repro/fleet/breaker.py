@@ -1,0 +1,209 @@
+"""Per-domain circuit breaker: quarantine a cache domain that keeps failing.
+
+The probe supervisor's retry/backoff policy protects one process from
+its own broken probes; a *domain-wide* failure (a wedged PMU, a
+firmware counter takeover) breaks every probe on the domain at once,
+and per-process backoff alone would keep feeding it probes forever.
+The breaker is the classic three-state machine over *consecutive
+probe failures on the domain*:
+
+- **CLOSED** -- healthy; failures count, successes reset the count;
+  ``failure_threshold`` consecutive failures trip to OPEN.
+- **OPEN** -- quarantined; no probe is admitted for a cooldown that
+  escalates each time the domain re-trips (``cooldown_factor``), so a
+  persistently sick domain asymptotically stops being probed at all.
+- **HALF_OPEN** -- after the cooldown, exactly one probationary probe
+  is admitted: success closes the circuit and clears the escalation,
+  failure re-opens it with the longer cooldown.
+
+While a domain is quarantined its processes ride the supervisor's
+degradation ladder (last-known-good, the analytic fit, the flat
+anchor), so the fleet keeps deciding -- it just stops paying for
+probes that cannot succeed.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.obs import get_telemetry
+
+__all__ = ["BreakerState", "BreakerConfig", "DomainCircuitBreaker"]
+
+
+class BreakerState(enum.Enum):
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half-open"
+
+
+@dataclass(frozen=True)
+class BreakerConfig:
+    """Trip/cooldown policy.
+
+    Args:
+        failure_threshold: consecutive probe failures (any process on
+            the domain) that trip the circuit.
+        cooldown_ticks: quarantine length after the first trip.
+        cooldown_factor: cooldown multiplier per consecutive re-trip
+            (a probation failure); decays back to 1x on a success.
+        max_cooldown_ticks: quarantine ceiling.
+    """
+
+    failure_threshold: int = 3
+    cooldown_ticks: int = 6
+    cooldown_factor: float = 2.0
+    max_cooldown_ticks: int = 48
+
+    def __post_init__(self) -> None:
+        if self.failure_threshold < 1:
+            raise ValueError(
+                f"failure_threshold must be >= 1, "
+                f"got {self.failure_threshold!r}"
+            )
+        if self.cooldown_ticks < 1:
+            raise ValueError(
+                f"cooldown_ticks must be >= 1, got {self.cooldown_ticks!r}"
+            )
+        if self.cooldown_factor < 1.0:
+            raise ValueError(
+                f"cooldown_factor must be >= 1, got {self.cooldown_factor!r}"
+            )
+        if self.max_cooldown_ticks < self.cooldown_ticks:
+            raise ValueError(
+                "max_cooldown_ticks must be >= cooldown_ticks"
+            )
+
+    def cooldown_after(self, reopen_streak: int) -> int:
+        """Quarantine ticks after the ``reopen_streak``-th trip (0-based)."""
+        try:
+            cooldown = self.cooldown_ticks * (
+                self.cooldown_factor ** reopen_streak
+            )
+        except OverflowError:
+            return self.max_cooldown_ticks
+        if cooldown >= self.max_cooldown_ticks:
+            return self.max_cooldown_ticks
+        return int(round(cooldown))
+
+
+class DomainCircuitBreaker:
+    """The state machine for one cache domain.
+
+    All transitions are recorded as ``(tick, from, to, detail)`` tuples
+    in :attr:`transitions` and as ``fleet.breaker_transitions`` counters.
+    """
+
+    def __init__(self, config: BreakerConfig, domain: int):
+        self.config = config
+        self.domain = domain
+        self.state = BreakerState.CLOSED
+        self.consecutive_failures = 0
+        self.opens = 0
+        self.transitions: List[Tuple[int, str, str, str]] = []
+        self._reopen_streak = 0
+        self._open_until_tick = 0
+        self._probation_inflight = False
+
+    def _move(self, tick: int, state: BreakerState, detail: str = "") -> None:
+        previous = self.state
+        self.state = state
+        self.transitions.append((tick, previous.value, state.value, detail))
+        get_telemetry().registry.counter(
+            "fleet.breaker_transitions",
+            domain=self.domain, to=state.value,
+        ).inc()
+
+    # -- admission -----------------------------------------------------------
+
+    def admit(self, tick: int) -> bool:
+        """May a probe start on this domain now?
+
+        In HALF_OPEN the first admission arms the single probationary
+        probe; further requests wait for its outcome (this method
+        mutates, so call it once per actual admission decision).
+        """
+        if self.state is BreakerState.CLOSED:
+            return True
+        if self.state is BreakerState.OPEN:
+            if tick < self._open_until_tick:
+                return False
+            self._move(tick, BreakerState.HALF_OPEN,
+                       detail="cooldown elapsed")
+            self._probation_inflight = True
+            get_telemetry().registry.counter(
+                "fleet.probation_probes", domain=self.domain
+            ).inc()
+            return True
+        if self._probation_inflight:
+            return False
+        self._probation_inflight = True
+        get_telemetry().registry.counter(
+            "fleet.probation_probes", domain=self.domain
+        ).inc()
+        return True
+
+    def ready_for_probation(self, tick: int) -> bool:
+        """OPEN with an elapsed cooldown: time to solicit one probe.
+
+        The service uses this to *request* a probe on the domain (its
+        processes may all be parked on the ladder with nothing pending);
+        the admission itself still goes through :meth:`admit`.
+        """
+        return (
+            self.state is BreakerState.OPEN
+            and tick >= self._open_until_tick
+        ) or (
+            self.state is BreakerState.HALF_OPEN
+            and not self._probation_inflight
+        )
+
+    def cancel_probation(self) -> None:
+        """The armed probationary probe never started (e.g. no budget)."""
+        self._probation_inflight = False
+
+    # -- outcomes ------------------------------------------------------------
+
+    def record_success(self, tick: int) -> None:
+        """Any admitted/reused probe on the domain succeeded."""
+        self.consecutive_failures = 0
+        self._probation_inflight = False
+        if self.state is not BreakerState.CLOSED:
+            self._reopen_streak = 0
+            self._move(tick, BreakerState.CLOSED, detail="probation success")
+
+    def record_failure(self, tick: int, detail: str = "") -> bool:
+        """A probe on the domain failed; returns ``True`` on a new trip."""
+        self.consecutive_failures += 1
+        if self.state is BreakerState.HALF_OPEN:
+            self._probation_inflight = False
+            cooldown = self.config.cooldown_after(self._reopen_streak + 1)
+            self._reopen_streak += 1
+            self._open_until_tick = tick + cooldown
+            self.opens += 1
+            self._move(tick, BreakerState.OPEN,
+                       detail=detail or f"probation failure, {cooldown}t")
+            return True
+        if (
+            self.state is BreakerState.CLOSED
+            and self.consecutive_failures >= self.config.failure_threshold
+        ):
+            cooldown = self.config.cooldown_after(self._reopen_streak)
+            self._open_until_tick = tick + cooldown
+            self.opens += 1
+            self._move(tick, BreakerState.OPEN,
+                       detail=detail or f"{self.consecutive_failures} failures, {cooldown}t")
+            return True
+        return False
+
+    # -- reporting -----------------------------------------------------------
+
+    def stats(self) -> Dict[str, object]:
+        return {
+            "state": self.state.value,
+            "consecutive_failures": self.consecutive_failures,
+            "opens": self.opens,
+            "transitions": len(self.transitions),
+        }

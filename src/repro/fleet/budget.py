@@ -1,0 +1,208 @@
+"""The global probe-access budget: one token bucket for the whole fleet.
+
+RapidMRC's probes are cheap but not free (Section 5.1: the traced
+application runs at a fraction of its normal IPC while its PMU trace
+log fills).  On one shared cache the dynamic manager's cooldown is
+enough of a rate limit; across a fleet of domains the probes compete
+for a *machine-wide* tolerance -- total instrumentation overhead the
+operator will accept -- and an unlucky domain could starve behind a
+noisy one that keeps re-probing.
+
+The budget is a token bucket denominated in probe *accesses* (the same
+unit as the supervisor's deadline): a probe reserves its worst-case
+deadline cost up front and refunds whatever it did not consume when it
+terminates.  Admission applies **priority aging**: every denial lowers
+the requester's admission bar by ``aging_discount_per_denial`` (down to
+``min_required_fraction`` of the full cost), and an aged admission may
+drive the balance negative -- the starved domain borrows against future
+refill, which is exactly what keeps a patient requester from losing to
+a fresh one forever.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.obs import get_telemetry
+
+__all__ = ["BudgetConfig", "GlobalProbeBudget"]
+
+
+@dataclass(frozen=True)
+class BudgetConfig:
+    """Token-bucket policy.
+
+    Args:
+        capacity_accesses: bucket size and starting balance -- the
+            worst-case probe accesses the fleet may have outstanding.
+        refill_accesses_per_tick: tokens added per service tick; ``None``
+            defaults to an eighth of capacity (a full bucket back every
+            eight ticks).
+        aging_discount_per_denial: how much of the full reservation a
+            waiting requester stops needing per consecutive denial.
+        min_required_fraction: floor of the aged admission bar -- even a
+            long-starved requester must see this fraction of its cost in
+            the bucket.
+    """
+
+    capacity_accesses: int
+    refill_accesses_per_tick: Optional[int] = None
+    aging_discount_per_denial: float = 0.25
+    min_required_fraction: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.capacity_accesses < 1:
+            raise ValueError(
+                f"capacity_accesses must be >= 1, "
+                f"got {self.capacity_accesses!r}"
+            )
+        if (
+            self.refill_accesses_per_tick is not None
+            and self.refill_accesses_per_tick < 0
+        ):
+            raise ValueError(
+                f"refill_accesses_per_tick must be >= 0, "
+                f"got {self.refill_accesses_per_tick!r}"
+            )
+        if not 0.0 <= self.aging_discount_per_denial <= 1.0:
+            raise ValueError(
+                f"aging_discount_per_denial must be in [0, 1], "
+                f"got {self.aging_discount_per_denial!r}"
+            )
+        if not 0.0 < self.min_required_fraction <= 1.0:
+            raise ValueError(
+                f"min_required_fraction must be in (0, 1], "
+                f"got {self.min_required_fraction!r}"
+            )
+
+    @property
+    def resolved_refill(self) -> int:
+        if self.refill_accesses_per_tick is not None:
+            return self.refill_accesses_per_tick
+        return max(1, self.capacity_accesses // 8)
+
+
+class GlobalProbeBudget:
+    """Reserve/refund accounting over one shared bucket.
+
+    Requesters are keyed ``(domain, pid)``; one key can hold at most one
+    outstanding reservation (the dynamic manager never runs two probes
+    of the same process concurrently).
+    """
+
+    def __init__(self, config: BudgetConfig):
+        self.config = config
+        self.balance = float(config.capacity_accesses)
+        self.admitted = 0
+        self.denied = 0
+        self.charged = 0
+        self.refunded = 0
+        self.storm_drains = 0
+        self._denial_streak: Dict[Tuple[int, int], int] = {}
+        self._reserved: Dict[Tuple[int, int], int] = {}
+
+    # -- per-tick maintenance ------------------------------------------------
+
+    def tick(self) -> None:
+        """Refill one tick's worth of tokens (clamped at capacity)."""
+        self.balance = min(
+            float(self.config.capacity_accesses),
+            self.balance + self.config.resolved_refill,
+        )
+
+    def drain(self) -> None:
+        """A budget storm: external consumers take every spare token.
+
+        Outstanding reservations are untouched (those probes already
+        hold their PMU slots); only the uncommitted balance is lost.
+        """
+        if self.balance > 0.0:
+            self.balance = 0.0
+            self.storm_drains += 1
+            get_telemetry().registry.counter("fleet.budget_drained").inc()
+
+    # -- admission -----------------------------------------------------------
+
+    def request(self, domain: int, pid: int, cost_accesses: int) -> bool:
+        """Try to reserve ``cost_accesses`` for ``(domain, pid)``.
+
+        Admission requires the (aging-discounted) cost to be covered by
+        the current balance; an admitted reservation always charges the
+        *full* cost, so aged admissions can push the balance negative
+        and are repaid by subsequent refills.
+        """
+        key = (domain, pid)
+        if key in self._reserved:
+            # Defensive: a lost terminal notification must not let one
+            # process pyramid reservations.
+            return False
+        streak = self._denial_streak.get(key, 0)
+        required = cost_accesses * max(
+            self.config.min_required_fraction,
+            1.0 - streak * self.config.aging_discount_per_denial,
+        )
+        registry = get_telemetry().registry
+        if self.balance < required:
+            self._denial_streak[key] = streak + 1
+            self.denied += 1
+            registry.counter("fleet.budget_denied", domain=domain).inc()
+            return False
+        self._denial_streak.pop(key, None)
+        self._reserved[key] = cost_accesses
+        self.balance -= cost_accesses
+        self.charged += cost_accesses
+        self.admitted += 1
+        registry.counter("fleet.budget_admitted", domain=domain).inc()
+        return True
+
+    def settle(self, domain: int, pid: int, consumed_accesses: int) -> int:
+        """Close the reservation; return the refunded access count."""
+        key = (domain, pid)
+        reserved = self._reserved.pop(key, None)
+        if reserved is None:
+            return 0
+        unused = max(0, reserved - consumed_accesses)
+        if unused:
+            self.balance = min(
+                float(self.config.capacity_accesses), self.balance + unused
+            )
+            self.refunded += unused
+            get_telemetry().registry.counter(
+                "fleet.budget_refunded", domain=domain
+            ).inc(unused)
+        return unused
+
+    def forget(self, domain: int) -> None:
+        """Drop all state for a domain (rebuilt after churn)."""
+        for key in [k for k in self._reserved if k[0] == domain]:
+            # The probe died with its manager; its tokens come home.
+            self.balance = min(
+                float(self.config.capacity_accesses),
+                self.balance + self._reserved.pop(key),
+            )
+        for key in [k for k in self._denial_streak if k[0] == domain]:
+            self._denial_streak.pop(key)
+
+    # -- reporting -----------------------------------------------------------
+
+    def outstanding(self) -> int:
+        return sum(self._reserved.values())
+
+    def utilization(self) -> float:
+        """Fraction of charged tokens actually consumed by probes."""
+        if self.charged == 0:
+            return 0.0
+        return (self.charged - self.refunded) / self.charged
+
+    def stats(self) -> Dict[str, float]:
+        return {
+            "balance": round(self.balance, 1),
+            "admitted": self.admitted,
+            "denied": self.denied,
+            "charged": self.charged,
+            "refunded": self.refunded,
+            "outstanding": self.outstanding(),
+            "storm_drains": self.storm_drains,
+            "utilization": round(self.utilization(), 4),
+        }

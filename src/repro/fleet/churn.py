@@ -1,0 +1,134 @@
+"""Deterministic process churn: join/leave/crash schedules for the fleet.
+
+Churn is the third failure axis the service must absorb (besides bad
+probes and bad domains): processes arrive, depart cleanly, or crash,
+and each membership change re-runs MRC-driven placement.  Schedules
+are plain data -- a sorted list of ``(tick, kind, workload)`` events --
+so a chaos run replays bit-for-bit.
+
+The service-level fault plan distorts *delivery*, not content:
+``CHURN_DELAY`` shifts every event later, ``CHURN_DUPLICATE`` re-posts
+each event a fixed offset after the original (at-least-once delivery).
+The service's handlers are idempotent -- joining a present workload or
+removing an absent one is a logged no-op -- so duplicates are harmless
+by construction, and the chaos harness asserts exactly that.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.reliability.faults import ServiceFaultPlan
+
+__all__ = ["ChurnKind", "ChurnEvent", "ChurnSchedule"]
+
+
+class ChurnKind(enum.Enum):
+    JOIN = "join"
+    LEAVE = "leave"
+    CRASH = "crash"
+
+
+@dataclass(frozen=True)
+class ChurnEvent:
+    """One membership change.
+
+    ``duplicate`` marks a fault-injected redelivery of an original
+    event (useful in assertions; the service treats both identically).
+    """
+
+    tick: int
+    kind: ChurnKind
+    workload: str
+    duplicate: bool = False
+
+    def __post_init__(self) -> None:
+        if self.tick < 0:
+            raise ValueError(f"tick must be >= 0, got {self.tick!r}")
+        if not self.workload:
+            raise ValueError("workload name must be non-empty")
+
+    def describe(self) -> str:
+        tag = " (dup)" if self.duplicate else ""
+        return f"{self.kind.value}:{self.workload}@{self.tick}{tag}"
+
+
+@dataclass(frozen=True)
+class ChurnSchedule:
+    """An immutable, delivery-ordered churn schedule."""
+
+    events: Tuple[ChurnEvent, ...] = ()
+
+    def __post_init__(self) -> None:
+        ordered = tuple(sorted(
+            self.events,
+            key=lambda e: (e.tick, e.kind.value, e.workload, e.duplicate),
+        ))
+        object.__setattr__(self, "events", ordered)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    @property
+    def last_tick(self) -> int:
+        return self.events[-1].tick if self.events else 0
+
+    def events_at(self, tick: int) -> List[ChurnEvent]:
+        return [event for event in self.events if event.tick == tick]
+
+    def with_faults(
+        self, plan: Optional[ServiceFaultPlan]
+    ) -> "ChurnSchedule":
+        """The schedule as actually *delivered* under the fault plan."""
+        if plan is None:
+            return self
+        delay = plan.churn_delay_ticks()
+        dup_offset = plan.churn_duplicate_offset()
+        delivered: List[ChurnEvent] = [
+            replace(event, tick=event.tick + delay) for event in self.events
+        ]
+        if dup_offset is not None:
+            delivered.extend(
+                replace(event, tick=event.tick + delay + dup_offset,
+                        duplicate=True)
+                for event in self.events
+            )
+        return ChurnSchedule(events=tuple(delivered))
+
+    def describe(self) -> str:
+        if not self.events:
+            return "no churn"
+        return ",".join(event.describe() for event in self.events)
+
+    @classmethod
+    def parse(cls, text: str) -> "ChurnSchedule":
+        """Parse ``kind:workload@tick`` items, comma-separated.
+
+        Example: ``join:gzip@5,crash:mcf@12,leave:art@20``.
+        """
+        events: List[ChurnEvent] = []
+        for item in text.split(","):
+            item = item.strip()
+            if not item:
+                continue
+            head, at, tick_text = item.partition("@")
+            if not at:
+                raise ValueError(f"churn item {item!r} needs @tick")
+            kind_text, colon, workload = head.partition(":")
+            if not colon or not workload:
+                raise ValueError(f"churn item {item!r} needs kind:workload")
+            try:
+                kind = ChurnKind(kind_text)
+            except ValueError:
+                raise ValueError(
+                    f"unknown churn kind {kind_text!r}; choose from "
+                    f"{', '.join(k.value for k in ChurnKind)}"
+                ) from None
+            events.append(ChurnEvent(
+                tick=int(tick_text), kind=kind, workload=workload,
+            ))
+        if not events:
+            raise ValueError("empty churn schedule")
+        return cls(events=tuple(events))

@@ -1,0 +1,637 @@
+"""The fleet partition service: the event loop over every cache domain.
+
+One :class:`~repro.runner.dynamic.DynamicPartitionManager` closes the
+RapidMRC loop for one shared cache.  :class:`FleetService` runs M of
+them side by side in discrete *ticks*, interleaving a slice of every
+domain per tick, and owns everything that only makes sense globally:
+
+- the **probe budget** (:mod:`repro.fleet.budget`) -- each manager's
+  ``probe_gate`` routes through one shared token bucket, so total
+  instrumentation overhead is bounded machine-wide and starved domains
+  age their way past noisy ones;
+- the **circuit breakers** (:mod:`repro.fleet.breaker`) -- probe
+  failures stream out of each manager's ``probe_listener`` into the
+  domain's breaker; a tripped domain stops paying for probes and its
+  processes ride the supervisor's degradation ladder (last-known-good,
+  the Che/Fagin analytic fit, the flat anchor) until a probationary
+  probe heals it;
+- **churn-driven placement** -- join/leave/crash events re-run the
+  MRC-guided domain placement
+  (:func:`repro.apps.coscheduling.place_on_domains`) and rebuild only
+  the domains whose membership changed; the shared MRC store and
+  analytic bank carry curve knowledge across rebuilds (a rebuilt
+  domain's processes restart cold -- the simulated machine has no live
+  migration -- but their *curves* do not);
+- **fault windows** (:class:`~repro.reliability.faults.ServiceFaultPlan`)
+  -- PMU blackouts abort and then refuse probes on a domain, budget
+  storms drain the bucket, and churn delivery is delayed/duplicated;
+  all deterministic, so chaos runs replay exactly.
+
+The cardinal invariant, asserted by the chaos harness: the service
+never feeds the partition selector a garbage curve.  Every decision is
+recorded with the degradation rung of every participant
+(:class:`~repro.runner.dynamic.DecisionRecord`), and an unusable domain
+degrades to its uniform split rather than stalling its neighbours.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.apps.coscheduling import place_on_domains
+from repro.core.analytic import AnalyticMRCBank
+from repro.core.mrc import MissRateCurve
+from repro.fleet.breaker import BreakerConfig, BreakerState, DomainCircuitBreaker
+from repro.fleet.budget import BudgetConfig, GlobalProbeBudget
+from repro.fleet.churn import ChurnKind, ChurnSchedule
+from repro.obs import get_telemetry
+from repro.reliability.faults import ServiceFaultPlan
+from repro.runner.dynamic import (
+    DynamicConfig,
+    DynamicPartitionManager,
+    DynamicReport,
+    ProbeOutcome,
+)
+from repro.sim.machine import MachineConfig
+from repro.store.mrc_store import MRCStore
+from repro.workloads.base import Workload
+
+__all__ = ["FleetConfig", "FleetEvent", "FleetReport", "FleetService"]
+
+#: Terminal probe outcomes that settle a budget reservation.
+_TERMINAL_OUTCOMES = frozenset(
+    {"admitted", "rejected", "deadline", "invalidated", "aborted"}
+)
+#: Terminal outcomes that count as failures against the breaker.
+_FAILURE_OUTCOMES = frozenset(
+    {"rejected", "deadline", "invalidated", "aborted"}
+)
+
+
+@dataclass(frozen=True)
+class FleetConfig:
+    """Service-level tunables (per-domain knobs live in ``dynamic``).
+
+    Args:
+        num_domains: cache domains (one shared L2 each).
+        ticks: service ticks to run.
+        tick_accesses: accesses each domain advances per tick; ``None``
+            derives ``8 * l2_lines`` from the machine.
+        warmup_accesses: per-domain warmup before the managed span.
+        budget: global probe-budget policy; ``None`` derives a capacity
+            of two probe deadlines from the probe configuration.
+        breaker: per-domain circuit-breaker policy.
+        dynamic: the per-domain closed-loop configuration.
+        blackout_degrade_after_ticks: consecutive blacked-out ticks
+            before a domain's probe-starved processes are forcibly
+            parked on the degradation ladder (they keep deciding from
+            fallback curves instead of waiting out the blackout).
+        replace_every_ticks: when set, placement is additionally
+            re-evaluated every N ticks from the fleet's current curve
+            directory (not only on churn).  This is the reconvergence
+            mechanism: a placement made mid-fault from degraded curves
+            is revisited once better curves exist, so a faulted run
+            settles onto the same grouping as a fault-free one after
+            the fault windows clear.  Skipped while any domain is
+            blacked out (a placement from a half-dark directory would
+            churn for nothing).
+    """
+
+    num_domains: int = 2
+    ticks: int = 40
+    tick_accesses: Optional[int] = None
+    warmup_accesses: int = 0
+    budget: Optional[BudgetConfig] = None
+    breaker: BreakerConfig = BreakerConfig()
+    dynamic: DynamicConfig = DynamicConfig()
+    blackout_degrade_after_ticks: int = 2
+    replace_every_ticks: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.num_domains < 1:
+            raise ValueError(
+                f"num_domains must be >= 1, got {self.num_domains!r}"
+            )
+        if self.ticks < 1:
+            raise ValueError(f"ticks must be >= 1, got {self.ticks!r}")
+        if self.tick_accesses is not None and self.tick_accesses <= 0:
+            raise ValueError(
+                f"tick_accesses must be positive, got {self.tick_accesses!r}"
+            )
+        if self.warmup_accesses < 0:
+            raise ValueError(
+                f"warmup_accesses must be >= 0, got {self.warmup_accesses!r}"
+            )
+        if self.blackout_degrade_after_ticks < 1:
+            raise ValueError(
+                f"blackout_degrade_after_ticks must be >= 1, "
+                f"got {self.blackout_degrade_after_ticks!r}"
+            )
+        if self.replace_every_ticks is not None and self.replace_every_ticks < 1:
+            raise ValueError(
+                f"replace_every_ticks must be >= 1, "
+                f"got {self.replace_every_ticks!r}"
+            )
+
+    def resolved_tick_accesses(self, machine: MachineConfig) -> int:
+        if self.tick_accesses is not None:
+            return self.tick_accesses
+        return 8 * machine.l2_lines
+
+    def resolved_budget(self, machine: MachineConfig) -> BudgetConfig:
+        if self.budget is not None:
+            return self.budget
+        deadline = self.dynamic.reliability.deadline_accesses(
+            self.dynamic.probe.resolved_log_entries(machine)
+        )
+        return BudgetConfig(capacity_accesses=2 * deadline)
+
+
+@dataclass(frozen=True)
+class FleetEvent:
+    """One service-level occurrence (``domain`` is -1 for fleet-wide).
+
+    ``kind`` is one of ``join``, ``leave``, ``crash``, ``churn-ignored``,
+    ``placement``, ``rebuild``, ``quarantine``, ``probation``,
+    ``recovered``, ``blackout-start``, ``blackout-end``, ``storm``,
+    ``degrade-forced``, ``probe-solicited``.
+    """
+
+    tick: int
+    kind: str
+    domain: int = -1
+    detail: str = ""
+
+
+@dataclass
+class FleetReport:
+    """Everything a fleet run produced, per domain and fleet-wide."""
+
+    ticks_run: int
+    assignments: Tuple[Tuple[str, ...], ...]
+    final_counts: Dict[str, int]
+    events: List[FleetEvent]
+    placements: List[Tuple[int, Tuple[Tuple[str, ...], ...]]]
+    domain_reports: Dict[int, List[DynamicReport]]
+    budget_stats: Dict[str, float]
+    breaker_stats: Dict[int, Dict[str, object]]
+    rungs_served: Dict[str, int]
+    quarantines: int = 0
+    churn_applied: int = 0
+    churn_ignored: int = 0
+    analytic_stats: Optional[Dict[str, int]] = None
+
+    def events_of_kind(self, kind: str) -> List[FleetEvent]:
+        return [event for event in self.events if event.kind == kind]
+
+    def all_decisions(self):
+        """Every partition decision any domain incarnation ever made."""
+        for reports in self.domain_reports.values():
+            for report in reports:
+                for decision in report.decisions:
+                    yield decision
+
+    def final_placement(self) -> Dict[str, Tuple[int, int]]:
+        """``workload -> (domain, colors held)`` at the end of the run.
+
+        The convergence gate compares this between a faulted and a
+        fault-free run of the same schedule.
+        """
+        placement: Dict[str, Tuple[int, int]] = {}
+        for domain, members in enumerate(self.assignments):
+            for name in members:
+                placement[name] = (domain, self.final_counts[name])
+        return placement
+
+    def canonical_grouping(self) -> Tuple[Tuple[Tuple[str, int], ...], ...]:
+        """Placement *and* partition sizes, up to domain relabeling.
+
+        Domain indices are arbitrary labels (two runs can assign the
+        same groups to swapped domains), so the grouping is compared on
+        which applications share a cache and with how many colors, not
+        on which domain number they landed on.  Replay-determinism
+        checks compare this full form.
+        """
+        groups = []
+        for members in self.assignments:
+            groups.append(tuple(sorted(
+                (name, self.final_counts.get(name, 0)) for name in members
+            )))
+        return tuple(sorted(groups))
+
+    def placement_groups(self) -> Tuple[Tuple[str, ...], ...]:
+        """Co-residency only, up to domain relabeling: the placement.
+
+        The faulted-vs-fault-free convergence gate compares this form:
+        which applications end up sharing a cache is the placement
+        decision, while exact color counts track the measured curves --
+        and a faulted run measures its curves over different windows of
+        the same workload streams, so counts may legitimately differ by
+        a few colors even once the placement has reconverged.
+        """
+        return tuple(sorted(
+            tuple(sorted(members)) for members in self.assignments
+        ))
+
+
+class _Domain:
+    """One cache domain's live state inside the service."""
+
+    def __init__(self, index: int, breaker: DomainCircuitBreaker):
+        self.index = index
+        self.breaker = breaker
+        self.manager: Optional[DynamicPartitionManager] = None
+        self.members: Tuple[str, ...] = ()
+        self.blacked_out = False
+        self.blackout_ticks = 0
+        self.degrade_forced = False
+        self.finished_reports: List[DynamicReport] = []
+
+    def archive(self) -> None:
+        if self.manager is not None:
+            self.finished_reports.append(self.manager.finish())
+            self.manager = None
+
+
+class FleetService:
+    """Drive N processes on M domains through budget, breakers, and churn.
+
+    Args:
+        machine: per-domain machine geometry (every domain is one such
+            shared cache).
+        workloads: initial fleet members; names must be unique (churn
+            events address workloads by name).
+        config: service tunables.
+        churn: the membership schedule (delivered through the fault
+            plan's delay/duplication, if any).
+        fault_plan: deterministic service-level fault windows.
+        pool: extra workloads joinable by later churn events, keyed by
+            name (initial members are always in the pool).
+    """
+
+    def __init__(
+        self,
+        machine: MachineConfig,
+        workloads: Sequence[Workload],
+        config: FleetConfig = FleetConfig(),
+        churn: Optional[ChurnSchedule] = None,
+        fault_plan: Optional[ServiceFaultPlan] = None,
+        pool: Optional[Mapping[str, Workload]] = None,
+    ):
+        if not workloads:
+            raise ValueError("need at least one initial workload")
+        names = [workload.name for workload in workloads]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate workload names: {names!r}")
+        self.machine = machine
+        self.config = config
+        self.fault_plan = fault_plan
+        self._pool: Dict[str, Workload] = dict(pool or {})
+        self._pool.update({w.name: w for w in workloads})
+        self._members: List[str] = list(names)
+        self._delivered = (
+            churn.with_faults(fault_plan) if churn is not None
+            else ChurnSchedule()
+        )
+        self.budget = GlobalProbeBudget(config.resolved_budget(machine))
+        self.store = (
+            MRCStore(config.dynamic.store)
+            if config.dynamic.store is not None else None
+        )
+        self.analytic = AnalyticMRCBank(config.dynamic.analytic)
+        self._domains = [
+            _Domain(index, DomainCircuitBreaker(config.breaker, index))
+            for index in range(config.num_domains)
+        ]
+        self._tick_accesses = config.resolved_tick_accesses(machine)
+        self._now = 0
+        self.events: List[FleetEvent] = []
+        self.placements: List[
+            Tuple[int, Tuple[Tuple[str, ...], ...]]
+        ] = []
+        self.rungs_served: Dict[str, int] = {}
+        self.quarantines = 0
+        self.churn_applied = 0
+        self.churn_ignored = 0
+        #: Best known curve per workload, for placement decisions.
+        self._curves: Dict[str, MissRateCurve] = {}
+
+    # -- events ---------------------------------------------------------------
+
+    def _emit(self, kind: str, domain: int = -1, detail: str = "") -> None:
+        self.events.append(FleetEvent(
+            tick=self._now, kind=kind, domain=domain, detail=detail,
+        ))
+        get_telemetry().registry.counter("fleet.events", kind=kind).inc()
+
+    # -- the service loop -----------------------------------------------------
+
+    def run(self) -> FleetReport:
+        self._replace(initial=True)
+        for tick in range(self.config.ticks):
+            self._now = tick
+            registry = get_telemetry().registry
+            registry.counter("fleet.ticks").inc()
+            self.budget.tick()
+            if self.fault_plan is not None and self.fault_plan.storm_active(tick):
+                if not self.fault_plan.storm_active(tick - 1):
+                    self._emit("storm", detail="budget storm window opens")
+                self.budget.drain()
+            self._update_blackouts(tick)
+            self._deliver_churn(tick)
+            self._solicit_probation(tick)
+            tracer = get_telemetry().tracer
+            for domain in self._domains:
+                if domain.manager is None:
+                    continue
+                with tracer.span("fleet_tick", domain=domain.index,
+                                 tick=tick):
+                    domain.manager.step_accesses(self._tick_accesses)
+            self._refresh_curves()
+            self._force_degrade_starved(tick)
+            self._periodic_replace(tick)
+        return self._finish()
+
+    def _periodic_replace(self, tick: int) -> None:
+        """Reconvergence: revisit placement from the live curve directory."""
+        every = self.config.replace_every_ticks
+        if every is None or tick == 0 or tick % every != 0:
+            return
+        if any(domain.blacked_out for domain in self._domains):
+            return
+        self._replace()
+
+    # -- fault windows ---------------------------------------------------------
+
+    def _blackout_active(self, domain_index: int) -> bool:
+        return self.fault_plan is not None and self.fault_plan.blackout_active(
+            domain_index, self._now
+        )
+
+    def _update_blackouts(self, tick: int) -> None:
+        for domain in self._domains:
+            active = self._blackout_active(domain.index)
+            if active and not domain.blacked_out:
+                self._emit("blackout-start", domain.index)
+                if domain.manager is not None:
+                    for pid in range(len(domain.manager.managed)):
+                        domain.manager.abort_inflight_probe(
+                            pid, reason="pmu blackout"
+                        )
+            if not active and domain.blacked_out:
+                self._emit("blackout-end", domain.index)
+                domain.blackout_ticks = 0
+                domain.degrade_forced = False
+                if domain.manager is not None:
+                    # Ladder curves served through the blackout stay in
+                    # force; fresh probes repair them now that the PMU
+                    # is back.
+                    for pid in range(len(domain.manager.managed)):
+                        domain.manager.request_probe(
+                            pid, reason="blackout ended"
+                        )
+                    self._emit("probe-solicited", domain.index,
+                               detail="blackout ended")
+            domain.blacked_out = active
+            if active:
+                domain.blackout_ticks += 1
+                get_telemetry().registry.counter(
+                    "fleet.blackout_ticks", domain=domain.index
+                ).inc()
+
+    def _force_degrade_starved(self, tick: int) -> None:
+        """A long blackout must not leave processes waiting on a probe.
+
+        After ``blackout_degrade_after_ticks`` dark ticks, anything
+        still waiting for a probe is parked on the ladder so the domain
+        keeps producing decisions from fallback curves.
+        """
+        threshold = self.config.blackout_degrade_after_ticks
+        for domain in self._domains:
+            if (
+                not domain.blacked_out
+                or domain.degrade_forced
+                or domain.blackout_ticks < threshold
+                or domain.manager is None
+            ):
+                continue
+            domain.degrade_forced = True
+            for pid, managed in enumerate(domain.manager.managed):
+                if managed.needs_probe or managed.collector is not None:
+                    rung = domain.manager.degrade_now(
+                        pid, reason="pmu blackout"
+                    )
+                    self._emit(
+                        "degrade-forced", domain.index,
+                        detail=f"pid {pid} -> {rung.value}",
+                    )
+
+    # -- churn ------------------------------------------------------------------
+
+    def _deliver_churn(self, tick: int) -> None:
+        changed = False
+        for event in self._delivered.events_at(tick):
+            name = event.workload
+            if event.kind is ChurnKind.JOIN:
+                if name in self._members or name not in self._pool:
+                    reason = (
+                        "already a member" if name in self._members
+                        else "unknown workload"
+                    )
+                    self.churn_ignored += 1
+                    self._emit("churn-ignored",
+                               detail=f"{event.describe()}: {reason}")
+                    continue
+                self._members.append(name)
+            else:  # LEAVE / CRASH
+                if name not in self._members:
+                    self.churn_ignored += 1
+                    self._emit("churn-ignored",
+                               detail=f"{event.describe()}: not a member")
+                    continue
+                self._members.remove(name)
+            self.churn_applied += 1
+            changed = True
+            self._emit(event.kind.value, detail=event.describe())
+        if changed:
+            self._replace()
+
+    def _placement_curve(self, name: str) -> MissRateCurve:
+        curve = self._curves.get(name)
+        if curve is not None:
+            return curve
+        analytic = self.analytic.curve_for(name, self.machine.num_colors)
+        if analytic is not None:
+            return analytic
+        # Unknown application: a flat placeholder places it anywhere
+        # without distorting its neighbours' marginal costs.
+        return MissRateCurve(
+            {size: 1.0 for size in range(1, self.machine.num_colors + 1)},
+            label=f"placeholder:{name}",
+        )
+
+    def _replace(self, initial: bool = False) -> None:
+        """Re-run MRC placement; rebuild only domains whose members changed."""
+        if not self._members:
+            for domain in self._domains:
+                if domain.manager is not None:
+                    domain.archive()
+                    domain.members = ()
+            return
+        tracer = get_telemetry().tracer
+        with tracer.span("fleet_placement", members=len(self._members)):
+            placement = place_on_domains(
+                {name: self._placement_curve(name) for name in self._members},
+                num_domains=self.config.num_domains,
+                colors_per_domain=self.machine.num_colors,
+            )
+        self.placements.append((self._now, placement.assignments))
+        get_telemetry().registry.counter("fleet.placements").inc()
+        self._emit("placement", detail=" | ".join(
+            ",".join(members) or "-" for members in placement.assignments
+        ))
+        for domain, members in zip(self._domains, placement.assignments):
+            if members == domain.members and domain.manager is not None:
+                continue
+            if not initial:
+                self._emit("rebuild", domain.index,
+                           detail=",".join(members) or "empty")
+            domain.archive()
+            self.budget.forget(domain.index)
+            domain.members = members
+            if not members:
+                domain.manager = None
+                continue
+            manager = DynamicPartitionManager(
+                self.machine,
+                [self._pool[name] for name in members],
+                self.config.dynamic,
+                store=self.store,
+                analytic_bank=self.analytic,
+            )
+            manager.probe_gate = self._gate_for(domain)
+            manager.probe_listener = self._listener_for(domain)
+            manager.begin(self.config.warmup_accesses if initial else 0)
+            domain.manager = manager
+
+    # -- budget + breaker plumbing ----------------------------------------------
+
+    def _gate_for(self, domain: _Domain):
+        def gate(pid: int, deadline_accesses: int) -> bool:
+            if domain.blacked_out:
+                return False
+            if not domain.breaker.admit(self._now):
+                return False
+            if not self.budget.request(domain.index, pid, deadline_accesses):
+                # An armed probationary slot must not leak when the
+                # budget, not the breaker, said no.
+                domain.breaker.cancel_probation()
+                return False
+            return True
+        return gate
+
+    def _listener_for(self, domain: _Domain):
+        def listen(outcome: ProbeOutcome) -> None:
+            if outcome.kind in _TERMINAL_OUTCOMES:
+                self.budget.settle(
+                    domain.index, outcome.pid, outcome.accesses
+                )
+            if outcome.kind in ("admitted", "reused"):
+                domain.breaker.record_success(self._now)
+            elif outcome.kind in _FAILURE_OUTCOMES:
+                tripped = domain.breaker.record_failure(
+                    self._now, detail=outcome.kind
+                )
+                if tripped:
+                    self._quarantine(domain)
+            elif outcome.kind == "degraded":
+                self.rungs_served[outcome.detail] = (
+                    self.rungs_served.get(outcome.detail, 0) + 1
+                )
+        return listen
+
+    def _quarantine(self, domain: _Domain) -> None:
+        self.quarantines += 1
+        get_telemetry().registry.counter(
+            "fleet.quarantines", domain=domain.index
+        ).inc()
+        self._emit(
+            "quarantine", domain.index,
+            detail=f"{domain.breaker.consecutive_failures} consecutive failures",
+        )
+        manager = domain.manager
+        if manager is None:
+            return
+        # The domain stops probing; everything still waiting on one is
+        # served its ladder fallback so decisions keep flowing.
+        for pid, managed in enumerate(manager.managed):
+            if managed.collector is not None:
+                manager.abort_inflight_probe(pid, reason="quarantine")
+            elif managed.needs_probe:
+                manager.degrade_now(pid, reason="quarantine")
+
+    def _solicit_probation(self, tick: int) -> None:
+        """Ask a quarantined-but-cooled domain for its probationary probe."""
+        for domain in self._domains:
+            if domain.manager is None or domain.blacked_out:
+                continue
+            if not domain.breaker.ready_for_probation(tick):
+                continue
+            # One process is enough to test the domain's probe channel.
+            domain.manager.request_probe(0, reason="probation")
+            self._emit("probation", domain.index, detail="pid 0 solicited")
+
+    # -- curve directory ---------------------------------------------------------
+
+    def _refresh_curves(self) -> None:
+        for domain in self._domains:
+            if domain.manager is None:
+                continue
+            for managed in domain.manager.managed:
+                if managed.mrc is not None:
+                    self._curves[managed.process.workload.name] = managed.mrc
+
+    # -- reporting ---------------------------------------------------------------
+
+    def _finish(self) -> FleetReport:
+        final_counts: Dict[str, int] = {}
+        for domain in self._domains:
+            manager = domain.manager
+            if manager is None:
+                continue
+            for name, colors in zip(
+                [m.process.workload.name for m in manager.managed],
+                manager.current_colors,
+            ):
+                final_counts[name] = len(colors)
+            domain.archive()
+        domain_reports = {
+            domain.index: list(domain.finished_reports)
+            for domain in self._domains
+        }
+        for domain in self._domains:
+            recovered = (
+                domain.breaker.opens > 0
+                and domain.breaker.state is BreakerState.CLOSED
+            )
+            if recovered:
+                self._emit("recovered", domain.index)
+        return FleetReport(
+            ticks_run=self.config.ticks,
+            assignments=tuple(domain.members for domain in self._domains),
+            final_counts=final_counts,
+            events=list(self.events),
+            placements=list(self.placements),
+            domain_reports=domain_reports,
+            budget_stats=self.budget.stats(),
+            breaker_stats={
+                domain.index: domain.breaker.stats()
+                for domain in self._domains
+            },
+            rungs_served=dict(self.rungs_served),
+            quarantines=self.quarantines,
+            churn_applied=self.churn_applied,
+            churn_ignored=self.churn_ignored,
+            analytic_stats=self.analytic.stats(),
+        )

@@ -264,6 +264,8 @@ class RunReport:
             ("probes & quality", "probe.", None),
             ("quality gate failures", "quality.", None),
             ("dynamic manager", "dynamic.", None),
+            ("fleet service", "fleet.", None),
+            ("analytic estimates", "analytic.", None),
             ("mrc store", "store.", None),
             ("mrc engine", "mrc.", None),
             ("fast path", "fastpath.", None),

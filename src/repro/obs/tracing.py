@@ -38,6 +38,8 @@ STAGE_NAMES = (
     "stack_distance",
     "calibration",
     "partition_decision",
+    "fleet_tick",
+    "fleet_placement",
 )
 
 

@@ -34,6 +34,10 @@ __all__ = [
     "FaultPlan",
     "FaultyTraceCollector",
     "FAULT_KINDS",
+    "ServiceFaultKind",
+    "ServiceFaultSpec",
+    "ServiceFaultPlan",
+    "SERVICE_FAULT_KINDS",
 ]
 
 
@@ -394,3 +398,234 @@ def wrap_collector(
     if plan is None or not plan.specs:
         return collector
     return FaultyTraceCollector(collector, plan, salt=salt)
+
+
+# ---------------------------------------------------------------------------
+# Service-level faults (the fleet partition service's failure modes)
+# ---------------------------------------------------------------------------
+
+
+class ServiceFaultKind(enum.Enum):
+    """Failure modes of the *service* around the probe channel.
+
+    The per-probe faults above corrupt one trace; a long-running fleet
+    service additionally has to survive whole subsystems misbehaving:
+
+    Attributes:
+        DOMAIN_BLACKOUT: one cache domain's PMU goes dark for a window
+            of ticks -- in-flight probes on the domain abort and no new
+            probe can be admitted until the window closes (firmware
+            update, perf-subsystem wedge, counter takeover by another
+            agent).
+        CHURN_DELAY: process join/leave/crash notifications arrive late
+            by a fixed number of ticks (slow control plane).
+        CHURN_DUPLICATE: every churn notification is re-delivered a few
+            ticks after the original (at-least-once delivery); the
+            duplicate must be a no-op.
+        BUDGET_STORM: the global probe-access budget is drained to zero
+            every tick of a window -- no probe anywhere can be admitted
+            (a burst of higher-priority PMU consumers).
+    """
+
+    DOMAIN_BLACKOUT = "domain-blackout"
+    CHURN_DELAY = "churn-delay"
+    CHURN_DUPLICATE = "churn-duplicate"
+    BUDGET_STORM = "budget-storm"
+
+
+#: Canonical CLI spelling of every service-level fault kind.
+SERVICE_FAULT_KINDS: Tuple[str, ...] = tuple(
+    kind.value for kind in ServiceFaultKind
+)
+
+
+@dataclass(frozen=True)
+class ServiceFaultSpec:
+    """One service-level fault instance.
+
+    Args:
+        kind: which failure mode.
+        start_tick: first fleet tick the fault is active (windowed
+            kinds: ``DOMAIN_BLACKOUT``, ``BUDGET_STORM``).
+        duration_ticks: window length in ticks (windowed kinds).
+        domain: affected domain index for ``DOMAIN_BLACKOUT``; ``None``
+            blacks out every domain.
+        magnitude: ``CHURN_DELAY``: ticks each notification is late;
+            ``CHURN_DUPLICATE``: ticks after the original at which the
+            duplicate is delivered.
+    """
+
+    kind: ServiceFaultKind
+    start_tick: int = 0
+    duration_ticks: int = 0
+    domain: Optional[int] = None
+    magnitude: int = 2
+
+    def __post_init__(self) -> None:
+        if self.start_tick < 0:
+            raise ValueError(f"start_tick must be >= 0, got {self.start_tick!r}")
+        if self.duration_ticks < 0:
+            raise ValueError(
+                f"duration_ticks must be >= 0, got {self.duration_ticks!r}"
+            )
+        if self.magnitude < 1:
+            raise ValueError(f"magnitude must be >= 1, got {self.magnitude!r}")
+        windowed = self.kind in (
+            ServiceFaultKind.DOMAIN_BLACKOUT, ServiceFaultKind.BUDGET_STORM
+        )
+        if windowed and self.duration_ticks == 0:
+            raise ValueError(
+                f"{self.kind.value} needs a positive duration_ticks"
+            )
+
+    @property
+    def end_tick(self) -> int:
+        """First tick *after* the fault window (windowed kinds)."""
+        return self.start_tick + self.duration_ticks
+
+    def active(self, tick: int) -> bool:
+        return self.start_tick <= tick < self.end_tick
+
+    def describe(self) -> str:
+        if self.kind is ServiceFaultKind.DOMAIN_BLACKOUT:
+            where = "*" if self.domain is None else str(self.domain)
+            return (f"{self.kind.value}:{where}"
+                    f"@{self.start_tick}+{self.duration_ticks}")
+        if self.kind is ServiceFaultKind.BUDGET_STORM:
+            return f"{self.kind.value}@{self.start_tick}+{self.duration_ticks}"
+        return f"{self.kind.value}:{self.magnitude}"
+
+
+@dataclass(frozen=True)
+class ServiceFaultPlan:
+    """A composable set of service-level faults, fully deterministic.
+
+    Unlike the per-probe :class:`FaultPlan` there is no randomness at
+    all: every fault is a scheduled window or a fixed transform of the
+    churn schedule, so a chaos run replays exactly.
+    """
+
+    specs: Tuple[ServiceFaultSpec, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "specs", tuple(self.specs))
+
+    def specs_of(self, kind: ServiceFaultKind) -> Tuple[ServiceFaultSpec, ...]:
+        return tuple(spec for spec in self.specs if spec.kind is kind)
+
+    # -- queries the fleet service makes each tick --------------------------
+
+    def blackout_active(self, domain: int, tick: int) -> bool:
+        return any(
+            spec.active(tick)
+            and (spec.domain is None or spec.domain == domain)
+            for spec in self.specs_of(ServiceFaultKind.DOMAIN_BLACKOUT)
+        )
+
+    def storm_active(self, tick: int) -> bool:
+        return any(
+            spec.active(tick)
+            for spec in self.specs_of(ServiceFaultKind.BUDGET_STORM)
+        )
+
+    def churn_delay_ticks(self) -> int:
+        """Total delivery delay applied to every churn notification."""
+        return sum(
+            spec.magnitude
+            for spec in self.specs_of(ServiceFaultKind.CHURN_DELAY)
+        )
+
+    def churn_duplicate_offset(self) -> Optional[int]:
+        """Ticks after the original at which a duplicate is delivered."""
+        specs = self.specs_of(ServiceFaultKind.CHURN_DUPLICATE)
+        if not specs:
+            return None
+        return max(spec.magnitude for spec in specs)
+
+    def clear_tick(self) -> int:
+        """First tick at which every windowed fault has ended."""
+        ends = [
+            spec.end_tick for spec in self.specs
+            if spec.kind in (
+                ServiceFaultKind.DOMAIN_BLACKOUT, ServiceFaultKind.BUDGET_STORM
+            )
+        ]
+        return max(ends) if ends else 0
+
+    def describe(self) -> str:
+        if not self.specs:
+            return "no service faults"
+        return ",".join(spec.describe() for spec in self.specs)
+
+    # -- CLI parsing ---------------------------------------------------------
+
+    @classmethod
+    def parse(cls, text: str) -> "ServiceFaultPlan":
+        """Parse a CLI spec.
+
+        Grammar per comma-separated item:
+
+        - ``domain-blackout[:DOMAIN]@START+DURATION`` (``:*`` = all
+          domains);
+        - ``budget-storm@START+DURATION``;
+        - ``churn-delay[:TICKS]`` / ``churn-duplicate[:TICKS]``;
+        - ``all`` -- a canonical chaos mix: domain 0 blacked out, one
+          budget storm, delayed and duplicated churn.
+        """
+        items = [item.strip() for item in text.split(",") if item.strip()]
+        if not items:
+            raise ValueError("empty service fault spec")
+        specs: list = []
+        for item in items:
+            if item == "all":
+                specs.extend([
+                    ServiceFaultSpec(
+                        ServiceFaultKind.DOMAIN_BLACKOUT,
+                        start_tick=8, duration_ticks=6, domain=0,
+                    ),
+                    ServiceFaultSpec(
+                        ServiceFaultKind.BUDGET_STORM,
+                        start_tick=18, duration_ticks=5,
+                    ),
+                    ServiceFaultSpec(
+                        ServiceFaultKind.CHURN_DELAY, magnitude=2
+                    ),
+                    ServiceFaultSpec(
+                        ServiceFaultKind.CHURN_DUPLICATE, magnitude=3
+                    ),
+                ])
+                continue
+            specs.append(cls._parse_item(item))
+        return cls(specs=tuple(specs))
+
+    @staticmethod
+    def _parse_item(item: str) -> ServiceFaultSpec:
+        head, at, window = item.partition("@")
+        name, _, qualifier = head.partition(":")
+        try:
+            kind = ServiceFaultKind(name)
+        except ValueError:
+            raise ValueError(
+                f"unknown service fault kind {name!r}; "
+                f"choose from {', '.join(SERVICE_FAULT_KINDS)}"
+            ) from None
+        if kind in (ServiceFaultKind.DOMAIN_BLACKOUT,
+                    ServiceFaultKind.BUDGET_STORM):
+            if not at:
+                raise ValueError(f"{name} needs a @START+DURATION window")
+            start_text, plus, duration_text = window.partition("+")
+            if not plus:
+                raise ValueError(f"{name} window must be @START+DURATION")
+            domain: Optional[int] = None
+            if kind is ServiceFaultKind.DOMAIN_BLACKOUT and qualifier not in ("", "*"):
+                domain = int(qualifier)
+            return ServiceFaultSpec(
+                kind,
+                start_tick=int(start_text),
+                duration_ticks=int(duration_text),
+                domain=domain,
+            )
+        if at:
+            raise ValueError(f"{name} takes no @window")
+        magnitude = int(qualifier) if qualifier else 2
+        return ServiceFaultSpec(kind, magnitude=magnitude)

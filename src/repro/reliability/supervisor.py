@@ -13,7 +13,9 @@ worse than an even split.  The supervisor encodes that policy:
    persistently broken channel cannot monopolize the loop;
 3. **degradation ladder** -- while no fresh curve is available the
    supervisor serves, in order: the per-process *last-known-good* curve,
-   a flat single-anchor-point estimate built from the most recent PMU
+   a probe-free *analytic estimate* (the Che/Fagin power-law fit of
+   :mod:`repro.core.analytic`, built from monitoring samples alone), a
+   flat single-anchor-point estimate built from the most recent PMU
    miss-rate sample, and finally nothing at all -- at which point the
    caller falls back to a uniform partition split.
 
@@ -49,12 +51,31 @@ class DegradationRung(enum.Enum):
 
     Ordered best to worst; ``UNIFORM_SPLIT`` means no curve at all and
     the caller must stop optimizing and split evenly.
+    ``ANALYTIC_ESTIMATE`` is the probe-free Che/Fagin power-law fit
+    (:mod:`repro.core.analytic`): better than a flat anchor because it
+    still carries a size preference, worse than last-known-good because
+    it was modeled, not measured.
     """
 
     FRESH = "fresh"
     LAST_KNOWN_GOOD = "last-known-good"
+    ANALYTIC_ESTIMATE = "analytic-estimate"
     ANCHOR_FLAT = "anchor-flat"
     UNIFORM_SPLIT = "uniform-split"
+
+    @property
+    def rank(self) -> int:
+        """Ladder position, 0 (best) to 4 (worst); monotone in quality."""
+        return _RUNG_RANKS[self]
+
+
+_RUNG_RANKS: Dict["DegradationRung", int] = {
+    DegradationRung.FRESH: 0,
+    DegradationRung.LAST_KNOWN_GOOD: 1,
+    DegradationRung.ANALYTIC_ESTIMATE: 2,
+    DegradationRung.ANCHOR_FLAT: 3,
+    DegradationRung.UNIFORM_SPLIT: 4,
+}
 
 
 @dataclass(frozen=True)
@@ -99,13 +120,24 @@ class SupervisorConfig:
             raise ValueError("deadline_log_multiple must be >= 1")
 
     def cooldown_after(self, consecutive_failures: int) -> int:
-        """Cooldown intervals before the next retry (exponential)."""
+        """Cooldown intervals before the next retry (exponential).
+
+        The backoff is clamped at ``max_cooldown_intervals`` exactly
+        once, in float space: a long failure streak overflows
+        ``cooldown_factor ** n`` long before the int conversion, so the
+        clamp must happen before (or instead of) rounding.
+        """
         if consecutive_failures <= 0:
             return 0
-        cooldown = self.cooldown_base_intervals * (
-            self.cooldown_factor ** (consecutive_failures - 1)
-        )
-        return min(self.max_cooldown_intervals, int(round(cooldown)))
+        try:
+            cooldown = self.cooldown_base_intervals * (
+                self.cooldown_factor ** (consecutive_failures - 1)
+            )
+        except OverflowError:
+            return self.max_cooldown_intervals
+        if cooldown >= self.max_cooldown_intervals:
+            return self.max_cooldown_intervals
+        return int(round(cooldown))
 
     def deadline_accesses(self, log_entries: int) -> int:
         """Access budget for one probe with the given log length."""
@@ -118,7 +150,7 @@ class ReliabilityEvent:
 
     ``kind`` is one of ``accepted``, ``rejected``, ``retry``,
     ``exhausted``, ``degraded``, ``deadline``, ``invalidated``,
-    ``reused``.
+    ``reused``, ``backoff-reset``.
     """
 
     kind: str
@@ -287,6 +319,22 @@ class ProbeSupervisor:
         self._emit("deadline", pid,
                    detail=f"aborted after {accesses} accesses")
 
+    def reset_backoff(self, pid: int, reason: str = "") -> None:
+        """Clear the consecutive-failure streak without an admission.
+
+        A phase transition makes the old failure streak meaningless: the
+        broken probes described a working set that no longer exists, so
+        the *new* phase's probes should start from the base cooldown
+        instead of inheriting an inflated backoff.  The dynamic manager
+        calls this when a transition re-requests a probe for a process
+        that was parked on the ladder.
+        """
+        health = self.health(pid)
+        if health.consecutive_failures == 0:
+            return
+        health.consecutive_failures = 0
+        self._emit("backoff-reset", pid, detail=reason)
+
     def report_invalidated(self, pid: int, reason: str = "") -> None:
         """Record a probe invalidated mid-collection (phase transition).
 
@@ -305,11 +353,11 @@ class ProbeSupervisor:
         """After a failure: ``(should_retry, cooldown_intervals)``.
 
         Retries stop once ``max_retries`` consecutive failures have
-        accumulated; the process then rides the degradation ladder until
-        something (e.g. a phase transition) requests a probe again,
-        which resets nothing -- only an *accepted* probe clears the
-        failure count, so the backoff keeps growing if the channel stays
-        broken.
+        accumulated; the process then rides the degradation ladder.  The
+        failure count clears on an *accepted* probe (or reuse) and on a
+        phase transition (:meth:`reset_backoff` -- a new phase owes
+        nothing to the old phase's broken probes); while the same phase
+        keeps failing, the backoff keeps growing.
         """
         health = self.health(pid)
         failures = health.consecutive_failures
@@ -330,20 +378,32 @@ class ProbeSupervisor:
         self,
         pid: int,
         recent_mpki: Optional[float],
+        analytic: Optional[MissRateCurve] = None,
     ) -> Tuple[Optional[MissRateCurve], DegradationRung]:
         """Serve the best available rung below a fresh probe.
 
-        Ladder: last-known-good curve -> flat estimate pinned at the
-        most recent plausible PMU sample -> ``(None, UNIFORM_SPLIT)``.
-        The flat estimate deliberately carries no size preference: the
-        selector will treat the process as cache-insensitive, which is
-        the least committal reading of a single point.
+        Ladder: last-known-good curve -> probe-free analytic estimate
+        (when the caller supplies one, see :mod:`repro.core.analytic`)
+        -> flat estimate pinned at the most recent plausible PMU sample
+        -> ``(None, UNIFORM_SPLIT)``.  The flat estimate deliberately
+        carries no size preference: the selector will treat the process
+        as cache-insensitive, which is the least committal reading of a
+        single point.  An analytic curve is sanity-checked the same way
+        a cached curve is -- a non-monotone fit never reaches the
+        selector.
         """
         health = self.health(pid)
         if health.last_good is not None:
             health.rung = DegradationRung.LAST_KNOWN_GOOD
             self._emit("degraded", pid, DegradationRung.LAST_KNOWN_GOOD)
             return health.last_good, DegradationRung.LAST_KNOWN_GOOD
+        if analytic is not None and self._analytic_plausible(analytic):
+            health.rung = DegradationRung.ANALYTIC_ESTIMATE
+            self._emit(
+                "degraded", pid, DegradationRung.ANALYTIC_ESTIMATE,
+                detail=analytic.label,
+            )
+            return analytic, DegradationRung.ANALYTIC_ESTIMATE
         anchor_check = assess_anchor(recent_mpki, self.config.quality)
         if anchor_check.passed:
             flat = MissRateCurve(
@@ -359,6 +419,16 @@ class ProbeSupervisor:
         health.rung = DegradationRung.UNIFORM_SPLIT
         self._emit("degraded", pid, DegradationRung.UNIFORM_SPLIT)
         return None, DegradationRung.UNIFORM_SPLIT
+
+    def _analytic_plausible(self, curve: MissRateCurve) -> bool:
+        """Gate an analytic estimate the way a cached curve is gated."""
+        pairs = max(1, curve.num_points - 1)
+        violations = curve.monotone_violations() / pairs
+        bound = self.config.quality.max_monotone_violation_fraction
+        if violations > bound:
+            return False
+        top = curve.value_at(curve.sizes[0])
+        return top <= self.config.quality.max_plausible_mpki
 
     # -- reporting ----------------------------------------------------------
 

@@ -35,10 +35,11 @@ decision is visible both as a :class:`ManagerEvent` and as a structured
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import heapq
 
+from repro.core.analytic import AnalyticConfig, AnalyticMRCBank
 from repro.core.mrc import MissRateCurve
 from repro.core.partition import choose_partition_sizes_multi
 from repro.core.phase import PhaseDetector, PhaseDetectorConfig
@@ -46,8 +47,9 @@ from repro.core.rapidmrc import ProbeConfig, RapidMRC, RapidMRCResult
 from repro.obs import get_telemetry
 from repro.pmu.sampling import PMUModel, TraceCollector
 from repro.reliability.faults import FaultPlan, wrap_collector
-from repro.reliability.quality import assess_probe, assess_reuse
+from repro.reliability.quality import assess_anchor, assess_probe, assess_reuse
 from repro.reliability.supervisor import (
+    DegradationRung,
     ProbeSupervisor,
     ReliabilityEvent,
     SupervisorConfig,
@@ -67,6 +69,8 @@ __all__ = [
     "ManagerEvent",
     "DynamicReport",
     "DynamicPartitionManager",
+    "ProbeOutcome",
+    "DecisionRecord",
 ]
 
 
@@ -98,6 +102,8 @@ class DynamicConfig:
         reuse_enabled: consult the store before probing.  With a store
             configured but reuse disabled, fresh admitted probes are
             still recorded (cache priming / ``--no-mrc-reuse``).
+        analytic: admission knobs of the probe-free Che/Fagin power-law
+            bank feeding the ``ANALYTIC_ESTIMATE`` degradation rung.
     """
 
     interval_instructions: Optional[int] = None
@@ -112,6 +118,7 @@ class DynamicConfig:
     fault_plan: Optional[FaultPlan] = None
     store: Optional[StoreConfig] = None
     reuse_enabled: bool = True
+    analytic: AnalyticConfig = AnalyticConfig()
 
     def __post_init__(self) -> None:
         if self.interval_instructions is not None and self.interval_instructions <= 0:
@@ -147,13 +154,48 @@ class ManagerEvent:
 
     ``kind`` is one of ``probe``, ``transition``, ``resize``,
     ``probe-rejected``, ``probe-retry``, ``probe-deadline``,
-    ``degraded``, ``cache-reuse``, ``reuse-rejected``.
+    ``degraded``, ``cache-reuse``, ``reuse-rejected``,
+    ``probe-requested``.
     """
 
     kind: str
     pid: int
     instructions: int         # manager-global instruction clock
     detail: str = ""
+
+
+@dataclass(frozen=True)
+class ProbeOutcome:
+    """One probe-lifecycle notification delivered to ``probe_listener``.
+
+    ``kind`` is one of ``started``, ``admitted``, ``rejected``,
+    ``deadline``, ``invalidated``, ``aborted``, ``reused``,
+    ``degraded``, ``gate-denied``.  ``accesses`` is the probe's access
+    cost: the reserved deadline budget for ``started``/``gate-denied``,
+    the accesses actually consumed for terminal outcomes (the fleet
+    budget refunds the difference).
+    """
+
+    kind: str
+    pid: int
+    accesses: int = 0
+    detail: str = ""
+
+
+@dataclass(frozen=True)
+class DecisionRecord:
+    """Provenance of one partition decision (chaos-harness evidence).
+
+    ``mode`` is ``optimized`` (every process had a curve) or ``uniform``
+    (at least one hole -> even split).  ``rungs`` snapshots each
+    process's degradation rung at decision time, so a test can assert
+    that no optimized decision was ever computed from garbage.
+    """
+
+    mode: str
+    counts: Tuple[int, ...]
+    rungs: Tuple[str, ...]
+    instructions: int
 
 
 @dataclass
@@ -174,6 +216,9 @@ class DynamicReport:
     probes_reused: int = 0
     reuse_rejected: int = 0
     store_stats: Optional[Dict[str, int]] = None
+    decisions: List[DecisionRecord] = field(default_factory=list)
+    probe_gate_denials: int = 0
+    analytic_stats: Optional[Dict[str, int]] = None
 
     def events_of_kind(self, kind: str) -> List[ManagerEvent]:
         return [event for event in self.events if event.kind == kind]
@@ -220,6 +265,18 @@ class DynamicPartitionManager:
             use (e.g. loaded from disk for a warm start); overrides
             ``config.store``.  ``None`` builds one from ``config.store``
             when that is set, else runs without a cache.
+        analytic_bank: an existing
+            :class:`~repro.core.analytic.AnalyticMRCBank` to share (the
+            fleet service pools observations across domains); ``None``
+            builds a private one from ``config.analytic``.
+
+    Two hooks let an outer service steer the loop without subclassing:
+
+    - ``probe_gate``: ``(pid, deadline_accesses) -> bool`` consulted
+      before every probe start; ``False`` defers the probe one cooldown
+      (the fleet's global budget admission).  ``None`` admits always.
+    - ``probe_listener``: called with every :class:`ProbeOutcome`
+      (budget refunds, circuit-breaker failure counting).
     """
 
     def __init__(
@@ -230,6 +287,7 @@ class DynamicPartitionManager:
         issue_mode: IssueMode = IssueMode.COMPLEX,
         prefetcher: Optional[PrefetcherConfig] = None,
         store: Optional[MRCStore] = None,
+        analytic_bank: Optional[AnalyticMRCBank] = None,
     ):
         if not workloads:
             raise ValueError("need at least one workload")
@@ -250,6 +308,10 @@ class DynamicPartitionManager:
             self.store = MRCStore(config.store)
         else:
             self.store = None
+        self.analytic = (
+            analytic_bank if analytic_bank is not None
+            else AnalyticMRCBank(config.analytic)
+        )
         self._interval = config.resolved_interval(machine)
         self.events: List[ManagerEvent] = []
         self.migration_cycles = 0.0
@@ -259,6 +321,11 @@ class DynamicPartitionManager:
         self.probes_reused = 0
         self.reuse_rejected = 0
         self.resizes = 0
+        self.probe_gate_denials = 0
+        self.decisions: List[DecisionRecord] = []
+        self.probe_gate: Optional[Callable[[int, int], bool]] = None
+        self.probe_listener: Optional[Callable[[ProbeOutcome], None]] = None
+        self._cycle_base: Optional[List[float]] = None
 
         # Start from an even split -- the uninformed default.
         even = machine.num_colors // len(workloads)
@@ -294,19 +361,43 @@ class DynamicPartitionManager:
         """Run until one process reaches its access quota."""
         if quota_accesses <= 0:
             raise ValueError("quota must be positive")
+        self.begin(warmup_accesses)
+        self.step_accesses(quota_accesses)
+        return self.finish()
+
+    # -- stepwise driving (the fleet service interleaves many managers) -------
+
+    def begin(self, warmup_accesses: int = 0) -> None:
+        """Warm up and arm the loop for incremental :meth:`step_accesses`."""
         if warmup_accesses > 0:
             self._advance(warmup_accesses, managed_hooks=False)
             self.hierarchy.reset_counters()
             for managed in self.managed:
                 managed.process.reset_metrics()
-        cycle_base = [m.process.cycles for m in self.managed]
-        self._advance(quota_accesses, managed_hooks=True)
+        self._cycle_base = [m.process.cycles for m in self.managed]
 
+    def step_accesses(self, target_extra: int) -> None:
+        """Advance until one process gains ``target_extra`` accesses.
+
+        Callable repeatedly between :meth:`begin` and :meth:`finish`;
+        probes, intervals, and decisions carry over across calls, so an
+        outer event loop can interleave slices of many managers.
+        """
+        if self._cycle_base is None:
+            raise RuntimeError("step_accesses before begin()")
+        if target_extra <= 0:
+            raise ValueError("target_extra must be positive")
+        self._advance(target_extra, managed_hooks=True)
+
+    def finish(self) -> DynamicReport:
+        """Flush telemetry and build the report for the stepped span."""
+        if self._cycle_base is None:
+            raise RuntimeError("finish before begin()")
         # Residue the interval harvests never saw (the final partial
         # interval) still reaches the registry.
         self.hierarchy.publish_telemetry()
         ipc = []
-        for base, managed in zip(cycle_base, self.managed):
+        for base, managed in zip(self._cycle_base, self.managed):
             window = managed.process.cycles - base
             ipc.append(
                 managed.process.instructions / window if window > 0 else 0.0
@@ -330,7 +421,14 @@ class DynamicPartitionManager:
             probes_reused=self.probes_reused,
             reuse_rejected=self.reuse_rejected,
             store_stats=self.store.stats() if self.store else None,
+            decisions=list(self.decisions),
+            probe_gate_denials=self.probe_gate_denials,
+            analytic_stats=self.analytic.stats(),
         )
+
+    def _notify(self, outcome: ProbeOutcome) -> None:
+        if self.probe_listener is not None:
+            self.probe_listener(outcome)
 
     def _advance(self, target_extra: int, managed_hooks: bool) -> None:
         start = [m.process.accesses for m in self.managed]
@@ -388,11 +486,36 @@ class DynamicPartitionManager:
                     # saves the whole probe, and a probe started now
                     # could not be fingerprinted for storage anyway.
                     pass
+                elif not self._gate_allows(index, managed):
+                    pass
                 else:
                     self._start_probe(index, managed)
 
         if managed.interval_instructions_seen >= self._interval:
             self._end_interval(index, managed)
+
+    def _gate_allows(self, index: int, managed: _Managed) -> bool:
+        """Ask the external probe gate (budget admission) if one is set.
+
+        Denial defers the request one cooldown instead of dropping it:
+        the process keeps re-requesting each cooldown until admitted,
+        which is what the fleet budget's priority aging keys off.
+        """
+        if self.probe_gate is None:
+            return True
+        log_entries = self.config.probe.resolved_log_entries(self.machine)
+        deadline = self.config.reliability.deadline_accesses(log_entries)
+        if self.probe_gate(index, deadline):
+            return True
+        self.probe_gate_denials += 1
+        managed.intervals_since_probe = 0
+        get_telemetry().registry.counter(
+            "dynamic.gate_denied", pid=index
+        ).inc()
+        self._notify(ProbeOutcome(
+            "gate-denied", index, accesses=deadline,
+        ))
+        return False
 
     def _end_interval(self, index: int, managed: _Managed) -> None:
         telemetry = get_telemetry()
@@ -402,6 +525,13 @@ class DynamicPartitionManager:
         managed.intervals_since_probe += 1
         telemetry.registry.counter("dynamic.intervals", pid=index).inc()
         event = managed.detector.observe(mpki)
+        if event is None and not managed.detector.in_transition:
+            # A settled sample at the current size is one free data
+            # point for the probe-free power-law fit.
+            self.analytic.record(
+                managed.process.workload.name,
+                len(self.current_colors[index]), mpki,
+            )
         if event is not None:
             telemetry.registry.counter("dynamic.transitions", pid=index).inc()
             self.events.append(ManagerEvent(
@@ -411,9 +541,17 @@ class DynamicPartitionManager:
                 detail=f"{event.mpki_before:.1f}->{event.mpki_after:.1f} MPKI",
             ))
             managed.needs_probe = True
+            # The old phase's failure streak (and its analytic samples)
+            # say nothing about the new working set: reset before any
+            # mid-probe invalidation below charges the *new* phase.
+            self.analytic.note_transition(managed.process.workload.name)
+            self.supervisor.reset_backoff(index, reason="phase transition")
             if managed.collector is not None:
                 # Section 5.2.2: a probe spanning a phase boundary mixes
                 # two working sets -- discard it and reprobe.
+                consumed = (
+                    managed.process.accesses - managed.probe_accesses_start
+                )
                 managed.collector = None
                 telemetry.tracer.end(managed.probe_span, status="invalidated")
                 managed.probe_span = None
@@ -427,6 +565,10 @@ class DynamicPartitionManager:
                     kind="probe-rejected", pid=index,
                     instructions=self._global_instructions(),
                     detail="invalidated by phase transition",
+                ))
+                self._notify(ProbeOutcome(
+                    "invalidated", index, accesses=consumed,
+                    detail="phase transition mid-probe",
                 ))
                 self._handle_probe_failure(index, managed)
         if managed.detector.in_transition:
@@ -502,6 +644,7 @@ class DynamicPartitionManager:
             instructions=self._global_instructions(),
             detail=detail,
         ))
+        self._notify(ProbeOutcome("reused", index, detail=detail))
         self._redecide()
         return True
 
@@ -536,6 +679,9 @@ class DynamicPartitionManager:
             kind="probe", pid=index,
             instructions=self._global_instructions(), detail="started",
         ))
+        self._notify(ProbeOutcome(
+            "started", index, accesses=managed.probe_deadline_accesses,
+        ))
 
     def _abort_probe(self, index: int, managed: _Managed,
                      probe_accesses: int) -> None:
@@ -550,6 +696,10 @@ class DynamicPartitionManager:
             kind="probe-deadline", pid=index,
             instructions=self._global_instructions(),
             detail=f"log unfilled after {probe_accesses} accesses",
+        ))
+        self._notify(ProbeOutcome(
+            "deadline", index, accesses=probe_accesses,
+            detail="log unfilled",
         ))
         self._handle_probe_failure(index, managed)
 
@@ -586,6 +736,7 @@ class DynamicPartitionManager:
             recent = self.config.fault_plan.corrupt_anchor(
                 recent, salt=f"{index}/{managed.probe_count}",
             )
+        consumed = managed.process.accesses - managed.probe_accesses_start
         curve = self.supervisor.admit(index, quality, result, anchor, recent)
         if curve is not None:
             telemetry.tracer.end(managed.probe_span, status="admitted")
@@ -614,6 +765,7 @@ class DynamicPartitionManager:
                 instructions=self._global_instructions(),
                 detail=f"finished ({len(probe.entries)} entries)",
             ))
+            self._notify(ProbeOutcome("admitted", index, accesses=consumed))
             self._redecide()
             return
 
@@ -623,6 +775,9 @@ class DynamicPartitionManager:
             kind="probe-rejected", pid=index,
             instructions=self._global_instructions(),
             detail=quality.describe(),
+        ))
+        self._notify(ProbeOutcome(
+            "rejected", index, accesses=consumed, detail=quality.describe(),
         ))
         self._handle_probe_failure(index, managed)
 
@@ -648,9 +803,16 @@ class DynamicPartitionManager:
         # Retries exhausted: ride the degradation ladder.  The curve (or
         # its absence) feeds the next decision; a later phase transition
         # can still request a fresh probe.
+        self._serve_fallback(index, managed)
+
+    def _serve_fallback(self, index: int, managed: _Managed,
+                        detail: str = "") -> DegradationRung:
+        """Park the process on the best remaining degradation rung."""
         recent = managed.timeline[-1] if managed.timeline else None
-        curve, rung = self.supervisor.fallback_curve(index, recent)
-        registry.counter(
+        curve, rung = self.supervisor.fallback_curve(
+            index, recent, analytic=self._analytic_curve(index, managed),
+        )
+        get_telemetry().registry.counter(
             "dynamic.degradations", pid=index, rung=rung.value
         ).inc()
         managed.mrc = curve
@@ -659,9 +821,96 @@ class DynamicPartitionManager:
         self.events.append(ManagerEvent(
             kind="degraded", pid=index,
             instructions=self._global_instructions(),
-            detail=rung.value,
+            detail=rung.value + (f" ({detail})" if detail else ""),
         ))
+        self._notify(ProbeOutcome("degraded", index, detail=rung.value))
         self._redecide()
+        return rung
+
+    def _analytic_curve(self, index: int,
+                        managed: _Managed) -> Optional[MissRateCurve]:
+        """The probe-free power-law estimate, anchored when possible.
+
+        The raw fit predicts absolute levels from the bank's samples;
+        when the latest PMU sample is plausible the curve is v-offset
+        matched at the current size, same as a cached curve on reuse.
+        """
+        signature = self._phase_signature(managed)
+        curve = self.analytic.curve_for(
+            managed.process.workload.name,
+            self.machine.num_colors,
+            signature_key=signature.key() if signature else None,
+        )
+        if curve is None:
+            return None
+        recent = managed.timeline[-1] if managed.timeline else None
+        if recent is not None and assess_anchor(
+            recent, self.config.reliability.quality
+        ).passed:
+            curve, _shift = curve.v_offset_matched(
+                len(self.current_colors[index]), recent
+            )
+        return curve
+
+    # -- external control (fleet service) -------------------------------------
+
+    def abort_inflight_probe(self, index: int, reason: str = "external") -> bool:
+        """Kill an in-flight probe (e.g. the domain's PMU went dark).
+
+        Counts as a failure against the supervisor's backoff, then runs
+        the ordinary retry/degrade policy.  Returns ``True`` when a
+        probe was actually aborted.
+        """
+        managed = self.managed[index]
+        if managed.collector is None:
+            return False
+        consumed = managed.process.accesses - managed.probe_accesses_start
+        managed.collector = None
+        telemetry = get_telemetry()
+        telemetry.tracer.end(managed.probe_span, status="aborted")
+        managed.probe_span = None
+        telemetry.registry.counter("dynamic.probes_aborted", pid=index).inc()
+        self.supervisor.report_invalidated(index, reason=reason)
+        self.events.append(ManagerEvent(
+            kind="probe-rejected", pid=index,
+            instructions=self._global_instructions(), detail=reason,
+        ))
+        self._notify(ProbeOutcome(
+            "aborted", index, accesses=consumed, detail=reason,
+        ))
+        self._handle_probe_failure(index, managed)
+        return True
+
+    def request_probe(self, index: int, reason: str = "") -> None:
+        """Ask for a fresh probe at the next opportunity (re-admission).
+
+        The fleet calls this when a quarantined domain's circuit closes
+        or a PMU blackout ends: the ladder curve served meanwhile stays
+        in force until the fresh probe lands.
+        """
+        managed = self.managed[index]
+        if managed.collector is not None:
+            return
+        managed.needs_probe = True
+        managed.intervals_since_probe = max(
+            managed.intervals_since_probe, managed.cooldown_intervals
+        )
+        self.events.append(ManagerEvent(
+            kind="probe-requested", pid=index,
+            instructions=self._global_instructions(), detail=reason,
+        ))
+
+    def degrade_now(self, index: int, reason: str = "") -> DegradationRung:
+        """Force the process onto the ladder immediately (quarantine).
+
+        Any in-flight probe is aborted first; otherwise the pending
+        probe request is cancelled and the best fallback rung served.
+        """
+        managed = self.managed[index]
+        if managed.collector is not None:
+            self.abort_inflight_probe(index, reason=reason or "degrade-now")
+            return self.supervisor.rung(index)
+        return self._serve_fallback(index, managed, detail=reason)
 
     # -- decisions ---------------------------------------------------------------
 
@@ -682,6 +931,7 @@ class DynamicPartitionManager:
             telemetry.registry.counter(
                 "dynamic.decisions", mode="uniform"
             ).inc()
+            self._record_decision("uniform", new_colors)
             self._apply_colors(new_colors, detail="uniform-split (degraded)")
             return
         with telemetry.tracer.span("partition_decision", mode="optimized"):
@@ -690,7 +940,21 @@ class DynamicPartitionManager:
             )
             new_colors = self._materialize(decision.colors)
         telemetry.registry.counter("dynamic.decisions", mode="optimized").inc()
+        self._record_decision("optimized", new_colors)
         self._apply_colors(new_colors, detail=str([len(c) for c in new_colors]))
+
+    def _record_decision(
+        self, mode: str, new_colors: List[Tuple[int, ...]]
+    ) -> None:
+        self.decisions.append(DecisionRecord(
+            mode=mode,
+            counts=tuple(len(colors) for colors in new_colors),
+            rungs=tuple(
+                self.supervisor.rung(pid).value
+                for pid in range(len(self.managed))
+            ),
+            instructions=self._global_instructions(),
+        ))
 
     def _apply_colors(
         self, new_colors: List[Tuple[int, ...]], detail: str

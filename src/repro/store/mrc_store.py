@@ -30,6 +30,7 @@ telemetry registry (no-op by default, see :mod:`repro.obs`).
 from __future__ import annotations
 
 import json
+import warnings
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
@@ -300,13 +301,40 @@ class MRCStore:
         The file's own config is used unless ``config`` overrides it.
         Entry ages restart at zero: the instruction clock of the run
         that wrote the file is meaningless in this one.
+
+        A warm-start file is an optimization, never a dependency: a
+        corrupt, truncated, or wrong-format file degrades to an empty
+        (cold) store with a :class:`UserWarning` and a
+        ``store.load_failed`` counter instead of killing the run that
+        asked for it.  Only a missing path still raises (that is a
+        configuration error, not bit rot).
         """
         with open(path, encoding="utf-8") as source:
-            payload = json.load(source)
-        if payload.get("format") != _FORMAT:
+            text = source.read()
+        try:
+            return cls._load_payload(path, text, config)
+        except (ValueError, KeyError, TypeError) as error:
+            # json.JSONDecodeError is a ValueError; shape errors from
+            # from_dict / config coercion land in KeyError / TypeError /
+            # ValueError.
+            warnings.warn(
+                f"{path}: unusable MRC store ({error}); starting cold",
+                stacklevel=2,
+            )
+            get_telemetry().registry.counter("store.load_failed").inc()
+            return cls(config if config is not None else StoreConfig())
+
+    @classmethod
+    def _load_payload(
+        cls, path: str, text: str, config: Optional[StoreConfig]
+    ) -> "MRCStore":
+        payload = json.loads(text)
+        if not isinstance(payload, dict) or payload.get("format") != _FORMAT:
+            format_seen = (
+                payload.get("format") if isinstance(payload, dict) else None
+            )
             raise ValueError(
-                f"{path}: not a {_FORMAT} file "
-                f"(format={payload.get('format')!r})"
+                f"not a {_FORMAT} file (format={format_seen!r})"
             )
         if config is None:
             saved = payload.get("config", {})

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.apps.coscheduling import pair_for_coscheduling
+from repro.apps.coscheduling import pair_for_coscheduling, place_on_domains
 from repro.core.mrc import MissRateCurve
 
 
@@ -86,3 +86,59 @@ class TestPairing:
         assert len(pairing.pairs) == 3
         names = sorted(n for pair in pairing.pairs for n in pair)
         assert names == ["a", "b", "c", "x", "y", "z"]
+
+
+class TestDomainPlacement:
+    def test_hungry_apps_separated_across_domains(self):
+        placement = place_on_domains(
+            {
+                "mcf": hungry(60.0), "twolf": hungry(40.0),
+                "libquantum": flat(8.0), "povray": flat(0.1),
+            },
+            num_domains=2,
+        )
+        assert placement.domain_of("mcf") != placement.domain_of("twolf")
+        for members, split in zip(placement.assignments, placement.splits):
+            assert len(members) == len(split)
+            assert sum(split) == 16
+
+    def test_flat_ties_spread_round_robin(self):
+        # Identical flat curves carry no preference: the tie-break must
+        # spread them instead of piling everything into domain 0.
+        placement = place_on_domains(
+            {name: flat(5.0) for name in "abcd"}, num_domains=2,
+        )
+        assert sorted(len(m) for m in placement.assignments) == [2, 2]
+
+    def test_same_inputs_same_placement(self):
+        mrcs = {
+            "a": hungry(55.0), "b": hungry(31.0), "c": flat(7.0),
+            "d": flat(2.0), "e": hungry(12.0),
+        }
+        first = place_on_domains(mrcs, num_domains=3)
+        again = place_on_domains(dict(reversed(list(mrcs.items()))),
+                                 num_domains=3)
+        assert first.assignments == again.assignments
+        assert first.splits == again.splits
+
+    def test_slot_and_validation_errors(self):
+        with pytest.raises(ValueError):
+            place_on_domains({"a": flat()}, num_domains=0)
+        with pytest.raises(ValueError):
+            place_on_domains({}, num_domains=2)
+        with pytest.raises(ValueError):
+            place_on_domains(
+                {name: flat() for name in "abc"},
+                num_domains=1, slots_per_domain=2,
+            )
+        with pytest.raises(ValueError):
+            place_on_domains(
+                {"a": flat()}, num_domains=1,
+                colors_per_domain=2, slots_per_domain=4,
+            )
+
+    def test_domain_of_unknown_name_raises(self):
+        placement = place_on_domains({"a": flat()}, num_domains=1)
+        assert placement.domain_of("a") == 0
+        with pytest.raises(KeyError):
+            placement.domain_of("ghost")

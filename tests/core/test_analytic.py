@@ -1,0 +1,135 @@
+"""Tests for the probe-free Che/Fagin power-law MRC estimate."""
+
+import pytest
+
+from repro.core.analytic import AnalyticConfig, AnalyticMRCBank, fit_power_law
+
+
+def power_law_samples(amplitude, alpha, sizes):
+    return [(size, amplitude * size ** (-alpha)) for size in sizes]
+
+
+class TestFitPowerLaw:
+    def test_recovers_an_exact_power_law(self):
+        samples = power_law_samples(40.0, 0.8, [1, 2, 4, 8, 16])
+        curve = fit_power_law(samples, num_colors=16)
+        assert curve is not None
+        for size, expected in samples:
+            assert curve.value_at(size) == pytest.approx(expected, rel=0.02)
+
+    def test_fit_is_monotone_nonincreasing(self):
+        # Even from noisy samples the Che/Fagin form cannot predict
+        # more misses from more cache: alpha is clamped >= 0.
+        samples = [(1, 30.0), (4, 35.0), (8, 10.0), (16, 12.0)]
+        curve = fit_power_law(samples, num_colors=16)
+        values = [curve.value_at(size) for size in range(1, 17)]
+        assert all(a >= b - 1e-9 for a, b in zip(values, values[1:]))
+
+    def test_rising_samples_clamp_to_flat(self):
+        samples = [(1, 5.0), (8, 20.0), (16, 40.0)]
+        curve = fit_power_law(samples, num_colors=16)
+        assert curve.value_at(1) == pytest.approx(curve.value_at(16))
+
+    def test_too_few_samples_returns_none(self):
+        assert fit_power_law([], 16) is None
+        assert fit_power_law([(4, 10.0)], 16) is None
+
+    def test_single_distinct_size_returns_none(self):
+        assert fit_power_law([(4, 10.0), (4, 12.0), (4, 11.0)], 16) is None
+
+    def test_garbage_samples_filtered(self):
+        samples = [(0, 10.0), (4, float("nan")), (8, -3.0)]
+        assert fit_power_law(samples, 16) is None
+
+    def test_alpha_ceiling_applies(self):
+        steep = power_law_samples(100.0, 9.0, [1, 2, 4])
+        curve = fit_power_law(steep, num_colors=4, max_alpha=2.0)
+        # Clamped at alpha=2: halving size quadruples (not 2^9x) MPKI.
+        ratio = (curve.value_at(1) + 1e-3) / (curve.value_at(2) + 1e-3)
+        assert ratio == pytest.approx(4.0, rel=0.1)
+
+    def test_zero_mpki_samples_are_fittable(self):
+        curve = fit_power_law([(1, 0.0), (8, 0.0), (16, 0.0)], 16)
+        assert curve is not None
+        assert curve.value_at(8) == pytest.approx(0.0, abs=1e-12)
+
+
+class TestConfig:
+    @pytest.mark.parametrize("kwargs", [
+        {"min_samples": 1},
+        {"min_distinct_sizes": 1},
+        {"max_samples": 2, "min_samples": 3},
+        {"max_alpha": 0.0},
+    ])
+    def test_bad_values_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            AnalyticConfig(**kwargs)
+
+
+class TestBank:
+    def test_needs_enough_samples_and_sizes(self):
+        bank = AnalyticMRCBank(AnalyticConfig(min_samples=3))
+        bank.record("gzip", 8, 20.0)
+        bank.record("gzip", 8, 21.0)
+        bank.record("gzip", 8, 19.0)
+        # Three samples but only one distinct size: no fit.
+        assert bank.curve_for("gzip", 16) is None
+        bank.record("gzip", 4, 35.0)
+        assert bank.curve_for("gzip", 16) is not None
+        assert bank.fits == 1
+
+    def test_garbage_observations_ignored(self):
+        bank = AnalyticMRCBank()
+        bank.record("gzip", 0, 10.0)
+        bank.record("gzip", 4, float("inf"))
+        bank.record("gzip", 4, -1.0)
+        assert bank.sample_count("gzip") == 0
+
+    def test_window_keeps_newest_samples(self):
+        bank = AnalyticMRCBank(AnalyticConfig(max_samples=4))
+        for i in range(10):
+            bank.record("gzip", 1 + i % 3, float(i))
+        assert bank.sample_count("gzip") == 4
+
+    def test_transition_drops_live_samples(self):
+        bank = AnalyticMRCBank()
+        bank.record("gzip", 8, 20.0)
+        bank.record("gzip", 4, 30.0)
+        bank.record("gzip", 2, 40.0)
+        bank.note_transition("gzip")
+        assert bank.sample_count("gzip") == 0
+        assert bank.curve_for("gzip", 16) is None
+
+    def test_signature_cache_survives_a_transition(self):
+        # A recurring phase gets its fit back before the new visit has
+        # sampled two distinct sizes.
+        bank = AnalyticMRCBank()
+        bank.record("gzip", 8, 20.0)
+        bank.record("gzip", 4, 30.0)
+        bank.record("gzip", 2, 40.0)
+        fitted = bank.curve_for("gzip", 16, signature_key="phase-A")
+        assert fitted is not None
+        bank.note_transition("gzip")
+        assert bank.curve_for("gzip", 16) is None
+        cached = bank.curve_for("gzip", 16, signature_key="phase-A")
+        assert cached is fitted
+        assert bank.cache_hits == 1
+
+    def test_workloads_are_independent(self):
+        bank = AnalyticMRCBank()
+        bank.record("gzip", 8, 20.0)
+        bank.record("gzip", 4, 30.0)
+        bank.record("gzip", 2, 40.0)
+        assert bank.curve_for("gzip", 16) is not None
+        assert bank.curve_for("mcf", 16) is None
+
+    def test_stats_snapshot(self):
+        bank = AnalyticMRCBank()
+        bank.record("gzip", 8, 20.0)
+        bank.record("gzip", 4, 30.0)
+        bank.record("gzip", 2, 40.0)
+        bank.curve_for("gzip", 16, signature_key="k")
+        stats = bank.stats()
+        assert stats["fits"] == 1
+        assert stats["cached_fits"] == 1
+        assert stats["workloads"] == 1

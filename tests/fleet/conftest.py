@@ -1,0 +1,29 @@
+"""Fleet test fixtures: a fast two-domain service on the tiny machine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.phase import PhaseDetectorConfig
+from repro.core.rapidmrc import ProbeConfig
+from repro.runner.dynamic import DynamicConfig
+from repro.workloads import make_workload
+
+
+@pytest.fixture()
+def fast_dynamic(tiny_machine) -> DynamicConfig:
+    """The CLI ``fleet`` defaults, sized for the 1/32-scale machine."""
+    return DynamicConfig(
+        interval_instructions=8 * tiny_machine.l2_lines,
+        probe=ProbeConfig(log_entries=1500),
+        probe_cooldown_intervals=1,
+        detector=PhaseDetectorConfig(threshold_mpki=15.0),
+    )
+
+
+@pytest.fixture()
+def fleet_workloads(tiny_machine):
+    def make(*names):
+        return [make_workload(name, tiny_machine) for name in names]
+
+    return make

@@ -1,0 +1,148 @@
+"""Tests for the per-domain circuit breaker state machine."""
+
+import pytest
+
+from repro.fleet.breaker import (
+    BreakerConfig,
+    BreakerState,
+    DomainCircuitBreaker,
+)
+
+
+def make(threshold=3, cooldown=6, factor=2.0, cap=48):
+    return DomainCircuitBreaker(
+        BreakerConfig(
+            failure_threshold=threshold,
+            cooldown_ticks=cooldown,
+            cooldown_factor=factor,
+            max_cooldown_ticks=cap,
+        ),
+        domain=0,
+    )
+
+
+class TestConfig:
+    @pytest.mark.parametrize("kwargs", [
+        {"failure_threshold": 0},
+        {"cooldown_ticks": 0},
+        {"cooldown_factor": 0.5},
+        {"max_cooldown_ticks": 2, "cooldown_ticks": 6},
+    ])
+    def test_bad_values_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            BreakerConfig(**kwargs)
+
+    def test_cooldown_escalates_and_caps(self):
+        config = BreakerConfig(
+            cooldown_ticks=6, cooldown_factor=2.0, max_cooldown_ticks=20,
+        )
+        assert config.cooldown_after(0) == 6
+        assert config.cooldown_after(1) == 12
+        assert config.cooldown_after(2) == 20  # capped (24 -> 20)
+
+    def test_cooldown_overflow_returns_the_cap(self):
+        config = BreakerConfig(
+            cooldown_ticks=6, cooldown_factor=10.0, max_cooldown_ticks=48,
+        )
+        assert config.cooldown_after(10_000) == 48
+
+
+class TestTripping:
+    def test_closed_admits_and_counts_failures(self):
+        breaker = make(threshold=3)
+        assert breaker.admit(0)
+        assert not breaker.record_failure(0)
+        assert not breaker.record_failure(1)
+        assert breaker.state is BreakerState.CLOSED
+        assert breaker.record_failure(2)        # third failure trips
+        assert breaker.state is BreakerState.OPEN
+        assert breaker.opens == 1
+
+    def test_success_resets_the_failure_count(self):
+        breaker = make(threshold=3)
+        breaker.record_failure(0)
+        breaker.record_failure(1)
+        breaker.record_success(2)
+        assert breaker.consecutive_failures == 0
+        assert not breaker.record_failure(3)
+        assert breaker.state is BreakerState.CLOSED
+
+    def test_open_refuses_until_cooldown_elapses(self):
+        breaker = make(threshold=1, cooldown=6)
+        breaker.record_failure(0)               # open until tick 6
+        assert not breaker.admit(3)
+        assert not breaker.admit(5)
+        assert breaker.admit(6)                 # half-open probation
+        assert breaker.state is BreakerState.HALF_OPEN
+
+
+class TestProbation:
+    def test_half_open_admits_exactly_one_probe(self):
+        breaker = make(threshold=1, cooldown=2)
+        breaker.record_failure(0)
+        assert breaker.admit(2)                 # the probationary probe
+        assert not breaker.admit(2)             # second ask waits
+        assert not breaker.admit(3)
+
+    def test_probation_success_closes_and_clears_escalation(self):
+        breaker = make(threshold=1, cooldown=6, factor=2.0)
+        breaker.record_failure(0)
+        breaker.admit(6)
+        breaker.record_success(7)
+        assert breaker.state is BreakerState.CLOSED
+        # The escalation streak was cleared: the next trip uses the
+        # base cooldown again.
+        breaker.record_failure(10)
+        assert not breaker.admit(12)
+        assert breaker.admit(16)
+
+    def test_probation_failure_reopens_with_escalated_cooldown(self):
+        breaker = make(threshold=1, cooldown=6, factor=2.0)
+        breaker.record_failure(0)               # open, 6t
+        breaker.admit(6)
+        assert breaker.record_failure(6)        # re-trip: 12t cooldown
+        assert breaker.state is BreakerState.OPEN
+        assert not breaker.admit(17)
+        assert breaker.admit(18)
+
+    def test_cancel_probation_frees_the_slot(self):
+        # The service cancels when the budget (not the breaker) denied
+        # the armed probe; the next request must be able to re-arm.
+        breaker = make(threshold=1, cooldown=2)
+        breaker.record_failure(0)
+        assert breaker.admit(2)
+        breaker.cancel_probation()
+        assert breaker.admit(2)
+
+    def test_ready_for_probation(self):
+        breaker = make(threshold=1, cooldown=4)
+        assert not breaker.ready_for_probation(0)   # closed
+        breaker.record_failure(0)
+        assert not breaker.ready_for_probation(2)   # still cooling
+        assert breaker.ready_for_probation(4)
+        breaker.admit(4)                            # arms the slot
+        assert not breaker.ready_for_probation(4)
+        breaker.cancel_probation()
+        assert breaker.ready_for_probation(5)       # half-open, unarmed
+
+
+class TestReporting:
+    def test_transitions_are_recorded(self):
+        breaker = make(threshold=1, cooldown=2)
+        breaker.record_failure(0)
+        breaker.admit(2)
+        breaker.record_success(3)
+        states = [(frm, to) for _tick, frm, to, _detail in breaker.transitions]
+        assert states == [
+            ("closed", "open"),
+            ("open", "half-open"),
+            ("half-open", "closed"),
+        ]
+
+    def test_stats_snapshot(self):
+        breaker = make(threshold=1)
+        breaker.record_failure(0)
+        stats = breaker.stats()
+        assert stats["state"] == "open"
+        assert stats["opens"] == 1
+        assert stats["consecutive_failures"] == 1

@@ -1,0 +1,181 @@
+"""Tests for the global probe budget: reserve/refund, aging, storms."""
+
+import pytest
+
+from repro.fleet.budget import BudgetConfig, GlobalProbeBudget
+
+
+class TestConfig:
+    @pytest.mark.parametrize("kwargs", [
+        {"capacity_accesses": 0},
+        {"capacity_accesses": 100, "refill_accesses_per_tick": -1},
+        {"capacity_accesses": 100, "aging_discount_per_denial": 1.5},
+        {"capacity_accesses": 100, "min_required_fraction": 0.0},
+        {"capacity_accesses": 100, "min_required_fraction": 1.5},
+    ])
+    def test_bad_values_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            BudgetConfig(**kwargs)
+
+    def test_refill_defaults_to_an_eighth_of_capacity(self):
+        assert BudgetConfig(capacity_accesses=800).resolved_refill == 100
+        assert BudgetConfig(capacity_accesses=4).resolved_refill == 1
+        assert BudgetConfig(
+            capacity_accesses=800, refill_accesses_per_tick=7
+        ).resolved_refill == 7
+
+
+class TestReserveRefund:
+    def test_admission_charges_full_cost(self):
+        budget = GlobalProbeBudget(BudgetConfig(capacity_accesses=1000))
+        assert budget.request(0, 0, 400)
+        assert budget.balance == 600.0
+        assert budget.outstanding() == 400
+
+    def test_settle_refunds_unused_accesses(self):
+        budget = GlobalProbeBudget(BudgetConfig(capacity_accesses=1000))
+        budget.request(0, 0, 400)
+        refunded = budget.settle(0, 0, consumed_accesses=150)
+        assert refunded == 250
+        assert budget.balance == 850.0
+        assert budget.outstanding() == 0
+
+    def test_overconsumption_refunds_nothing(self):
+        # A probe that ran past its reservation (deadline edge) must
+        # not mint tokens.
+        budget = GlobalProbeBudget(BudgetConfig(capacity_accesses=1000))
+        budget.request(0, 0, 400)
+        assert budget.settle(0, 0, consumed_accesses=500) == 0
+
+    def test_settle_without_reservation_is_a_noop(self):
+        budget = GlobalProbeBudget(BudgetConfig(capacity_accesses=1000))
+        assert budget.settle(0, 3, consumed_accesses=100) == 0
+        assert budget.balance == 1000.0
+
+    def test_one_key_cannot_pyramid_reservations(self):
+        budget = GlobalProbeBudget(BudgetConfig(capacity_accesses=1000))
+        assert budget.request(0, 0, 100)
+        assert not budget.request(0, 0, 100)
+        # A different process on the same domain is fine.
+        assert budget.request(0, 1, 100)
+
+    def test_denial_when_balance_short(self):
+        budget = GlobalProbeBudget(BudgetConfig(
+            capacity_accesses=100, aging_discount_per_denial=0.0,
+        ))
+        assert budget.request(0, 0, 80)
+        assert not budget.request(1, 0, 80)
+        assert budget.denied == 1
+
+    def test_tick_refills_clamped_at_capacity(self):
+        budget = GlobalProbeBudget(BudgetConfig(
+            capacity_accesses=100, refill_accesses_per_tick=30,
+        ))
+        budget.request(0, 0, 50)
+        budget.tick()
+        assert budget.balance == 80.0
+        budget.tick()
+        assert budget.balance == 100.0  # clamped
+
+
+class TestAging:
+    def test_denials_lower_the_admission_bar(self):
+        config = BudgetConfig(
+            capacity_accesses=1000,
+            refill_accesses_per_tick=0,
+            aging_discount_per_denial=0.25,
+            min_required_fraction=0.25,
+        )
+        budget = GlobalProbeBudget(config)
+        budget.balance = 500.0
+        # Full cost 800 > 500: denied twice, bar drops 800 -> 600 -> 400.
+        assert not budget.request(0, 0, 800)
+        assert not budget.request(0, 0, 800)
+        assert budget.request(0, 0, 800)
+        # The admission still charges the FULL cost: the starved
+        # requester borrows against future refill.
+        assert budget.balance == pytest.approx(-300.0)
+
+    def test_aged_bar_floors_at_min_fraction(self):
+        config = BudgetConfig(
+            capacity_accesses=1000,
+            refill_accesses_per_tick=0,
+            aging_discount_per_denial=0.25,
+            min_required_fraction=0.5,
+        )
+        budget = GlobalProbeBudget(config)
+        budget.balance = 100.0
+        # Bar can never drop below 0.5 * 800 = 400 > 100: denied forever.
+        for _ in range(20):
+            assert not budget.request(0, 0, 800)
+
+    def test_admission_clears_the_denial_streak(self):
+        config = BudgetConfig(
+            capacity_accesses=1000, refill_accesses_per_tick=0,
+            aging_discount_per_denial=0.5,
+        )
+        budget = GlobalProbeBudget(config)
+        budget.balance = 500.0
+        assert not budget.request(0, 0, 800)     # bar 800
+        assert budget.request(0, 0, 800)         # bar 400 <= 500
+        budget.settle(0, 0, 800)
+        # Fresh request starts at the full bar again.
+        budget.balance = 500.0
+        assert not budget.request(0, 0, 800)
+
+
+class TestStormsAndForget:
+    def test_drain_zeroes_only_the_uncommitted_balance(self):
+        budget = GlobalProbeBudget(BudgetConfig(capacity_accesses=1000))
+        budget.request(0, 0, 400)
+        budget.drain()
+        assert budget.balance == 0.0
+        assert budget.storm_drains == 1
+        # The outstanding reservation survives and still refunds.
+        assert budget.settle(0, 0, 100) == 300
+
+    def test_drain_of_empty_bucket_does_not_count(self):
+        budget = GlobalProbeBudget(BudgetConfig(capacity_accesses=100))
+        budget.drain()
+        budget.drain()
+        assert budget.storm_drains == 1
+
+    def test_forget_returns_a_domains_tokens(self):
+        budget = GlobalProbeBudget(BudgetConfig(capacity_accesses=1000))
+        budget.request(0, 0, 300)
+        budget.request(1, 0, 200)
+        budget.forget(0)
+        assert budget.balance == 800.0          # 1000 - 200
+        assert budget.outstanding() == 200      # domain 1 untouched
+
+    def test_forget_clears_denial_streaks(self):
+        config = BudgetConfig(
+            capacity_accesses=1000, refill_accesses_per_tick=0,
+            aging_discount_per_denial=0.5,
+        )
+        budget = GlobalProbeBudget(config)
+        budget.balance = 100.0
+        assert not budget.request(0, 0, 800)
+        budget.forget(0)
+        budget.balance = 500.0
+        # Streak was dropped with the domain: full bar applies again.
+        assert not budget.request(0, 0, 800)
+
+
+class TestReporting:
+    def test_utilization_is_consumed_over_charged(self):
+        budget = GlobalProbeBudget(BudgetConfig(capacity_accesses=1000))
+        assert budget.utilization() == 0.0
+        budget.request(0, 0, 400)
+        budget.settle(0, 0, 100)
+        assert budget.utilization() == pytest.approx(0.25)
+
+    def test_stats_snapshot(self):
+        budget = GlobalProbeBudget(BudgetConfig(capacity_accesses=1000))
+        budget.request(0, 0, 400)
+        budget.settle(0, 0, 400)
+        stats = budget.stats()
+        assert stats["admitted"] == 1
+        assert stats["charged"] == 400
+        assert stats["refunded"] == 0
+        assert stats["utilization"] == 1.0

@@ -1,0 +1,77 @@
+"""Tests for churn schedules and their fault-distorted delivery."""
+
+import pytest
+
+from repro.fleet.churn import ChurnEvent, ChurnKind, ChurnSchedule
+from repro.reliability.faults import ServiceFaultPlan
+
+
+class TestEvents:
+    def test_bad_values_rejected(self):
+        with pytest.raises(ValueError):
+            ChurnEvent(tick=-1, kind=ChurnKind.JOIN, workload="gzip")
+        with pytest.raises(ValueError):
+            ChurnEvent(tick=0, kind=ChurnKind.JOIN, workload="")
+
+    def test_describe(self):
+        event = ChurnEvent(tick=5, kind=ChurnKind.CRASH, workload="mcf")
+        assert event.describe() == "crash:mcf@5"
+        dup = ChurnEvent(tick=5, kind=ChurnKind.CRASH, workload="mcf",
+                         duplicate=True)
+        assert "(dup)" in dup.describe()
+
+
+class TestSchedule:
+    def test_events_sorted_by_delivery_order(self):
+        schedule = ChurnSchedule(events=(
+            ChurnEvent(tick=9, kind=ChurnKind.LEAVE, workload="art"),
+            ChurnEvent(tick=2, kind=ChurnKind.JOIN, workload="gzip"),
+        ))
+        assert [e.tick for e in schedule.events] == [2, 9]
+        assert schedule.last_tick == 9
+
+    def test_events_at(self):
+        schedule = ChurnSchedule.parse("join:gzip@5,crash:mcf@5,leave:art@9")
+        assert len(schedule.events_at(5)) == 2
+        assert schedule.events_at(7) == []
+
+    def test_parse_roundtrip(self):
+        schedule = ChurnSchedule.parse("join:gzip@5,crash:mcf@12")
+        assert schedule.describe() == "join:gzip@5,crash:mcf@12"
+
+    @pytest.mark.parametrize("text", [
+        "", "join:gzip", "gzip@5", "reboot:gzip@5",
+    ])
+    def test_parse_rejects_malformed_items(self, text):
+        with pytest.raises(ValueError):
+            ChurnSchedule.parse(text)
+
+
+class TestFaultDelivery:
+    def test_no_plan_is_identity(self):
+        schedule = ChurnSchedule.parse("join:gzip@5")
+        assert schedule.with_faults(None) is schedule
+
+    def test_delay_shifts_every_event(self):
+        schedule = ChurnSchedule.parse("join:gzip@5,crash:mcf@12")
+        delivered = schedule.with_faults(ServiceFaultPlan.parse("churn-delay:3"))
+        assert [e.tick for e in delivered.events] == [8, 15]
+        assert all(not e.duplicate for e in delivered.events)
+
+    def test_duplication_reposts_after_an_offset(self):
+        schedule = ChurnSchedule.parse("join:gzip@5")
+        delivered = schedule.with_faults(
+            ServiceFaultPlan.parse("churn-duplicate:4")
+        )
+        assert len(delivered) == 2
+        original, dup = delivered.events
+        assert (original.tick, original.duplicate) == (5, False)
+        assert (dup.tick, dup.duplicate) == (9, True)
+        assert dup.kind is ChurnKind.JOIN and dup.workload == "gzip"
+
+    def test_delay_and_duplication_compose(self):
+        schedule = ChurnSchedule.parse("crash:mcf@10")
+        delivered = schedule.with_faults(
+            ServiceFaultPlan.parse("churn-delay:2,churn-duplicate:3")
+        )
+        assert [e.tick for e in delivered.events] == [12, 15]

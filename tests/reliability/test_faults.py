@@ -9,6 +9,9 @@ from repro.reliability.faults import (
     FaultPlan,
     FaultSpec,
     FaultyTraceCollector,
+    ServiceFaultKind,
+    ServiceFaultPlan,
+    ServiceFaultSpec,
     wrap_collector,
 )
 from repro.sim.hierarchy import AccessResult
@@ -183,3 +186,80 @@ class TestWrapCollector:
         assert wrapped.instructions == inner.instructions == 10
         assert wrapped.exceptions == inner.exceptions
         assert wrapped.log is inner.log
+
+
+class TestServiceFaultSpec:
+    def test_windowed_kinds_need_a_duration(self):
+        with pytest.raises(ValueError):
+            ServiceFaultSpec(ServiceFaultKind.DOMAIN_BLACKOUT)
+        with pytest.raises(ValueError):
+            ServiceFaultSpec(ServiceFaultKind.BUDGET_STORM)
+
+    def test_window_bounds(self):
+        spec = ServiceFaultSpec(
+            ServiceFaultKind.DOMAIN_BLACKOUT,
+            start_tick=8, duration_ticks=6, domain=0,
+        )
+        assert not spec.active(7)
+        assert spec.active(8)
+        assert spec.active(13)
+        assert not spec.active(14)
+        assert spec.end_tick == 14
+
+    @pytest.mark.parametrize("kwargs", [
+        {"start_tick": -1, "duration_ticks": 1},
+        {"duration_ticks": -1},
+        {"duration_ticks": 1, "magnitude": 0},
+    ])
+    def test_bad_values_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            ServiceFaultSpec(ServiceFaultKind.BUDGET_STORM, **kwargs)
+
+
+class TestServiceFaultPlan:
+    def test_blackout_targets_one_domain(self):
+        plan = ServiceFaultPlan.parse("domain-blackout:1@4+3")
+        assert plan.blackout_active(1, 5)
+        assert not plan.blackout_active(0, 5)
+        assert not plan.blackout_active(1, 7)
+
+    def test_wildcard_blackout_hits_every_domain(self):
+        plan = ServiceFaultPlan.parse("domain-blackout:*@4+3")
+        assert plan.blackout_active(0, 4)
+        assert plan.blackout_active(7, 4)
+
+    def test_storm_window(self):
+        plan = ServiceFaultPlan.parse("budget-storm@2+2")
+        assert not plan.storm_active(1)
+        assert plan.storm_active(2)
+        assert plan.storm_active(3)
+        assert not plan.storm_active(4)
+
+    def test_churn_transform_magnitudes(self):
+        plan = ServiceFaultPlan.parse("churn-delay:3,churn-duplicate:5")
+        assert plan.churn_delay_ticks() == 3
+        assert plan.churn_duplicate_offset() == 5
+        assert ServiceFaultPlan().churn_duplicate_offset() is None
+        assert ServiceFaultPlan().churn_delay_ticks() == 0
+
+    def test_all_is_the_canonical_chaos_mix(self):
+        plan = ServiceFaultPlan.parse("all")
+        kinds = {spec.kind for spec in plan.specs}
+        assert kinds == set(ServiceFaultKind)
+        # Every windowed fault has ended by the clear tick.
+        clear = plan.clear_tick()
+        assert clear == 23
+        assert not plan.storm_active(clear)
+        assert not plan.blackout_active(0, clear)
+
+    def test_describe_roundtrips_through_parse(self):
+        text = "domain-blackout:0@8+6,budget-storm@18+5,churn-delay:2"
+        assert ServiceFaultPlan.parse(text).describe() == text
+
+    @pytest.mark.parametrize("text", [
+        "", "warp-core-breach", "domain-blackout", "domain-blackout:0@5",
+        "churn-delay@3+1",
+    ])
+    def test_parse_rejects_malformed_specs(self, text):
+        with pytest.raises(ValueError):
+            ServiceFaultPlan.parse(text)

@@ -1,0 +1,125 @@
+"""Property test: the degradation ladder only walks *down*.
+
+Between two fresh curves, a process's :class:`DegradationRung` rank is
+non-decreasing no matter how failures (mid-probe invalidations, quality
+rejections, deadline aborts) and fallbacks interleave -- provided the
+fallback resources themselves only decay (an analytic fit or a
+plausible PMU anchor can be lost mid-run, but never reappears without
+a fresh probe).  Every rung the supervisor serves or resets to is
+announced through a :class:`ReliabilityEvent`.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.mrc import MissRateCurve
+from repro.core.rapidmrc import ProbeConfig, RapidMRC
+from repro.reliability.quality import ProbeQuality, QualityCheck
+from repro.reliability.supervisor import DegradationRung, ProbeSupervisor
+from repro.sim.machine import MachineConfig
+
+MACHINE = MachineConfig.scaled(32)
+GOOD = ProbeQuality(checks=())
+BAD = ProbeQuality(checks=(
+    QualityCheck("log-fill", False, 0.1, 0.5),
+))
+
+RESULT = RapidMRC(MACHINE, ProbeConfig()).compute(
+    [i % 200 for i in range(2000)], instructions=100_000
+)
+
+# A well-behaved power-law estimate: monotone, plausible peak.
+ANALYTIC = MissRateCurve(
+    {size: 40.0 * size ** -0.8 for size in range(1, 17)},
+    label="analytic:test",
+)
+
+MAX_OPS = 30
+
+ops_strategy = st.lists(
+    st.sampled_from(["fresh", "reject", "invalidate", "deadline", "fallback"]),
+    min_size=1, max_size=MAX_OPS,
+)
+
+
+@given(
+    ops=ops_strategy,
+    start_good=st.booleans(),
+    # Fallback resources decay monotonically: the analytic fit (or the
+    # plausible recent PMU sample) is available up to some point in the
+    # run and gone afterwards.
+    analytic_until=st.integers(min_value=0, max_value=MAX_OPS),
+    anchor_until=st.integers(min_value=0, max_value=MAX_OPS),
+)
+@settings(max_examples=40, deadline=None)
+def test_rung_only_walks_down_between_fresh_curves(
+    ops, start_good, analytic_until, anchor_until
+):
+    supervisor = ProbeSupervisor(num_colors=16)
+    if start_good:
+        supervisor.admit(0, GOOD, RESULT, 8, 30.0)
+
+    floor = None  # worst rank seen since the last fresh curve
+    for index, op in enumerate(ops):
+        rung_before = supervisor.rung(0)
+        events_before = len(supervisor.events)
+
+        if op == "fresh":
+            curve = supervisor.admit(0, GOOD, RESULT, 8, 30.0)
+            assert curve is not None
+            floor = None  # a fresh probe legitimately resets the ladder
+        elif op == "reject":
+            assert supervisor.admit(0, BAD, RESULT, 8, 30.0) is None
+        elif op == "invalidate":
+            supervisor.report_invalidated(0, reason="phase transition")
+        elif op == "deadline":
+            supervisor.report_deadline(0, accesses=120_000)
+        else:  # fallback
+            analytic = ANALYTIC if index < analytic_until else None
+            recent = 30.0 if index < anchor_until else None
+            _curve, rung = supervisor.fallback_curve(
+                0, recent, analytic=analytic
+            )
+            assert rung is supervisor.rung(0)
+            if floor is not None:
+                assert rung.rank >= floor, (
+                    f"ladder climbed back up without a fresh curve: "
+                    f"{floor} -> {rung.rank} ({rung})"
+                )
+            floor = rung.rank
+            # Every served rung is announced, even a repeat of the
+            # current one.
+            assert len(supervisor.events) == events_before + 1
+            assert supervisor.events[-1].kind == "degraded"
+            assert supervisor.events[-1].rung is rung
+
+        # Any rung transition -- in either direction -- left an event
+        # carrying the new rung.
+        if supervisor.rung(0) is not rung_before:
+            assert len(supervisor.events) > events_before
+            assert supervisor.events[-1].rung is supervisor.rung(0)
+
+    # The failure bookkeeping never leaks across processes.
+    assert supervisor.health(1).consecutive_failures == 0
+
+
+@given(ops=ops_strategy)
+@settings(max_examples=40, deadline=None)
+def test_fallback_without_any_resource_hits_bottom(ops):
+    # With no last-known-good, no analytic fit, and no plausible PMU
+    # sample, every fallback lands on UNIFORM_SPLIT -- the ladder never
+    # invents a curve out of nothing.
+    supervisor = ProbeSupervisor(num_colors=16)
+    for op in ops:
+        if op == "fallback":
+            curve, rung = supervisor.fallback_curve(0, None)
+            assert curve is None
+            assert rung is DegradationRung.UNIFORM_SPLIT
+        elif op == "reject":
+            supervisor.admit(0, BAD, RESULT, 8, 30.0)
+        elif op == "invalidate":
+            supervisor.report_invalidated(0)
+        elif op == "deadline":
+            supervisor.report_deadline(0, accesses=1)
+        # "fresh" deliberately skipped: this property is about the
+        # resource-free worst case.

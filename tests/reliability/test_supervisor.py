@@ -125,6 +125,50 @@ class TestRetries:
         assert cooldowns[3] == (False, 0)
         assert supervisor.events_of_kind("exhausted")
 
+    def test_reset_backoff_clears_streak_and_emits(self, result):
+        supervisor = ProbeSupervisor(num_colors=16)
+        supervisor.admit(0, BAD, result, 8, 30.0)
+        supervisor.admit(0, BAD, result, 8, 30.0)
+        assert supervisor.health(0).consecutive_failures == 2
+        supervisor.reset_backoff(0, reason="phase transition")
+        assert supervisor.health(0).consecutive_failures == 0
+        resets = supervisor.events_of_kind("backoff-reset")
+        assert len(resets) == 1
+        assert resets[0].detail == "phase transition"
+        # The next failure starts over at the base cooldown instead of
+        # inheriting the old phase's inflated backoff.
+        supervisor.admit(0, BAD, result, 8, 30.0)
+        retry, cooldown = supervisor.retry_guidance(0)
+        assert retry
+        assert cooldown == supervisor.config.cooldown_after(1)
+
+    def test_reset_backoff_without_streak_is_silent(self):
+        supervisor = ProbeSupervisor(num_colors=16)
+        supervisor.reset_backoff(0, reason="phase transition")
+        assert not supervisor.events_of_kind("backoff-reset")
+
+    def test_successful_probe_also_resets_backoff(self, result):
+        supervisor = ProbeSupervisor(num_colors=16)
+        supervisor.admit(0, BAD, result, 8, 30.0)
+        supervisor.admit(0, BAD, result, 8, 30.0)
+        supervisor.admit(0, GOOD, result, 8, 30.0)
+        assert supervisor.health(0).consecutive_failures == 0
+        supervisor.admit(0, BAD, result, 8, 30.0)
+        _retry, cooldown = supervisor.retry_guidance(0)
+        assert cooldown == supervisor.config.cooldown_after(1)
+
+    def test_huge_failure_streak_clamps_once_at_max(self):
+        config = SupervisorConfig(
+            cooldown_base_intervals=2, cooldown_factor=2.0,
+            max_cooldown_intervals=48,
+        )
+        # A streak long enough that cooldown_factor ** n is a huge but
+        # finite float hits the explicit clamp...
+        assert config.cooldown_after(100) == 48
+        # ...and one long enough to overflow float arithmetic entirely
+        # takes the OverflowError path to the same cap.
+        assert config.cooldown_after(10_000) == 48
+
     def test_deadline_counts_as_failure(self):
         supervisor = ProbeSupervisor(num_colors=16)
         supervisor.report_deadline(0, accesses=120_000)

@@ -1,5 +1,7 @@
 """Tests for the phase-signature MRC cache (repro.store.mrc_store)."""
 
+import json
+
 import pytest
 
 from repro.core.mrc import MissRateCurve
@@ -138,11 +140,57 @@ class TestPersistence:
         # fresh at this run's instruction 0, not instantly expired.
         assert loaded.get(sig(10), now_instructions=0) is not None
 
-    def test_load_rejects_foreign_json(self, tmp_path):
+    def test_load_degrades_foreign_json_to_cold_store(self, tmp_path):
         path = tmp_path / "bogus.json"
         path.write_text('{"format": "something-else"}')
-        with pytest.raises(ValueError, match="rapidmrc-store-v1"):
-            MRCStore.load(str(path))
+        with pytest.warns(UserWarning, match="rapidmrc-store-v1"):
+            loaded = MRCStore.load(str(path))
+        assert len(loaded) == 0
+
+    def test_load_degrades_truncated_json_to_cold_store(self, tmp_path):
+        path = tmp_path / "store.json"
+        store = MRCStore()
+        store.put(sig(10), curve())
+        store.save(str(path))
+        text = path.read_text()
+        path.write_text(text[: len(text) // 2])
+        with pytest.warns(UserWarning, match="starting cold"):
+            loaded = MRCStore.load(str(path))
+        assert len(loaded) == 0
+
+    def test_load_degrades_wrong_shape_to_cold_store(self, tmp_path):
+        path = tmp_path / "store.json"
+        path.write_text(json.dumps({
+            "format": "rapidmrc-store-v1",
+            "entries": [{"surprise": True}],
+        }))
+        with pytest.warns(UserWarning, match="starting cold"):
+            loaded = MRCStore.load(str(path))
+        assert len(loaded) == 0
+
+    def test_load_failure_respects_override_config(self, tmp_path):
+        path = tmp_path / "store.json"
+        path.write_text("not json at all")
+        with pytest.warns(UserWarning):
+            loaded = MRCStore.load(
+                str(path), config=StoreConfig(capacity=3)
+            )
+        assert loaded.config.capacity == 3
+
+    def test_load_failure_counts_on_registry(self, tmp_path):
+        from repro.obs import Telemetry, use_telemetry
+
+        path = tmp_path / "store.json"
+        path.write_text("{}")
+        telemetry = Telemetry.in_memory()
+        with use_telemetry(telemetry):
+            with pytest.warns(UserWarning):
+                MRCStore.load(str(path))
+        assert telemetry.registry.counter("store.load_failed").value == 1
+
+    def test_load_missing_file_still_raises(self, tmp_path):
+        with pytest.raises(OSError):
+            MRCStore.load(str(tmp_path / "absent.json"))
 
     def test_load_with_override_config_trims_to_capacity(self, tmp_path):
         path = str(tmp_path / "store.json")
