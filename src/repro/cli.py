@@ -16,6 +16,7 @@ import sys
 from typing import List, Optional
 
 from repro.analysis.report import render_curves, render_table
+from repro.core.estimators import ESTIMATORS
 from repro.core.mrc import mpki_distance
 from repro.core.partition import choose_partition_sizes
 from repro.obs import telemetry_session
@@ -96,14 +97,32 @@ def _cmd_probe(args: argparse.Namespace) -> int:
             print(f"error: --inject-faults: {error}", file=sys.stderr)
             return 2
         print(f"# injecting faults: {plan.describe()} (seed {plan.seed})")
+    from repro.core.rapidmrc import ProbeConfig
+
+    if args.sampling_rate is not None and args.estimator is None:
+        print("error: --sampling-rate requires --estimator", file=sys.stderr)
+        return 2
+    probe_config = ProbeConfig()
+    if args.estimator is not None:
+        try:
+            probe_config = ProbeConfig(
+                stack_engine=args.estimator, sampling_rate=args.sampling_rate
+            )
+        except ValueError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
     probe = collect_trace(
-        workload, machine, fault_plan=plan,
+        workload, machine, probe_config=probe_config, fault_plan=plan,
         fast=True if args.fast else None,
     )
     print(f"# probe: {probe.probe.instructions} instructions, "
           f"{len(probe.probe.entries)} log entries, "
           f"{probe.probe.dropped_events} dropped, "
           f"{probe.probe.stale_entries} stale")
+    if probe.result is not None and probe.result.estimator is not None:
+        print(f"# estimator: {probe.result.estimator} "
+              f"(sampling rate {probe.result.sampling_rate:.2f}, "
+              f"tracked {probe.result.tracked_entries} entries)")
     if probe.injection is not None:
         print(f"# injected: {probe.injection.summary()}")
     if args.quality or not probe.ok:
@@ -263,6 +282,7 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
         probe_cooldown_intervals=1,
         detector=PhaseDetectorConfig(threshold_mpki=15.0),
         fault_plan=probe_plan,
+        estimator_downshift=args.downshift,
     )
     config = FleetConfig(
         num_domains=args.domains,
@@ -295,6 +315,14 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
     budget = report.budget_stats
     print(f"# budget: {budget['admitted']} admitted, {budget['denied']} denied, "
           f"utilization {budget['utilization']:.1%}")
+    downshifts = sum(
+        manager.probe_downshifts
+        for managers in report.domain_reports.values()
+        for manager in managers
+    )
+    if downshifts:
+        print(f"# probe downshifts: {downshifts} "
+              f"({args.downshift} @ sampled-estimate rung)")
     if report.rungs_served:
         served = ", ".join(
             f"{rung}={count}"
@@ -415,6 +443,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--fast", action="store_true",
         help="compute the MRC with the vectorized batch engine "
              "(bit-identical to rangelist, several times faster)",
+    )
+    probe.add_argument(
+        "--estimator", choices=sorted(ESTIMATORS), default=None,
+        help="approximate the MRC with a sub-linear sampling estimator "
+             "instead of an exact stack engine",
+    )
+    probe.add_argument(
+        "--sampling-rate", type=float, default=None, metavar="R",
+        help="spatial sampling rate for --estimator, in (0, 1] "
+             "(default 0.1)",
     )
     probe.add_argument(
         "--sim-engine", choices=["scalar", "batch"], default=None,
@@ -578,6 +616,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--check-convergence", action="store_true",
         help="re-run the same schedule fault-free and verify both runs "
              "reach the same placement (exit 1 on divergence)",
+    )
+    fleet.add_argument(
+        "--downshift", choices=sorted(ESTIMATORS), default=None,
+        metavar="ESTIMATOR",
+        help="retry budget-denied probes with this sampling estimator "
+             "at a tenth of the cost (the SAMPLED_ESTIMATE rung) "
+             "instead of deferring them",
     )
     fleet.add_argument(
         "--telemetry", metavar="PATH", default=None,

@@ -90,19 +90,27 @@ def fit_power_law(
     ``[0, max_alpha]`` so the returned curve is monotone non-increasing
     (the Che/Fagin form never predicts more misses from more cache).
     Returns ``None`` when the sample set cannot support a fit -- fewer
-    than two points, a single distinct size, or non-finite values.
+    than two distinct sizes or non-finite values.
+
+    Samples are deduplicated to the *most recent* observation per size
+    before regressing: the bank's ``record()`` appends history, so a
+    process that sat at one partition size for many intervals would
+    otherwise contribute that size dozens of times and drag the fit
+    toward its corner of the curve regardless of what the other sizes
+    say.
     """
     clean = [
         (size, value) for size, value in samples
         if size >= 1 and math.isfinite(value) and value >= 0.0
     ]
-    if len(clean) < 2:
-        return None
-    if len({size for size, _ in clean}) < 2:
+    latest: Dict[int, float] = {}
+    for size, value in clean:
+        latest[size] = value
+    if len(latest) < 2:
         return None
     logs = [
         (math.log(size), math.log(value + _LOG_FLOOR_MPKI))
-        for size, value in clean
+        for size, value in sorted(latest.items())
     ]
     n = len(logs)
     mean_x = sum(x for x, _ in logs) / n

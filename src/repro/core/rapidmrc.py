@@ -14,6 +14,7 @@ from dataclasses import dataclass
 from typing import Optional, Sequence
 
 from repro.core.correction import CorrectionResult, correct_stale_repetitions
+from repro.core.estimators import EstimatorConfig, is_estimator
 from repro.core.histogram import StackDistanceHistogram
 from repro.core.mrc import MissRateCurve
 from repro.core.stack import LRUStackSimulator
@@ -37,12 +38,17 @@ class ProbeConfig:
             Table 2 policy), ``"static"`` (always half the log),
             ``"none"``, or an integer for an explicit static entry count.
         stack_engine: ``rangelist`` (paper's choice), ``fenwick``,
-            ``naive``, or ``batch`` -- the vectorized whole-trace fast
+            ``naive``, ``batch`` -- the vectorized whole-trace fast
             path of :mod:`repro.core.fastpath`, bit-identical to
-            ``rangelist`` but several times faster.
+            ``rangelist`` but several times faster -- or a sub-linear
+            sampling estimator (``shards``, ``aet``) from
+            :mod:`repro.core.estimators`.
         correct_prefetch_repetitions: apply the stale-SDAR repair.
         anchor_color: cache size (colors) used for v-offset matching; the
             paper uses the 8-color point (Section 5.2.1).
+        sampling_rate: spatial sampling rate for estimator engines, in
+            ``(0, 1]``; ``None`` uses the estimator default (0.1).
+            Only meaningful with an estimator ``stack_engine``.
     """
 
     log_entries: Optional[int] = None
@@ -50,6 +56,36 @@ class ProbeConfig:
     stack_engine: str = "rangelist"
     correct_prefetch_repetitions: bool = True
     anchor_color: int = 8
+    sampling_rate: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.sampling_rate is not None:
+            if not 0.0 < self.sampling_rate <= 1.0:
+                raise ValueError(
+                    f"sampling_rate must be in (0, 1], "
+                    f"got {self.sampling_rate!r}"
+                )
+            if not is_estimator(self.stack_engine):
+                raise ValueError(
+                    f"sampling_rate only applies to estimator engines "
+                    f"(shards/aet), not {self.stack_engine!r}"
+                )
+
+    def resolved_sampling_rate(self) -> float:
+        """The effective sampling rate: 1.0 for exact engines."""
+        if not is_estimator(self.stack_engine):
+            return 1.0
+        if self.sampling_rate is not None:
+            return self.sampling_rate
+        return EstimatorConfig().sampling_rate
+
+    def cost_scale(self) -> float:
+        """Fraction of a full probe's cost this configuration pays.
+
+        Estimator probes touch roughly ``sampling_rate`` of the trace's
+        refs, so the fleet budget reserves proportionally less for them.
+        """
+        return self.resolved_sampling_rate()
 
     def resolved_log_entries(self, machine: MachineConfig) -> int:
         if self.log_entries is not None:
@@ -89,6 +125,12 @@ class RapidMRCResult:
     correction: Optional[CorrectionResult] = None
     calibrated_mrc: Optional[MissRateCurve] = None
     vertical_shift: float = 0.0
+    #: Estimator backend that produced the curve (None for exact engines).
+    estimator: Optional[str] = None
+    #: Effective sampling rate (1.0 for exact engines).
+    sampling_rate: float = 1.0
+    #: Peak entries the backend kept resident (0 for exact engines).
+    tracked_entries: int = 0
 
     @property
     def prefetch_conversion_fraction(self) -> float:
@@ -147,15 +189,25 @@ class RapidMRC:
             raise ValueError("instructions must be positive")
         telemetry = get_telemetry()
         engine_name = self.config.stack_engine
+        estimating = is_estimator(engine_name)
         correction = None
         lines: Sequence[int] = trace
         with telemetry.tracer.span(
             "correction", engine=engine_name, entries=len(trace)
         ):
-            if engine_name == "batch":
-                # The fast path corrects and simulates on int64 arrays;
-                # one conversion up front keeps every later stage
-                # vectorized.
+            use_arrays = engine_name == "batch"
+            if estimating:
+                # Estimators hash-prefilter on arrays too; the
+                # vectorized correction keeps the whole pre-sampling
+                # stage out of the per-entry interpreter loop.  Without
+                # numpy they fall back to the scalar correction.
+                try:
+                    from repro.core import fastpath  # noqa: F401
+
+                    use_arrays = True
+                except ImportError:
+                    use_arrays = False
+            if use_arrays:
                 from repro.core import fastpath
 
                 lines = fastpath.as_trace_array(trace)
@@ -167,10 +219,16 @@ class RapidMRC:
                 lines = correction.trace
 
         boundaries = self.machine.color_sizes_in_lines()
+        estimator_config = None
+        if estimating:
+            estimator_config = EstimatorConfig(
+                sampling_rate=self.config.resolved_sampling_rate()
+            )
         simulator = LRUStackSimulator(
             max_depth=self.machine.l2_lines,
             engine=engine_name,
             boundaries=boundaries,
+            estimator_config=estimator_config,
         )
         warmup = self.config.make_warmup(len(lines))
         with telemetry.tracer.span(
@@ -197,6 +255,14 @@ class RapidMRC:
             instructions=effective_instructions,
             label=label or "rapidmrc",
         )
+        estimate = simulator.last_estimate
+        if estimate is not None:
+            telemetry.registry.counter(
+                "mrc.estimates", estimator=estimate.estimator
+            ).inc()
+            telemetry.registry.counter(
+                "mrc.estimator_sampled_refs", estimator=estimate.estimator
+            ).inc(estimate.sampled_refs)
         return RapidMRCResult(
             mrc=mrc,
             histogram=histogram,
@@ -206,6 +272,13 @@ class RapidMRC:
             warmup_fraction=warmup_fraction,
             stack_hit_rate=histogram.hit_rate(),
             correction=correction,
+            estimator=estimate.estimator if estimate is not None else None,
+            sampling_rate=(
+                estimate.sampling_rate if estimate is not None else 1.0
+            ),
+            tracked_entries=(
+                estimate.tracked_peak if estimate is not None else 0
+            ),
         )
 
     def compute_calibrated(

@@ -420,6 +420,14 @@ def make_engine(
             "the 'batch' engine processes whole traces, not single accesses; "
             "use LRUStackSimulator(engine='batch') or repro.core.fastpath"
         )
+    from repro.core.estimators import is_estimator
+
+    if is_estimator(name):
+        raise ValueError(
+            f"the {name!r} estimator processes whole traces, not single "
+            f"accesses; use LRUStackSimulator(engine={name!r}) or "
+            f"repro.core.estimators"
+        )
     if name not in _ENGINES:
         raise ValueError(f"unknown stack engine {name!r}; options: {sorted(_ENGINES)}")
     if name == "rangelist":
@@ -442,7 +450,11 @@ class LRUStackSimulator:
 
     Args:
         max_depth: stack bound in lines (the L2 size: 15360 on POWER5).
-        engine: one of ``naive``, ``rangelist``, ``fenwick``, ``batch``.
+        engine: one of ``naive``, ``rangelist``, ``fenwick``, ``batch``,
+            or a sampling estimator from :mod:`repro.core.estimators`
+            (``shards``, ``aet``); estimators also only support
+            :meth:`process`, and leave their cost accounting in
+            :attr:`last_estimate`.
         boundaries: the depths (in lines) at which distances must be
             resolvable -- normally the 16 partition sizes.  The
             range-list and batch engines quantize distances to exactly
@@ -461,10 +473,16 @@ class LRUStackSimulator:
         max_depth: int,
         engine: str = "rangelist",
         boundaries: Optional[Sequence[int]] = None,
+        estimator_config: "object" = None,
     ):
+        from repro.core.estimators import is_estimator
+
         self.engine_name = engine
         self.boundaries = list(boundaries) if boundaries is not None else None
-        if engine == "batch":
+        self.estimator_config = estimator_config
+        #: Populated by :meth:`process` when an estimator engine runs.
+        self.last_estimate = None
+        if engine == "batch" or is_estimator(engine):
             self._engine = None
         elif engine == "rangelist":
             self._engine = make_engine(engine, max_depth, boundaries)
@@ -475,8 +493,8 @@ class LRUStackSimulator:
     def _require_incremental(self):
         if self._engine is None:
             raise NotImplementedError(
-                "the 'batch' engine has no incremental per-access state; "
-                "use process() on a whole trace"
+                f"the {self.engine_name!r} engine has no incremental "
+                f"per-access state; use process() on a whole trace"
             )
         return self._engine
 
@@ -508,6 +526,22 @@ class LRUStackSimulator:
             The stack-distance histogram of all recorded accesses.
         """
         if self._engine is None:
+            from repro.core.estimators import (
+                EstimatorConfig,
+                is_estimator,
+                make_estimator,
+            )
+
+            if is_estimator(self.engine_name):
+                estimator = make_estimator(
+                    self.engine_name,
+                    max_depth=self.max_depth,
+                    boundaries=self.boundaries,
+                    config=self.estimator_config or EstimatorConfig(),
+                )
+                estimate = estimator.estimate(trace, warmup=warmup)
+                self.last_estimate = estimate
+                return estimate.histogram
             from repro.core.fastpath import batch_histogram
 
             return batch_histogram(

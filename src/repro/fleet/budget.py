@@ -98,6 +98,7 @@ class GlobalProbeBudget:
         self.denied = 0
         self.charged = 0
         self.refunded = 0
+        self.overrun = 0
         self.storm_drains = 0
         self._denial_streak: Dict[Tuple[int, int], int] = {}
         self._reserved: Dict[Tuple[int, int], int] = {}
@@ -157,7 +158,16 @@ class GlobalProbeBudget:
         return True
 
     def settle(self, domain: int, pid: int, consumed_accesses: int) -> int:
-        """Close the reservation; return the refunded access count."""
+        """Close the reservation; return the refunded access count.
+
+        A probe that consumed *more* than it reserved owes the overage:
+        it is debited against the balance -- clamped by the bounded
+        overdraft policy (the balance never falls below
+        ``-capacity_accesses``, the same floor aged admissions can reach)
+        -- and counted in ``overrun``.  Without the debit an overrunning
+        probe is silently forgiven and the bucket runs structurally
+        negative in real terms while reporting a healthy balance.
+        """
         key = (domain, pid)
         reserved = self._reserved.pop(key, None)
         if reserved is None:
@@ -171,7 +181,17 @@ class GlobalProbeBudget:
             get_telemetry().registry.counter(
                 "fleet.budget_refunded", domain=domain
             ).inc(unused)
-        return unused
+            return unused
+        overage = consumed_accesses - reserved
+        if overage > 0:
+            floor = -float(self.config.capacity_accesses)
+            debit = min(float(overage), max(0.0, self.balance - floor))
+            self.balance -= debit
+            self.overrun += overage
+            get_telemetry().registry.counter(
+                "fleet.budget_overrun", domain=domain
+            ).inc(overage)
+        return 0
 
     def forget(self, domain: int) -> None:
         """Drop all state for a domain (rebuilt after churn)."""
@@ -202,6 +222,7 @@ class GlobalProbeBudget:
             "denied": self.denied,
             "charged": self.charged,
             "refunded": self.refunded,
+            "overrun": self.overrun,
             "outstanding": self.outstanding(),
             "storm_drains": self.storm_drains,
             "utilization": round(self.utilization(), 4),

@@ -158,9 +158,16 @@ class QualityCheck:
 
 @dataclass(frozen=True)
 class ProbeQuality:
-    """The verdict over all gates for one probe."""
+    """The verdict over all gates for one probe.
+
+    ``estimator``/``sampling_rate`` record which MRC backend produced
+    the judged curve (``None``/1.0 for the exact engines), so degraded
+    sampled probes stay distinguishable downstream.
+    """
 
     checks: Tuple[QualityCheck, ...]
+    estimator: Optional[str] = None
+    sampling_rate: float = 1.0
 
     @property
     def ok(self) -> bool:
@@ -192,6 +199,10 @@ def _record_verdict(quality: ProbeQuality) -> ProbeQuality:
     """Publish one verdict to the telemetry registry (no-op by default)."""
     registry = get_telemetry().registry
     registry.counter("probe.assessed").inc()
+    if quality.estimator is not None:
+        registry.counter(
+            "probe.assessed_estimated", estimator=quality.estimator
+        ).inc()
     if quality.ok:
         registry.counter("probe.ok").inc()
     else:
@@ -282,6 +293,9 @@ def assess_probe(
         ))
         return _record_verdict(ProbeQuality(checks=tuple(checks)))
 
+    estimator = getattr(result, "estimator", None)
+    sampling_rate = getattr(result, "sampling_rate", 1.0)
+
     checks.append(QualityCheck(
         name="warmup-fraction",
         passed=result.warmup_fraction <= config.max_warmup_fraction,
@@ -320,7 +334,11 @@ def assess_probe(
         value=violations,
         bound=config.max_monotone_violation_fraction,
     ))
-    return _record_verdict(ProbeQuality(checks=tuple(checks)))
+    return _record_verdict(ProbeQuality(
+        checks=tuple(checks),
+        estimator=estimator,
+        sampling_rate=sampling_rate,
+    ))
 
 
 def assess_reuse(

@@ -55,9 +55,15 @@ class DegradationRung(enum.Enum):
     (:mod:`repro.core.analytic`): better than a flat anchor because it
     still carries a size preference, worse than last-known-good because
     it was modeled, not measured.
+    ``SAMPLED_ESTIMATE`` is a probe that *did* run, but through a
+    sub-linear sampling estimator (:mod:`repro.core.estimators`) after
+    the budget denied the full-cost probe: measured this interval, so
+    better than any remembered or modeled curve, but noisier than an
+    exact-engine probe.
     """
 
     FRESH = "fresh"
+    SAMPLED_ESTIMATE = "sampled-estimate"
     LAST_KNOWN_GOOD = "last-known-good"
     ANALYTIC_ESTIMATE = "analytic-estimate"
     ANCHOR_FLAT = "anchor-flat"
@@ -65,16 +71,17 @@ class DegradationRung(enum.Enum):
 
     @property
     def rank(self) -> int:
-        """Ladder position, 0 (best) to 4 (worst); monotone in quality."""
+        """Ladder position, 0 (best) to 5 (worst); monotone in quality."""
         return _RUNG_RANKS[self]
 
 
 _RUNG_RANKS: Dict["DegradationRung", int] = {
     DegradationRung.FRESH: 0,
-    DegradationRung.LAST_KNOWN_GOOD: 1,
-    DegradationRung.ANALYTIC_ESTIMATE: 2,
-    DegradationRung.ANCHOR_FLAT: 3,
-    DegradationRung.UNIFORM_SPLIT: 4,
+    DegradationRung.SAMPLED_ESTIMATE: 1,
+    DegradationRung.LAST_KNOWN_GOOD: 2,
+    DegradationRung.ANALYTIC_ESTIMATE: 3,
+    DegradationRung.ANCHOR_FLAT: 4,
+    DegradationRung.UNIFORM_SPLIT: 5,
 }
 
 
@@ -254,6 +261,7 @@ class ProbeSupervisor:
         result: Optional[RapidMRCResult],
         anchor_size: int,
         anchor_mpki: Optional[float],
+        rung: Optional["DegradationRung"] = None,
     ) -> Optional[MissRateCurve]:
         """Judge one finished probe; return the curve to act on, if any.
 
@@ -265,7 +273,15 @@ class ProbeSupervisor:
         uncalibrated.  Otherwise ``None`` is returned and the failure is
         recorded for retry/backoff accounting (see
         :meth:`retry_guidance`).
+
+        Args:
+            rung: the ladder rung an accepted curve lands on.  Defaults
+                to ``FRESH``; a budget-downshifted sampled probe passes
+                ``SAMPLED_ESTIMATE`` so consumers can see the curve was
+                measured through an estimator.
         """
+        if rung is None:
+            rung = DegradationRung.FRESH
         health = self.health(pid)
         anchor_bad = False
         if anchor_mpki is not None:
@@ -282,8 +298,8 @@ class ProbeSupervisor:
             health.last_good = curve
             health.consecutive_failures = 0
             health._accepted.inc()
-            health.rung = DegradationRung.FRESH
-            self._emit("accepted", pid, DegradationRung.FRESH, detail=detail)
+            health.rung = rung
+            self._emit("accepted", pid, rung, detail=detail)
             return curve
 
         health._rejected.inc()

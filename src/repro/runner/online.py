@@ -23,6 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Optional, Sequence
 
+from repro.core.estimators import is_estimator
 from repro.core.rapidmrc import ProbeConfig, RapidMRC, RapidMRCResult
 from repro.obs import get_telemetry
 from repro.pmu.ideal import IdealTraceCollector
@@ -180,9 +181,13 @@ def collect_trace(
             (:mod:`repro.core.fastpath`), ``False`` forces the engine
             named in ``probe_config``; ``None`` leaves the config as is.
             The batch engine is bit-identical to ``rangelist``, so this
-            only changes speed.
+            only changes speed.  A sampling estimator engine
+            (``shards``/``aet``) is never overridden: it is already a
+            whole-trace fast path, and forcing ``batch`` would silently
+            discard the requested approximation.
     """
-    if fast is True and probe_config.stack_engine != "batch":
+    if (fast is True and probe_config.stack_engine != "batch"
+            and not is_estimator(probe_config.stack_engine)):
         probe_config = replace(probe_config, stack_engine="batch")
     elif fast is False and probe_config.stack_engine == "batch":
         probe_config = replace(probe_config, stack_engine="rangelist")

@@ -24,6 +24,7 @@ tolerance-based comparison the store's lookup falls back to.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Sequence
 
@@ -33,6 +34,20 @@ __all__ = [
     "signature_of",
     "workload_signature",
 ]
+
+
+def _quantize_half_up(value: float, quantum: float) -> int:
+    """Bucket ``value`` by ``quantum`` with deterministic half-up rounding.
+
+    Python's ``round()`` rounds half to even (banker's rounding), so an
+    MPKI level sitting exactly on a bucket boundary (``value/quantum ==
+    k + 0.5``) flaps between bucket ``k`` and ``k+1`` depending on the
+    parity of ``k`` -- two visits to the same phase could fingerprint
+    one bucket apart and force a spurious re-probe.  Half-up
+    (``floor(x + 0.5)``) maps every boundary to the upper bucket,
+    independent of parity (negatives round toward +inf: -2.5 -> -2).
+    """
+    return math.floor(value / quantum + 0.5)
 
 
 @dataclass(frozen=True)
@@ -89,7 +104,8 @@ class PhaseSignature:
 
     Attributes:
         workload: workload/process identity string.
-        level_bucket: quantized MPKI level (``round(mean / quantum)``).
+        level_bucket: quantized MPKI level, half-up rounded
+            (``floor(mean / quantum + 0.5)``).
         slope_bucket: quantized per-interval MPKI drift.
         level_quantum_mpki: the quantum the buckets were built with --
             carried so tolerance matching and persistence survive config
@@ -175,8 +191,8 @@ def signature_of(
         slope = 0.0
     return PhaseSignature(
         workload=workload,
-        level_bucket=round(level / config.level_quantum_mpki),
-        slope_bucket=round(slope / config.slope_quantum_mpki),
+        level_bucket=_quantize_half_up(level, config.level_quantum_mpki),
+        slope_bucket=_quantize_half_up(slope, config.slope_quantum_mpki),
         level_quantum_mpki=config.level_quantum_mpki,
     )
 

@@ -133,3 +133,42 @@ class TestBank:
         assert stats["fits"] == 1
         assert stats["cached_fits"] == 1
         assert stats["workloads"] == 1
+
+
+class TestFitDeduplication:
+    """Repeated observations of one size must not skew the exponent."""
+
+    def test_repeated_size_does_not_drag_alpha(self):
+        # An exact power law, but the smallest size was observed 50
+        # times (a process parked at one allocation for many intervals).
+        # Without most-recent-per-size dedup the regression weights that
+        # corner 50x and flattens alpha.
+        base = power_law_samples(40.0, 0.8, [1, 2, 4, 8, 16])
+        skewed = [(1, 40.0)] * 50 + base
+        curve = fit_power_law(skewed, num_colors=16)
+        reference = fit_power_law(base, num_colors=16)
+        for size in (1, 2, 4, 8, 16):
+            assert curve.value_at(size) == pytest.approx(
+                reference.value_at(size)
+            )
+
+    def test_most_recent_observation_per_size_wins(self):
+        # Two phases: size 4 first measured at 30 MPKI, later at 10.
+        # The stale 30 must not participate in the fit.
+        samples = [(4, 30.0), (8, 8.0), (4, 10.0), (16, 6.0)]
+        without_stale = [(8, 8.0), (4, 10.0), (16, 6.0)]
+        curve = fit_power_law(samples, num_colors=16)
+        reference = fit_power_law(without_stale, num_colors=16)
+        for size in (1, 4, 8, 16):
+            assert curve.value_at(size) == pytest.approx(
+                reference.value_at(size)
+            )
+
+    def test_dedup_applies_after_garbage_filtering(self):
+        # The latest observation of size 4 is garbage (NaN): the fit
+        # falls back to the newest *valid* one.
+        samples = [(4, 30.0), (4, 12.0), (4, float("nan")), (8, 6.0)]
+        curve = fit_power_law(samples, num_colors=16)
+        reference = fit_power_law([(4, 12.0), (8, 6.0)], num_colors=16)
+        assert curve.value_at(4) == pytest.approx(reference.value_at(4))
+        assert curve.value_at(8) == pytest.approx(reference.value_at(8))

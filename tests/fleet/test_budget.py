@@ -179,3 +179,53 @@ class TestReporting:
         assert stats["charged"] == 400
         assert stats["refunded"] == 0
         assert stats["utilization"] == 1.0
+
+
+class TestOverrun:
+    """settle() must debit consumption beyond the reservation."""
+
+    def test_overage_is_debited_from_the_balance(self):
+        budget = GlobalProbeBudget(BudgetConfig(capacity_accesses=1000))
+        budget.request(0, 0, 400)           # balance 600
+        assert budget.settle(0, 0, consumed_accesses=500) == 0
+        # The 100 accesses past the reservation are paid, not minted.
+        assert budget.balance == 500.0
+        assert budget.overrun == 100
+
+    def test_overage_debit_is_clamped_at_the_overdraft_floor(self):
+        budget = GlobalProbeBudget(BudgetConfig(capacity_accesses=1000))
+        budget.request(0, 0, 900)           # balance 100
+        # A runaway probe: 5000 consumed against a 900 reservation.
+        budget.settle(0, 0, consumed_accesses=5000)
+        # Debit stops at -capacity (bounded overdraft), but the full
+        # overage is recorded.
+        assert budget.balance == -1000.0
+        assert budget.overrun == 4100
+
+    def test_exact_consumption_records_no_overrun(self):
+        budget = GlobalProbeBudget(BudgetConfig(capacity_accesses=1000))
+        budget.request(0, 0, 400)
+        budget.settle(0, 0, consumed_accesses=400)
+        assert budget.overrun == 0
+        assert budget.balance == 600.0
+
+    def test_underrun_still_refunds(self):
+        budget = GlobalProbeBudget(BudgetConfig(capacity_accesses=1000))
+        budget.request(0, 0, 400)
+        assert budget.settle(0, 0, consumed_accesses=100) == 300
+        assert budget.overrun == 0
+
+    def test_overrun_appears_in_stats(self):
+        budget = GlobalProbeBudget(BudgetConfig(capacity_accesses=1000))
+        budget.request(0, 0, 100)
+        budget.settle(0, 0, consumed_accesses=250)
+        assert budget.stats()["overrun"] == 150
+
+    def test_overdrawn_balance_recovers_via_ticks(self):
+        budget = GlobalProbeBudget(BudgetConfig(capacity_accesses=800))
+        budget.request(0, 0, 700)
+        budget.settle(0, 0, consumed_accesses=2500)
+        assert budget.balance < 0
+        for _ in range(40):
+            budget.tick()
+        assert budget.balance == 800.0

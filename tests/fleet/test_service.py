@@ -1,5 +1,7 @@
 """Tests for the fleet partition service: placement, churn, fault windows."""
 
+from dataclasses import replace
+
 import pytest
 
 from repro.fleet.budget import BudgetConfig
@@ -270,3 +272,51 @@ class TestReport:
         for name, (domain, colors) in placement.items():
             assert name in report.assignments[domain]
             assert colors == report.final_counts[name]
+
+
+class TestBudgetDownshift:
+    def test_tight_budget_downshifts_instead_of_skipping(
+        self, tiny_machine, fast_dynamic, fleet_workloads
+    ):
+        # Capacity sits between the downshifted cost (0.1 deadline) and
+        # the full probe cost: full probes are denied, the downshift
+        # retry is admitted, so every domain still gets curves.
+        dynamic = replace(fast_dynamic, estimator_downshift="shards")
+        deadline = dynamic.reliability.deadline_accesses(1500)
+        report = run_fleet(
+            tiny_machine, fleet_workloads("gzip", "mcf"), dynamic,
+            ticks=10,
+            budget=BudgetConfig(
+                capacity_accesses=round(0.15 * deadline),
+                aging_discount_per_denial=0.0,
+            ),
+        )
+        managers = [
+            r for reports in report.domain_reports.values() for r in reports
+        ]
+        assert sum(r.probe_downshifts for r in managers) >= 1
+        assert sum(r.probes_run for r in managers) >= 1
+        assert report.budget_stats["admitted"] >= 1
+        # The downshift admissions settled within their reservations.
+        assert report.budget_stats["overrun"] == 0
+
+    def test_starved_budget_still_denies_even_the_downshift(
+        self, tiny_machine, fast_dynamic, fleet_workloads
+    ):
+        # Capacity 1 cannot admit even a 0.1-cost probe: the downshift
+        # retry is denied too and the ladder handles it, as before.
+        dynamic = replace(fast_dynamic, estimator_downshift="shards")
+        report = run_fleet(
+            tiny_machine, fleet_workloads("gzip", "mcf"), dynamic,
+            ticks=6,
+            budget=BudgetConfig(
+                capacity_accesses=1, refill_accesses_per_tick=0,
+                aging_discount_per_denial=0.0,
+            ),
+        )
+        managers = [
+            r for reports in report.domain_reports.values() for r in reports
+        ]
+        assert sum(r.probe_downshifts for r in managers) == 0
+        assert report.budget_stats["admitted"] == 0
+        assert sum(r.probe_gate_denials for r in managers) > 0

@@ -105,3 +105,58 @@ class TestWorkloadSignature:
     def test_empty_workload_rejected(self):
         with pytest.raises(ValueError):
             workload_signature("")
+
+
+class TestHalfUpQuantization:
+    """Boundary regression pins: quantization must round half UP.
+
+    Python's ``round()`` rounds half to even, so a level sitting exactly
+    on a bucket boundary would flap between buckets depending on parity
+    (5.0 MPKI at quantum 2.0 is 2.5 quanta: banker's gives bucket 2,
+    half-up gives bucket 3).  These pins lock the half-up behaviour.
+    """
+
+    def test_odd_half_boundary_rounds_up(self):
+        # 5.0 / 2.0 = 2.5 -> bucket 3 (banker's round() would give 2).
+        config = SignatureConfig(level_quantum_mpki=2.0)
+        sig = signature_of("w", [5.0, 5.0, 5.0], config)
+        assert sig.level_bucket == 3
+
+    def test_even_half_boundary_rounds_up(self):
+        # 1.0 / 2.0 = 0.5 -> bucket 1 (banker's round() would give 0).
+        config = SignatureConfig(level_quantum_mpki=2.0)
+        sig = signature_of("w", [1.0, 1.0, 1.0], config)
+        assert sig.level_bucket == 1
+
+    def test_adjacent_boundaries_are_one_bucket_apart(self):
+        # With banker's rounding both 1.0 and 5.0 landed at even buckets
+        # (0 and 2) while 3.0 landed at 2 as well -- collapsing distinct
+        # levels.  Half-up keeps consecutive boundaries distinct.
+        config = SignatureConfig(level_quantum_mpki=2.0)
+        buckets = [
+            signature_of("w", [level] * 3, config).level_bucket
+            for level in (1.0, 3.0, 5.0, 7.0)
+        ]
+        assert buckets == [1, 2, 3, 4]
+
+    def test_negative_slope_boundary_rounds_toward_positive(self):
+        # Slope -0.75 at quantum 1.5 is -0.5 quanta: half-up gives 0,
+        # not -1 (ties round toward +inf for negatives too).
+        config = SignatureConfig(slope_quantum_mpki=1.5)
+        sig = signature_of("w", [21.5, 21.125, 20.75], config)
+        assert sig.slope_bucket == 0
+
+    def test_quantize_helper_pins(self):
+        from repro.store.signature import _quantize_half_up
+
+        assert _quantize_half_up(5.0, 2.0) == 3
+        assert _quantize_half_up(1.0, 2.0) == 1
+        assert _quantize_half_up(7.0, 2.0) == 4
+        assert _quantize_half_up(-5.0, 2.0) == -2
+        assert _quantize_half_up(4.999, 2.0) == 2
+        assert _quantize_half_up(0.0, 2.0) == 0
+
+    def test_from_dict_accepts_half_up_buckets(self):
+        config = SignatureConfig(level_quantum_mpki=2.0)
+        sig = signature_of("w", [5.0, 5.0, 5.0], config)
+        assert PhaseSignature.from_dict(sig.to_dict()) == sig
