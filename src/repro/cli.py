@@ -237,6 +237,10 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
     from repro.core.phase import PhaseDetectorConfig
     from repro.core.rapidmrc import ProbeConfig
     from repro.fleet import BudgetConfig, ChurnSchedule, FleetConfig, FleetService
+    from repro.obs import get_telemetry, telemetry_enabled
+    from repro.obs.drift import DriftConfig
+    from repro.obs.export import prometheus_text
+    from repro.obs.metrics import empty_snapshot
     from repro.reliability.faults import ServiceFaultPlan
     from repro.runner.dynamic import DynamicConfig
 
@@ -283,6 +287,7 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
         detector=PhaseDetectorConfig(threshold_mpki=15.0),
         fault_plan=probe_plan,
         estimator_downshift=args.downshift,
+        drift=DriftConfig() if args.drift else None,
     )
     config = FleetConfig(
         num_domains=args.domains,
@@ -340,6 +345,24 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
         if decision.mode == "uniform"
     )
     print(f"# decisions: {optimized} optimized, {uniform} uniform fallback")
+    if args.drift:
+        print(f"# drift events: {report.drift_events}")
+    if report.health is not None:
+        domains = ", ".join(
+            f"domain {card['domain']}={card['status']}"
+            for card in report.health["domains"]
+        )
+        print(f"# health: {report.health['status']}"
+              + (f" ({domains})" if domains else ""))
+    if args.metrics_out:
+        metrics = (
+            get_telemetry().registry.snapshot()
+            if telemetry_enabled() else empty_snapshot()
+        )
+        text = prometheus_text(metrics, report.series, report.health)
+        with open(args.metrics_out, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"# metrics written to {args.metrics_out}")
     if args.check_convergence:
         # The baseline must be genuinely fault-free: no service-level
         # windows AND no per-probe injection.
@@ -381,7 +404,60 @@ def _cmd_obs_report(args: argparse.Namespace) -> int:
     except ValueError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
+    if report.skipped and not report.records:
+        print(f"error: {args.telemetry_file}: no usable telemetry records "
+              f"({report.skipped} corrupt line(s) skipped)", file=sys.stderr)
+        return 2
     print(report.render())
+    return 0
+
+
+def _cmd_obs_export(args: argparse.Namespace) -> int:
+    from repro.obs.export import (
+        event_stream_lines,
+        parse_prometheus_text,
+        prometheus_text,
+    )
+    from repro.obs.report import RunReport
+
+    try:
+        report = RunReport.from_jsonl(args.telemetry_file)
+    except OSError as error:
+        print(f"error: cannot read {args.telemetry_file}: {error}",
+              file=sys.stderr)
+        return 2
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if report.skipped and not report.records:
+        print(f"error: {args.telemetry_file}: no usable telemetry records "
+              f"({report.skipped} corrupt line(s) skipped)", file=sys.stderr)
+        return 2
+    if report.skipped:
+        print(f"# skipped {report.skipped} corrupt record(s)",
+              file=sys.stderr)
+    if args.format == "prom":
+        text = prometheus_text(report.metrics, report.series)
+        if args.check:
+            try:
+                samples = parse_prometheus_text(text)
+            except ValueError as error:
+                print(f"error: exposition self-check failed: {error}",
+                      file=sys.stderr)
+                return 1
+            total = sum(len(series) for series in samples.values())
+            print(f"# check ok: {len(samples)} metrics, {total} samples",
+                  file=sys.stderr)
+    else:
+        text = "\n".join(event_stream_lines(report.metrics, report.series))
+        if text:
+            text += "\n"
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"# exported to {args.output}", file=sys.stderr)
+    else:
+        sys.stdout.write(text)
     return 0
 
 
@@ -628,6 +704,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--telemetry", metavar="PATH", default=None,
         help="record spans and metrics to this JSONL file",
     )
+    fleet.add_argument(
+        "--drift", action="store_true",
+        help="monitor served-curve accuracy online (CUSUM over the "
+             "free monitoring residual) and re-solicit probes on drift",
+    )
+    fleet.add_argument(
+        "--metrics-out", metavar="PATH", default=None,
+        help="write the run's metrics, time series, and health "
+             "scorecards as a Prometheus text-exposition file",
+    )
     fleet.set_defaults(fn=_cmd_fleet)
 
     obs = sub.add_parser(
@@ -640,6 +726,27 @@ def build_parser() -> argparse.ArgumentParser:
     )
     obs_report.add_argument("telemetry_file", help="telemetry JSONL path")
     obs_report.set_defaults(fn=_cmd_obs_report)
+    obs_export = obs_sub.add_parser(
+        "export",
+        help="export a telemetry JSONL as Prometheus text or a JSONL "
+             "event stream",
+    )
+    obs_export.add_argument("telemetry_file", help="telemetry JSONL path")
+    obs_export.add_argument(
+        "--format", choices=["prom", "jsonl"], default="prom",
+        help="output format: Prometheus text exposition (default) or "
+             "JSONL event stream",
+    )
+    obs_export.add_argument(
+        "--output", metavar="PATH", default=None,
+        help="write here instead of stdout",
+    )
+    obs_export.add_argument(
+        "--check", action="store_true",
+        help="with --format prom: re-parse the exposition and fail on "
+             "any malformed line",
+    )
+    obs_export.set_defaults(fn=_cmd_obs_export)
     return parser
 
 

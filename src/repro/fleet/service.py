@@ -45,7 +45,8 @@ from repro.core.mrc import MissRateCurve
 from repro.fleet.breaker import BreakerConfig, BreakerState, DomainCircuitBreaker
 from repro.fleet.budget import BudgetConfig, GlobalProbeBudget
 from repro.fleet.churn import ChurnKind, ChurnSchedule
-from repro.obs import get_telemetry
+from repro.obs import TimeSeriesBoard, get_telemetry
+from repro.obs.health import FleetHealthTracker, HealthThresholds
 from repro.reliability.faults import ServiceFaultPlan
 from repro.runner.dynamic import (
     DynamicConfig,
@@ -67,6 +68,12 @@ _TERMINAL_OUTCOMES = frozenset(
 _FAILURE_OUTCOMES = frozenset(
     {"rejected", "deadline", "invalidated", "aborted"}
 )
+#: Numeric breaker-state encoding for the exported time series.
+_BREAKER_STATE_RANK = {
+    BreakerState.CLOSED: 0,
+    BreakerState.HALF_OPEN: 1,
+    BreakerState.OPEN: 2,
+}
 
 
 @dataclass(frozen=True)
@@ -96,6 +103,11 @@ class FleetConfig:
             the fault windows clear.  Skipped while any domain is
             blacked out (a placement from a half-dark directory would
             churn for nothing).
+        observability: sample the continuous-telemetry signals (per-tick
+            time series + health scorecards).  Sampling only observes --
+            decisions are identical either way -- so this exists purely
+            for the streaming-overhead benchmark's baseline leg.
+        health_thresholds: scorecard status boundaries.
     """
 
     num_domains: int = 2
@@ -107,6 +119,8 @@ class FleetConfig:
     dynamic: DynamicConfig = DynamicConfig()
     blackout_degrade_after_ticks: int = 2
     replace_every_ticks: Optional[int] = None
+    observability: bool = True
+    health_thresholds: HealthThresholds = HealthThresholds()
 
     def __post_init__(self) -> None:
         if self.num_domains < 1:
@@ -155,7 +169,7 @@ class FleetEvent:
     ``kind`` is one of ``join``, ``leave``, ``crash``, ``churn-ignored``,
     ``placement``, ``rebuild``, ``quarantine``, ``probation``,
     ``recovered``, ``blackout-start``, ``blackout-end``, ``storm``,
-    ``degrade-forced``, ``probe-solicited``.
+    ``degrade-forced``, ``probe-solicited``, ``drift-detected``.
     """
 
     tick: int
@@ -181,6 +195,12 @@ class FleetReport:
     churn_applied: int = 0
     churn_ignored: int = 0
     analytic_stats: Optional[Dict[str, int]] = None
+    #: Time-series board snapshot of the per-tick sampled signals
+    #: (``None`` when ``FleetConfig.observability`` is off).
+    series: Optional[Dict[str, object]] = None
+    #: Health scorecard rollup at end of run (``None`` when off).
+    health: Optional[Dict[str, object]] = None
+    drift_events: int = 0
 
     def events_of_kind(self, kind: str) -> List[FleetEvent]:
         return [event for event in self.events if event.kind == kind]
@@ -268,6 +288,9 @@ class FleetService:
         fault_plan: deterministic service-level fault windows.
         pool: extra workloads joinable by later churn events, keyed by
             name (initial members are always in the pool).
+        store: an existing :class:`~repro.store.mrc_store.MRCStore` to
+            share across domains (e.g. primed from an earlier run);
+            overrides ``config.dynamic.store``.
     """
 
     def __init__(
@@ -278,6 +301,7 @@ class FleetService:
         churn: Optional[ChurnSchedule] = None,
         fault_plan: Optional[ServiceFaultPlan] = None,
         pool: Optional[Mapping[str, Workload]] = None,
+        store: Optional[MRCStore] = None,
     ):
         if not workloads:
             raise ValueError("need at least one initial workload")
@@ -295,10 +319,12 @@ class FleetService:
             else ChurnSchedule()
         )
         self.budget = GlobalProbeBudget(config.resolved_budget(machine))
-        self.store = (
-            MRCStore(config.dynamic.store)
-            if config.dynamic.store is not None else None
-        )
+        if store is not None:
+            self.store: Optional[MRCStore] = store
+        elif config.dynamic.store is not None:
+            self.store = MRCStore(config.dynamic.store)
+        else:
+            self.store = None
         self.analytic = AnalyticMRCBank(config.dynamic.analytic)
         self._domains = [
             _Domain(index, DomainCircuitBreaker(config.breaker, index))
@@ -316,6 +342,20 @@ class FleetService:
         self.churn_ignored = 0
         #: Best known curve per workload, for placement decisions.
         self._curves: Dict[str, MissRateCurve] = {}
+        # Continuous observability: the service-owned series board and
+        # the health scorecard tracker, both sampled every tick.  The
+        # board is service-owned (not the global telemetry board) so
+        # fleet reports carry the series even without --telemetry; the
+        # snapshot is folded into the global board at finish when
+        # telemetry is enabled.
+        self.series_board: Optional[TimeSeriesBoard] = (
+            TimeSeriesBoard() if config.observability else None
+        )
+        self.health: Optional[FleetHealthTracker] = (
+            FleetHealthTracker(config.health_thresholds)
+            if config.observability else None
+        )
+        self.drift_events = 0
 
     # -- events ---------------------------------------------------------------
 
@@ -331,6 +371,8 @@ class FleetService:
         self._replace(initial=True)
         for tick in range(self.config.ticks):
             self._now = tick
+            if self.health is not None:
+                self.health.begin_tick(tick)
             registry = get_telemetry().registry
             registry.counter("fleet.ticks").inc()
             self.budget.tick()
@@ -349,9 +391,68 @@ class FleetService:
                                  tick=tick):
                     domain.manager.step_accesses(self._tick_accesses)
             self._refresh_curves()
+            self._sample_tick(tick)
             self._force_degrade_starved(tick)
             self._periodic_replace(tick)
         return self._finish()
+
+    def _sample_tick(self, tick: int) -> None:
+        """Fold this tick's observable state into the series board.
+
+        Pure observation: nothing here feeds back into decisions, which
+        is what lets the overhead benchmark compare observability
+        on/off against byte-identical placements.
+        """
+        board = self.series_board
+        if board is None:
+            return
+        board.record(
+            "fleet.budget_utilization", tick,
+            float(self.budget.stats()["utilization"]),
+        )
+        if self.store is not None:
+            stats = self.store.stats()
+            requests = stats["hits"] + stats["misses"]
+            if requests:
+                board.record(
+                    "fleet.store_hit_rate", tick, stats["hits"] / requests,
+                )
+        for domain in self._domains:
+            board.record(
+                "fleet.breaker_state", tick,
+                _BREAKER_STATE_RANK[domain.breaker.state],
+                domain=domain.index,
+            )
+            manager = domain.manager
+            if manager is None:
+                continue
+            for pid, managed in enumerate(manager.managed):
+                rung = manager.supervisor.rung(pid)
+                board.record(
+                    "fleet.rung_rank", tick, rung.rank,
+                    domain=domain.index, pid=pid,
+                )
+                if self.health is not None:
+                    self.health.note_rung(domain.index, pid, rung.rank)
+                if managed.timeline:
+                    board.record(
+                        "fleet.mpki", tick, managed.timeline[-1],
+                        domain=domain.index, pid=pid,
+                    )
+                if managed.mrc is not None:
+                    board.record(
+                        "fleet.predicted_mpki", tick,
+                        managed.mrc.value_at(
+                            len(manager.current_colors[pid])
+                        ),
+                        domain=domain.index, pid=pid,
+                    )
+                drift = manager.drift_monitor
+                if drift is not None:
+                    board.record(
+                        "fleet.drift_statistic", tick, drift.statistic(pid),
+                        domain=domain.index, pid=pid,
+                    )
 
     def _periodic_replace(self, tick: int) -> None:
         """Reconvergence: revisit placement from the live curve directory."""
@@ -499,6 +600,11 @@ class FleetService:
                            detail=",".join(members) or "empty")
             domain.archive()
             self.budget.forget(domain.index)
+            if self.health is not None:
+                # Rebuilt processes restart with fresh pids; stale
+                # refresh ages from the previous incarnation would
+                # otherwise read as ever-growing staleness.
+                self.health.reset_domain_refresh(domain.index)
             domain.members = members
             if not members:
                 domain.manager = None
@@ -509,6 +615,7 @@ class FleetService:
                 self.config.dynamic,
                 store=self.store,
                 analytic_bank=self.analytic,
+                domain=domain.index,
             )
             manager.probe_gate = self._gate_for(domain)
             manager.probe_listener = self._listener_for(domain)
@@ -523,7 +630,10 @@ class FleetService:
                 return False
             if not domain.breaker.admit(self._now):
                 return False
-            if not self.budget.request(domain.index, pid, deadline_accesses):
+            admitted = self.budget.request(domain.index, pid, deadline_accesses)
+            if self.health is not None:
+                self.health.note_budget_outcome(domain.index, admitted)
+            if not admitted:
                 # An armed probationary slot must not leak when the
                 # budget, not the breaker, said no.
                 domain.breaker.cancel_probation()
@@ -533,12 +643,16 @@ class FleetService:
 
     def _listener_for(self, domain: _Domain):
         def listen(outcome: ProbeOutcome) -> None:
+            if self.health is not None:
+                self.health.note_probe_outcome(domain.index, outcome.kind)
             if outcome.kind in _TERMINAL_OUTCOMES:
                 self.budget.settle(
                     domain.index, outcome.pid, outcome.accesses
                 )
             if outcome.kind in ("admitted", "reused"):
                 domain.breaker.record_success(self._now)
+                if self.health is not None:
+                    self.health.note_refresh(domain.index, outcome.pid)
             elif outcome.kind in _FAILURE_OUTCOMES:
                 tripped = domain.breaker.record_failure(
                     self._now, detail=outcome.kind
@@ -548,6 +662,16 @@ class FleetService:
             elif outcome.kind == "degraded":
                 self.rungs_served[outcome.detail] = (
                     self.rungs_served.get(outcome.detail, 0) + 1
+                )
+            elif outcome.kind == "drift-detected":
+                # The manager already solicited its own re-probe; the
+                # service's job is fleet-level visibility.
+                self.drift_events += 1
+                if self.health is not None:
+                    self.health.note_drift(domain.index)
+                self._emit(
+                    "drift-detected", domain.index,
+                    detail=f"pid {outcome.pid}: {outcome.detail}",
                 )
         return listen
 
@@ -617,6 +741,14 @@ class FleetService:
             )
             if recovered:
                 self._emit("recovered", domain.index)
+        series = None
+        if self.series_board is not None and len(self.series_board):
+            series = self.series_board.snapshot()
+            # Fold the fleet's series into the run's telemetry so a
+            # --telemetry capture carries them alongside the metrics.
+            telemetry = get_telemetry()
+            if telemetry.enabled:
+                telemetry.board.merge(series)
         return FleetReport(
             ticks_run=self.config.ticks,
             assignments=tuple(domain.members for domain in self._domains),
@@ -634,4 +766,8 @@ class FleetService:
             churn_applied=self.churn_applied,
             churn_ignored=self.churn_ignored,
             analytic_stats=self.analytic.stats(),
+            series=series,
+            health=self.health.scorecards() if self.health is not None
+            else None,
+            drift_events=self.drift_events,
         )

@@ -41,7 +41,6 @@ telemetry is enabled).
 
 from __future__ import annotations
 
-import json
 from contextlib import contextmanager
 from typing import Any, Callable, Dict, Optional, Tuple
 
@@ -54,7 +53,16 @@ from repro.obs.metrics import (
     empty_snapshot,
     merge_snapshots,
 )
-from repro.obs.tracing import STAGE_NAMES, NullTracer, Span, Tracer
+from repro.obs.timeseries import (
+    NULL_BOARD,
+    NullBoard,
+    SeriesConfig,
+    TimeSeries,
+    TimeSeriesBoard,
+    empty_board_snapshot,
+    merge_board_snapshots,
+)
+from repro.obs.tracing import STAGE_NAMES, JsonlSink, NullTracer, Span, Tracer
 
 __all__ = [
     "Telemetry",
@@ -74,10 +82,18 @@ __all__ = [
     "NullRegistry",
     "Tracer",
     "NullTracer",
+    "JsonlSink",
     "Span",
     "STAGE_NAMES",
     "empty_snapshot",
     "merge_snapshots",
+    "SeriesConfig",
+    "TimeSeries",
+    "TimeSeriesBoard",
+    "NullBoard",
+    "NULL_BOARD",
+    "empty_board_snapshot",
+    "merge_board_snapshots",
 ]
 
 
@@ -94,11 +110,16 @@ class Telemetry:
         registry: MetricsRegistry,
         tracer: Tracer,
         enabled: bool = True,
+        board: Optional[TimeSeriesBoard] = None,
     ):
         self.registry = registry
         self.tracer = tracer
         self.enabled = enabled
-        self._sink = None
+        if board is not None:
+            self.board = board
+        else:
+            self.board = TimeSeriesBoard() if enabled else NULL_BOARD
+        self._sink: Optional[JsonlSink] = None
         self._sink_path: Optional[str] = None
 
     @classmethod
@@ -110,23 +131,28 @@ class Telemetry:
     def with_sink(cls, path: str) -> "Telemetry":
         """An enabled telemetry streaming spans to a JSONL file.
 
-        Call :meth:`flush` when the run ends to append the final metrics
-        snapshot and close the file.
+        The sink is a :class:`JsonlSink`, so lines written before a
+        crash are flushed rather than lost.  Call :meth:`flush` when
+        the run ends to append the final metrics and series snapshots
+        and close the file.
         """
-        sink = open(path, "w", encoding="utf-8")
+        sink = JsonlSink(path)
         telemetry = cls(MetricsRegistry(), Tracer(sink=sink))
         telemetry._sink = sink
         telemetry._sink_path = path
         return telemetry
 
     def flush(self) -> None:
-        """Append the metrics snapshot to the sink and close it."""
+        """Append the metrics/series snapshots to the sink and close it."""
         if self._sink is None:
             return
-        snapshot = self.registry.snapshot()
-        self._sink.write(
-            json.dumps({"type": "metrics", "snapshot": snapshot}) + "\n"
+        self._sink.write_record(
+            {"type": "metrics", "snapshot": self.registry.snapshot()}
         )
+        if len(self.board):
+            self._sink.write_record(
+                {"type": "series", "snapshot": self.board.snapshot()}
+            )
         self._sink.close()
         self._sink = None
 
@@ -206,6 +232,7 @@ def call_traced(
     payload = {
         "metrics": telemetry.registry.snapshot(),
         "spans": [span.to_dict() for span in telemetry.tracer.spans],
+        "series": telemetry.board.snapshot(),
     }
     return result, payload
 
@@ -219,3 +246,6 @@ def absorb_payload(payload: Optional[Dict[str, Any]]) -> None:
         return
     telemetry.registry.merge(payload.get("metrics") or empty_snapshot())
     telemetry.tracer.absorb(payload.get("spans") or [])
+    series = payload.get("series")
+    if series and series.get("series"):
+        telemetry.board.merge(series)

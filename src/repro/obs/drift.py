@@ -1,0 +1,215 @@
+"""Online accuracy monitoring for *served* miss-rate curves.
+
+The degradation ladder (PR 5/6) guarantees a curve is always served,
+but nothing checks whether that curve is still *right*: a cached shape
+re-anchored by ``v_offset_matched``, an analytic fit, or simply a fresh
+probe that aged across an unnoticed phase change can all keep steering
+partition decisions long after the workload moved on.  The fix costs
+nothing extra to measure -- every monitoring interval already harvests
+the *observed* MPKI at the live allocation, and the served curve
+*predicts* an MPKI at that same allocation.  Their residual is a free,
+continuous accuracy signal.
+
+:class:`DriftMonitor` maintains, per process, an EWMA of the absolute
+residual plus a Page-Hinkley-family detector over it.  Because an
+*accurate* curve's residual has a known target -- zero, up to honest
+estimation noise -- the detector is the one-sided CUSUM against a
+fixed reference rather than the running-mean Page-Hinkley variant
+(whose adaptive mean would absorb a curve that is wrong from the very
+first sample, the exact failure mode a silently-stale cached curve
+produces):
+
+    x_t = |predicted - observed|            (MPKI residual)
+    g_t = max(0, g_{t-1} + x_t - delta)     (g_0 = 0)
+    trigger when  g_t > lambda
+
+``delta`` absorbs the residual magnitude expected from honest
+estimation error (quantization, sampling noise); ``lambda`` sets how
+much cumulative excess beyond that tolerance constitutes drift.  The
+detector is exactly deterministic -- same samples, same trigger tick --
+and when every residual stays at or below ``delta``, ``g_t`` stays
+pinned at 0: a clean run can never false-positive on tolerance-sized
+noise, no matter how long it runs.
+
+On a trigger the monitor emits a :class:`DriftEvent` and resets that
+process's state; the caller (``runner/dynamic.py``) marks the process
+as needing a probe, which then flows through the normal ``probe_gate``
+admission path -- drift *solicits* a probe, the budget/breaker stack
+still decides whether to grant it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+__all__ = ["DriftConfig", "DriftEvent", "DriftMonitor"]
+
+
+@dataclass(frozen=True)
+class DriftConfig:
+    """Tuning for the per-process drift detector.
+
+    Args:
+        ewma_alpha: smoothing factor for the reported residual EWMA
+            (diagnostic only; the trigger uses the raw CUSUM statistic
+            so detection stays exactly reproducible).
+        delta_mpki: slack per sample -- residual magnitude attributed
+            to honest estimation error rather than drift.  The default
+            covers the noise floor measured on the scaled-POWER5
+            harness workloads (clean-run residuals: p99 ~ 4.5 MPKI,
+            with per-workload plateaus up to ~7 MPKI); lower it for
+            workloads with tighter curves.
+        lambda_threshold: cumulative excess (MPKI-samples) beyond the
+            slack that constitutes drift.
+        min_samples: samples required against one curve before the
+            detector may trigger (a freshly served curve gets a grace
+            window while monitoring re-settles).
+        cooldown_samples: samples ignored after a trigger for the same
+            process, so one stale curve cannot re-trigger while its
+            replacement probe is still in flight.
+    """
+
+    ewma_alpha: float = 0.25
+    delta_mpki: float = 8.0
+    lambda_threshold: float = 40.0
+    min_samples: int = 3
+    cooldown_samples: int = 4
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.ewma_alpha <= 1.0:
+            raise ValueError(
+                f"ewma_alpha must be in (0, 1], got {self.ewma_alpha!r}"
+            )
+        if self.delta_mpki < 0.0:
+            raise ValueError(
+                f"delta_mpki must be >= 0, got {self.delta_mpki!r}"
+            )
+        if self.lambda_threshold <= 0.0:
+            raise ValueError(
+                f"lambda_threshold must be > 0, got {self.lambda_threshold!r}"
+            )
+        if self.min_samples < 1:
+            raise ValueError(
+                f"min_samples must be >= 1, got {self.min_samples!r}"
+            )
+        if self.cooldown_samples < 0:
+            raise ValueError(
+                f"cooldown_samples must be >= 0, got "
+                f"{self.cooldown_samples!r}"
+            )
+
+
+@dataclass(frozen=True)
+class DriftEvent:
+    """One detector trigger: the served curve no longer fits reality."""
+
+    pid: int
+    tick: int
+    residual_ewma: float
+    statistic: float
+    samples: int
+    domain: Optional[int] = None
+
+    def to_dict(self) -> Dict[str, object]:
+        payload: Dict[str, object] = {
+            "pid": self.pid,
+            "tick": self.tick,
+            "residual_ewma": round(self.residual_ewma, 6),
+            "statistic": round(self.statistic, 6),
+            "samples": self.samples,
+        }
+        if self.domain is not None:
+            payload["domain"] = self.domain
+        return payload
+
+
+@dataclass
+class _PidState:
+    """CUSUM accumulator state for one process's served curve."""
+
+    samples: int = 0
+    residual_sum: float = 0.0
+    cusum: float = 0.0
+    ewma: Optional[float] = None
+    cooldown: int = 0
+
+
+class DriftMonitor:
+    """Per-(domain, pid) served-curve accuracy monitor."""
+
+    def __init__(self, config: DriftConfig = DriftConfig(),
+                 domain: Optional[int] = None) -> None:
+        self.config = config
+        self.domain = domain
+        self._states: Dict[int, _PidState] = {}
+        self.events = 0
+        self.samples = 0
+
+    def note_fresh_curve(self, pid: int) -> None:
+        """Reset a process's detector: a new curve was just served.
+
+        Called on probe admission, cache reuse, and every ladder
+        fallback -- any replacement of the served curve restarts the
+        accumulation, so residuals against the old curve can't charge
+        the new one.
+        """
+        self._states.pop(pid, None)
+
+    def forget(self, pid: int) -> None:
+        """Drop state for a departed process."""
+        self._states.pop(pid, None)
+
+    def observe(self, pid: int, predicted_mpki: float, observed_mpki: float,
+                tick: int) -> Optional[DriftEvent]:
+        """Fold one free monitoring sample; return the event on trigger."""
+        state = self._states.get(pid)
+        if state is None:
+            state = self._states[pid] = _PidState()
+        if state.cooldown > 0:
+            state.cooldown -= 1
+            return None
+        residual = abs(float(predicted_mpki) - float(observed_mpki))
+        self.samples += 1
+        state.samples += 1
+        state.residual_sum += residual
+        if state.ewma is None:
+            state.ewma = residual
+        else:
+            alpha = self.config.ewma_alpha
+            state.ewma += alpha * (residual - state.ewma)
+        state.cusum = max(
+            0.0, state.cusum + residual - self.config.delta_mpki
+        )
+        statistic = state.cusum
+        if (state.samples >= self.config.min_samples
+                and statistic > self.config.lambda_threshold):
+            event = DriftEvent(
+                pid=pid,
+                tick=tick,
+                residual_ewma=state.ewma,
+                statistic=statistic,
+                samples=state.samples,
+                domain=self.domain,
+            )
+            self.events += 1
+            self._states[pid] = _PidState(cooldown=self.config.cooldown_samples)
+            return event
+        return None
+
+    def residual_ewma(self, pid: int) -> Optional[float]:
+        state = self._states.get(pid)
+        return None if state is None else state.ewma
+
+    def statistic(self, pid: int) -> float:
+        state = self._states.get(pid)
+        if state is None:
+            return 0.0
+        return state.cusum
+
+    def stats(self) -> Dict[str, object]:
+        return {
+            "events": self.events,
+            "samples": self.samples,
+            "tracked_pids": len(self._states),
+        }

@@ -1,0 +1,257 @@
+"""Machine-readable exporters for the observability layer.
+
+Two formats, chosen for what already speaks them:
+
+* **Prometheus text exposition** (:func:`prometheus_text`) -- the
+  lingua franca of fleet scrapers.  Counters and gauges map directly;
+  histograms render the cumulative ``_bucket``/``_sum``/``_count``
+  triple; time-series boards export their latest-window aggregates as
+  gauges (``_last``/``_min``/``_max``/``_mean``); health scorecards
+  export a status-rank gauge per domain (0 ok, 1 degraded,
+  2 critical).  Every family is prefixed ``rapidmrc_`` and metric/label
+  names are sanitized to the exposition charset.
+
+* **JSONL event stream** (:func:`event_stream_lines`) -- one JSON
+  object per line (``metrics`` / ``series`` / ``health`` records), the
+  same shape the telemetry sink writes, for downstream jq/pandas
+  consumption without a scrape target.
+
+:func:`parse_prometheus_text` is the matching validator: it re-parses
+an exposition document into ``{name: {label_items: value}}`` and raises
+``ValueError`` on malformed lines, so tests and the ``obs export
+--check`` CLI path can prove the output is really scrapeable rather
+than just string-shaped.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import re
+from typing import Dict, Iterable, List, Optional, Tuple
+
+__all__ = [
+    "prometheus_text",
+    "parse_prometheus_text",
+    "event_stream_lines",
+]
+
+_PREFIX = "rapidmrc_"
+_NAME_OK = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_OK = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+_SANITIZE = re.compile(r"[^a-zA-Z0-9_]")
+_SAMPLE_LINE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r"\s+(?P<value>[^\s]+)\s*$"
+)
+_LABEL_PAIR = re.compile(
+    r'\s*(?P<key>[a-zA-Z_][a-zA-Z0-9_]*)\s*=\s*"(?P<value>(?:[^"\\]|\\.)*)"\s*'
+)
+
+
+def _metric_name(name: str) -> str:
+    sanitized = _SANITIZE.sub("_", name)
+    full = _PREFIX + sanitized
+    if not _NAME_OK.match(full):  # pragma: no cover - prefix guarantees it
+        raise ValueError(f"unexportable metric name: {name!r}")
+    return full
+
+
+def _label_str(labels: Dict[str, object]) -> str:
+    if not labels:
+        return ""
+    parts = []
+    for key in sorted(labels):
+        name = _SANITIZE.sub("_", str(key))
+        if not _LABEL_OK.match(name):
+            name = "_" + name
+        value = str(labels[key]).replace("\\", r"\\").replace(
+            '"', r"\""
+        ).replace("\n", r"\n")
+        parts.append(f'{name}="{value}"')
+    return "{" + ",".join(parts) + "}"
+
+
+def _fmt(value: float) -> str:
+    value = float(value)
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if math.isnan(value):
+        return "NaN"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def prometheus_text(
+    metrics_snapshot: Dict[str, object],
+    series_snapshot: Optional[Dict[str, object]] = None,
+    health: Optional[Dict[str, object]] = None,
+) -> str:
+    """Render snapshots as a Prometheus text-exposition document."""
+    lines: List[str] = []
+    typed: set = set()
+
+    def emit(name: str, kind: str, labels: Dict[str, object],
+             value: float, suffix: str = "") -> None:
+        full = _metric_name(name) + suffix
+        base = _metric_name(name)
+        if base not in typed:
+            typed.add(base)
+            lines.append(f"# TYPE {base} {kind}")
+        lines.append(f"{full}{_label_str(labels)} {_fmt(value)}")
+
+    for counter in metrics_snapshot.get("counters", ()):
+        emit(counter["name"], "counter", counter.get("labels", {}),
+             counter["value"])
+    for gauge in metrics_snapshot.get("gauges", ()):
+        emit(gauge["name"], "gauge", gauge.get("labels", {}),
+             gauge["value"])
+    for histogram in metrics_snapshot.get("histograms", ()):
+        base = _metric_name(histogram["name"])
+        if base not in typed:
+            typed.add(base)
+            lines.append(f"# TYPE {base} histogram")
+        labels = dict(histogram.get("labels", {}))
+        cumulative = 0
+        for bound, count in zip(histogram["bounds"], histogram["counts"]):
+            cumulative += count
+            bucket_labels = dict(labels)
+            bucket_labels["le"] = _fmt(bound)
+            lines.append(
+                f"{base}_bucket{_label_str(bucket_labels)} {cumulative}"
+            )
+        # The counts list carries one overflow bucket past the bounds.
+        cumulative += histogram["counts"][len(histogram["bounds"])]
+        inf_labels = dict(labels)
+        inf_labels["le"] = "+Inf"
+        lines.append(f"{base}_bucket{_label_str(inf_labels)} {cumulative}")
+        lines.append(
+            f"{base}_sum{_label_str(labels)} {_fmt(histogram['sum'])}"
+        )
+        lines.append(f"{base}_count{_label_str(labels)} {cumulative}")
+
+    if series_snapshot is not None:
+        for entry in series_snapshot.get("series", ()):
+            windows = entry["windows"]
+            if not windows:
+                continue
+            newest = windows[-1]
+            labels = dict(entry["labels"])
+            name = "series_" + str(entry["name"])
+            emit(name + "_last", "gauge", labels, newest["last"])
+            emit(name + "_min", "gauge", labels, newest["min"])
+            emit(name + "_max", "gauge", labels, newest["max"])
+            if newest["count"]:
+                emit(name + "_mean", "gauge", labels,
+                     newest["sum"] / newest["count"])
+
+    if health is not None:
+        from .health import HealthStatus
+
+        for card in health.get("domains", ()):
+            status = HealthStatus(card["status"])
+            emit("health_status", "gauge", {"domain": card["domain"]},
+                 status.rank)
+            emit("health_drift_events", "gauge",
+                 {"domain": card["domain"]}, card.get("drift_events", 0))
+            for signal, payload in card.get("signals", {}).items():
+                if payload.get("value") is None:
+                    continue
+                emit(
+                    "health_signal", "gauge",
+                    {"domain": card["domain"], "signal": signal},
+                    payload["value"],
+                )
+        fleet_status = HealthStatus(health.get("status", "ok"))
+        emit("health_fleet_status", "gauge", {}, fleet_status.rank)
+
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def parse_prometheus_text(
+    text: str,
+) -> Dict[str, Dict[Tuple[Tuple[str, str], ...], float]]:
+    """Parse an exposition document back into samples; raise on junk.
+
+    Returns ``{metric_name: {sorted_label_items: value}}``.  Used by
+    the test suite and ``obs export --check`` to prove round-trip
+    validity instead of eyeballing the string.
+    """
+    samples: Dict[str, Dict[Tuple[Tuple[str, str], ...], float]] = {}
+    for line_number, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            fields = line.split()
+            if len(fields) >= 2 and fields[1] in ("TYPE", "HELP"):
+                continue
+            raise ValueError(
+                f"line {line_number}: malformed comment: {raw!r}"
+            )
+        match = _SAMPLE_LINE.match(line)
+        if not match:
+            raise ValueError(f"line {line_number}: malformed sample: {raw!r}")
+        labels: Dict[str, str] = {}
+        body = match.group("labels")
+        if body:
+            position = 0
+            while position < len(body):
+                pair = _LABEL_PAIR.match(body, position)
+                if not pair:
+                    raise ValueError(
+                        f"line {line_number}: malformed labels: {raw!r}"
+                    )
+                labels[pair.group("key")] = pair.group("value")
+                position = pair.end()
+                if position < len(body):
+                    if body[position] != ",":
+                        raise ValueError(
+                            f"line {line_number}: malformed labels: {raw!r}"
+                        )
+                    position += 1
+        value_text = match.group("value")
+        try:
+            if value_text == "+Inf":
+                value = float("inf")
+            elif value_text == "-Inf":
+                value = float("-inf")
+            else:
+                value = float(value_text)
+        except ValueError as error:
+            raise ValueError(
+                f"line {line_number}: bad sample value: {raw!r}"
+            ) from error
+        name = match.group("name")
+        samples.setdefault(name, {})[tuple(sorted(labels.items()))] = value
+    return samples
+
+
+def event_stream_lines(
+    metrics_snapshot: Optional[Dict[str, object]] = None,
+    series_snapshot: Optional[Dict[str, object]] = None,
+    health: Optional[Dict[str, object]] = None,
+    events: Iterable[Dict[str, object]] = (),
+) -> List[str]:
+    """Render the observability state as JSONL event-stream lines."""
+    lines: List[str] = []
+    if metrics_snapshot is not None:
+        lines.append(json.dumps(
+            {"type": "metrics", "snapshot": metrics_snapshot},
+            sort_keys=True,
+        ))
+    if series_snapshot is not None:
+        lines.append(json.dumps(
+            {"type": "series", "snapshot": series_snapshot}, sort_keys=True,
+        ))
+    if health is not None:
+        lines.append(json.dumps(
+            {"type": "health", "scorecards": health}, sort_keys=True,
+        ))
+    for event in events:
+        lines.append(json.dumps(
+            {"type": "event", **event}, sort_keys=True,
+        ))
+    return lines

@@ -1,0 +1,261 @@
+"""Per-domain health scorecards rolled up from the streaming signals.
+
+A fleet operator's first question is not "what is the MPKI" but "is
+anything wrong, and where".  The scorecard answers it from four
+signals the service already produces:
+
+* **probe deadline hit rate** -- of terminal probe outcomes, the
+  fraction that were *not* deadline expiries;
+* **degraded dwell** -- the fraction of (pid, tick) observations spent
+  below the FRESH rung on the degradation ladder;
+* **budget denial rate** -- denied / (admitted + denied) reservation
+  requests;
+* **staleness age** -- ticks since each served curve was last refreshed
+  by an admitted probe or a cache reuse (drift triggers count the
+  curve as suspect until its replacement lands).
+
+Each signal maps to ok / degraded / critical via fixed thresholds
+(:class:`HealthThresholds`), a domain's status is the worst of its
+signals, and the fleet's is the worst of its domains.  Scorecards are
+plain dicts so they serialize into reports and exporters unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, List, Optional, Tuple
+
+__all__ = [
+    "HealthStatus",
+    "HealthThresholds",
+    "FleetHealthTracker",
+]
+
+
+class HealthStatus(Enum):
+    OK = "ok"
+    DEGRADED = "degraded"
+    CRITICAL = "critical"
+
+    @property
+    def rank(self) -> int:
+        return _STATUS_RANKS[self]
+
+
+_STATUS_RANKS = {
+    HealthStatus.OK: 0,
+    HealthStatus.DEGRADED: 1,
+    HealthStatus.CRITICAL: 2,
+}
+
+
+def _worst(statuses: List[HealthStatus]) -> HealthStatus:
+    if not statuses:
+        return HealthStatus.OK
+    return max(statuses, key=lambda status: status.rank)
+
+
+@dataclass(frozen=True)
+class HealthThresholds:
+    """ok/degraded/critical boundaries for each scorecard signal.
+
+    A signal at or past the ``degraded`` boundary is degraded; at or
+    past the ``critical`` boundary, critical.  Deadline hit rate is a
+    "higher is better" signal, so its boundaries invert.
+    """
+
+    deadline_hit_rate_degraded: float = 0.9
+    deadline_hit_rate_critical: float = 0.5
+    degraded_dwell_degraded: float = 0.25
+    degraded_dwell_critical: float = 0.75
+    denial_rate_degraded: float = 0.25
+    denial_rate_critical: float = 0.75
+    staleness_ticks_degraded: int = 8
+    staleness_ticks_critical: int = 16
+
+    def rate_status(self, hit_rate: Optional[float]) -> HealthStatus:
+        if hit_rate is None:
+            return HealthStatus.OK
+        if hit_rate < self.deadline_hit_rate_critical:
+            return HealthStatus.CRITICAL
+        if hit_rate < self.deadline_hit_rate_degraded:
+            return HealthStatus.DEGRADED
+        return HealthStatus.OK
+
+    def dwell_status(self, dwell: Optional[float]) -> HealthStatus:
+        if dwell is None:
+            return HealthStatus.OK
+        if dwell >= self.degraded_dwell_critical:
+            return HealthStatus.CRITICAL
+        if dwell >= self.degraded_dwell_degraded:
+            return HealthStatus.DEGRADED
+        return HealthStatus.OK
+
+    def denial_status(self, rate: Optional[float]) -> HealthStatus:
+        if rate is None:
+            return HealthStatus.OK
+        if rate >= self.denial_rate_critical:
+            return HealthStatus.CRITICAL
+        if rate >= self.denial_rate_degraded:
+            return HealthStatus.DEGRADED
+        return HealthStatus.OK
+
+    def staleness_status(self, age: Optional[int]) -> HealthStatus:
+        if age is None:
+            return HealthStatus.OK
+        if age >= self.staleness_ticks_critical:
+            return HealthStatus.CRITICAL
+        if age >= self.staleness_ticks_degraded:
+            return HealthStatus.DEGRADED
+        return HealthStatus.OK
+
+
+@dataclass
+class _DomainLedger:
+    """Raw per-domain tallies the scorecard is computed from."""
+
+    terminal_probes: int = 0
+    deadline_expiries: int = 0
+    pid_ticks: int = 0
+    degraded_pid_ticks: int = 0
+    budget_admitted: int = 0
+    budget_denied: int = 0
+    drift_events: int = 0
+    # pid -> tick of the last curve refresh (admit or reuse).
+    last_refresh: Dict[int, int] = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.last_refresh is None:
+            self.last_refresh = {}
+
+
+class FleetHealthTracker:
+    """Accumulates scorecard signals across a fleet run.
+
+    Fed from two directions: the probe listener streams per-outcome
+    events (:meth:`note_probe_outcome`, :meth:`note_drift`), and the
+    tick loop streams per-tick observations (:meth:`note_rung`,
+    :meth:`note_budget`, :meth:`note_refresh`).  :meth:`scorecards`
+    renders the rollup at any point; it is pure, so sampling it
+    mid-run and at the end both work.
+    """
+
+    # Outcome kinds that end a probe attempt (mirrors the fleet
+    # listener's terminal set; "deadline" is the miss we score).
+    _TERMINAL = {"admitted", "rejected", "deadline", "invalidated", "aborted"}
+
+    def __init__(
+        self, thresholds: HealthThresholds = HealthThresholds()
+    ) -> None:
+        self.thresholds = thresholds
+        self._domains: Dict[int, _DomainLedger] = {}
+        self._tick = 0
+
+    def _ledger(self, domain: int) -> _DomainLedger:
+        ledger = self._domains.get(domain)
+        if ledger is None:
+            ledger = self._domains[domain] = _DomainLedger()
+        return ledger
+
+    # -- streaming inputs ----------------------------------------------------
+
+    def begin_tick(self, tick: int) -> None:
+        self._tick = tick
+
+    def note_probe_outcome(self, domain: int, kind: str) -> None:
+        ledger = self._ledger(domain)
+        if kind in self._TERMINAL:
+            ledger.terminal_probes += 1
+            if kind == "deadline":
+                ledger.deadline_expiries += 1
+
+    def note_drift(self, domain: int) -> None:
+        self._ledger(domain).drift_events += 1
+
+    def note_rung(self, domain: int, pid: int, rung_rank: int) -> None:
+        """One (pid, tick) dwell observation; rank 0 is FRESH."""
+        ledger = self._ledger(domain)
+        ledger.pid_ticks += 1
+        if rung_rank > 0:
+            ledger.degraded_pid_ticks += 1
+
+    def note_budget_outcome(self, domain: int, admitted: bool) -> None:
+        """One budget reservation request's verdict for this domain."""
+        ledger = self._ledger(domain)
+        if admitted:
+            ledger.budget_admitted += 1
+        else:
+            ledger.budget_denied += 1
+
+    def note_refresh(self, domain: int, pid: int) -> None:
+        """A fresh curve (probe admit or cache reuse) landed for pid."""
+        self._ledger(domain).last_refresh[pid] = self._tick
+
+    def forget(self, domain: int, pid: int) -> None:
+        self._ledger(domain).last_refresh.pop(pid, None)
+
+    def reset_domain_refresh(self, domain: int) -> None:
+        """A domain was rebuilt: its processes restart with no history."""
+        self._ledger(domain).last_refresh.clear()
+
+    # -- rollup --------------------------------------------------------------
+
+    def _signals(
+        self, ledger: _DomainLedger
+    ) -> Dict[str, Tuple[Optional[float], HealthStatus]]:
+        thresholds = self.thresholds
+        hit_rate: Optional[float] = None
+        if ledger.terminal_probes:
+            hit_rate = 1.0 - ledger.deadline_expiries / ledger.terminal_probes
+        dwell: Optional[float] = None
+        if ledger.pid_ticks:
+            dwell = ledger.degraded_pid_ticks / ledger.pid_ticks
+        denial: Optional[float] = None
+        requests = ledger.budget_admitted + ledger.budget_denied
+        if requests:
+            denial = ledger.budget_denied / requests
+        staleness: Optional[int] = None
+        if ledger.last_refresh:
+            staleness = max(
+                self._tick - tick for tick in ledger.last_refresh.values()
+            )
+        return {
+            "probe_deadline_hit_rate": (
+                hit_rate, thresholds.rate_status(hit_rate)
+            ),
+            "degraded_rung_dwell": (dwell, thresholds.dwell_status(dwell)),
+            "budget_denial_rate": (denial, thresholds.denial_status(denial)),
+            "curve_staleness_ticks": (
+                None if staleness is None else float(staleness),
+                thresholds.staleness_status(staleness),
+            ),
+        }
+
+    def scorecards(self) -> Dict[str, object]:
+        """The rollup: per-domain signal values + statuses, worst-of."""
+        domains = []
+        for index in sorted(self._domains):
+            ledger = self._domains[index]
+            signals = self._signals(ledger)
+            status = _worst([state for _, state in signals.values()])
+            domains.append({
+                "domain": index,
+                "status": status.value,
+                "drift_events": ledger.drift_events,
+                "signals": {
+                    name: {
+                        "value": value,
+                        "status": state.value,
+                    }
+                    for name, (value, state) in signals.items()
+                },
+            })
+        fleet_status = _worst([
+            HealthStatus(card["status"]) for card in domains
+        ])
+        return {
+            "tick": self._tick,
+            "status": fleet_status.value,
+            "domains": domains,
+        }

@@ -18,10 +18,12 @@ dominated by exception cost, calculation linear in log size).
 from __future__ import annotations
 
 import json
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.obs.metrics import empty_snapshot, merge_snapshots
+from repro.obs.timeseries import merge_board_snapshots
 from repro.obs.tracing import STAGE_NAMES, Span
 
 __all__ = ["RunReport", "LOGGING_SPANS", "CALCULATION_SPANS"]
@@ -41,26 +43,61 @@ class RunReport:
     metrics: Dict[str, List[Dict[str, object]]] = field(
         default_factory=empty_snapshot
     )
+    series: Optional[Dict[str, object]] = None
+    #: Lines the loader dropped as truncated/corrupt (also counted on
+    #: the live registry as ``obs.jsonl_skipped``).
+    skipped: int = 0
+    #: Records the loader parsed successfully.  ``records == 0`` with
+    #: ``skipped > 0`` means the whole capture was garbage -- callers
+    #: that want to distinguish "partially corrupt" from "unusable"
+    #: (the CLI does) check this pair.
+    records: int = 0
 
     # -- construction -------------------------------------------------------
 
     @classmethod
     def from_telemetry(cls, telemetry) -> "RunReport":
         """Capture a live :class:`~repro.obs.Telemetry` instance."""
+        board = getattr(telemetry, "board", None)
         return cls(
             spans=list(telemetry.tracer.spans),
             metrics=telemetry.registry.snapshot(),
+            series=board.snapshot() if board is not None and len(board)
+            else None,
         )
 
     @classmethod
     def from_jsonl(cls, path: str) -> "RunReport":
         """Load a ``--telemetry`` JSONL capture.
 
-        Multiple ``metrics`` lines (e.g. several sessions appended to
-        one file) are merged with the registry's associative merge.
+        Multiple ``metrics``/``series`` lines (e.g. several sessions
+        appended to one file) are merged with their associative merges.
+
+        Truncated or corrupt lines are *skipped*, not fatal -- a run
+        that died mid-write (or a disk that clipped the tail of the
+        file) still yields every decodable record, the same
+        degrade-don't-raise contract as ``MRCStore.load``.  Each drop
+        warns, increments the live ``obs.jsonl_skipped`` counter, and
+        is tallied on the report's ``skipped`` attribute.
         """
+        from repro.obs import get_telemetry
+
         spans: List[Span] = []
         snapshots = []
+        series_snapshots: List[Dict[str, object]] = []
+        skipped = 0
+
+        def drop(line_number: int, reason: str) -> None:
+            nonlocal skipped
+            skipped += 1
+            get_telemetry().registry.counter("obs.jsonl_skipped").inc()
+            warnings.warn(
+                f"{path}:{line_number}: skipping bad telemetry record "
+                f"({reason})",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+
         with open(path, "r", encoding="utf-8") as handle:
             for line_number, line in enumerate(handle, 1):
                 line = line.strip()
@@ -69,22 +106,47 @@ class RunReport:
                 try:
                     payload = json.loads(line)
                 except json.JSONDecodeError as error:
-                    raise ValueError(
-                        f"{path}:{line_number}: not JSON ({error})"
-                    ) from None
+                    drop(line_number, f"not JSON: {error}")
+                    continue
+                if not isinstance(payload, dict):
+                    drop(line_number, "not a JSON object")
+                    continue
                 kind = payload.get("type")
                 if kind == "span":
                     try:
                         spans.append(Span.from_dict(payload))
                     except (KeyError, TypeError, ValueError) as error:
-                        raise ValueError(
-                            f"{path}:{line_number}: bad span record "
-                            f"({error!r})"
-                        ) from None
+                        drop(line_number, f"bad span record: {error!r}")
                 elif kind == "metrics":
-                    snapshots.append(payload.get("snapshot") or empty_snapshot())
+                    snapshot = payload.get("snapshot") or empty_snapshot()
+                    try:
+                        merge_snapshots(snapshot)
+                    except (KeyError, TypeError, ValueError) as error:
+                        drop(line_number, f"bad metrics record: {error!r}")
+                        continue
+                    snapshots.append(snapshot)
+                elif kind == "series":
+                    snapshot = payload.get("snapshot")
+                    if not snapshot:
+                        drop(line_number, "series record without snapshot")
+                        continue
+                    try:
+                        merge_board_snapshots(snapshot)
+                    except (KeyError, TypeError, ValueError) as error:
+                        drop(line_number, f"bad series record: {error!r}")
+                        continue
+                    series_snapshots.append(snapshot)
                 # Unknown record types are skipped: forward compatibility.
-        return cls(spans=spans, metrics=merge_snapshots(*snapshots))
+        series: Optional[Dict[str, object]] = None
+        if series_snapshots:
+            series = merge_board_snapshots(*series_snapshots)
+        return cls(
+            spans=spans,
+            metrics=merge_snapshots(*snapshots),
+            series=series,
+            skipped=skipped,
+            records=len(spans) + len(snapshots) + len(series_snapshots),
+        )
 
     def to_jsonl(self, path: str) -> None:
         """Write the capture back out in the ``--telemetry`` format."""
@@ -95,6 +157,11 @@ class RunReport:
                 json.dumps({"type": "metrics", "snapshot": self.metrics})
                 + "\n"
             )
+            if self.series is not None:
+                handle.write(
+                    json.dumps({"type": "series", "snapshot": self.series})
+                    + "\n"
+                )
 
     # -- aggregation --------------------------------------------------------
 
@@ -179,6 +246,16 @@ class RunReport:
         out("== telemetry run report ==")
         out(f"spans: {len(self.spans)} recorded, "
             f"{total_seconds * 1e3:.2f} ms total span time")
+        if self.skipped:
+            out(f"skipped records: {self.skipped} "
+                f"(truncated/corrupt JSONL lines dropped)")
+        if self.series is not None:
+            names = sorted({
+                entry["name"] for entry in self.series.get("series", ())
+            })
+            out(f"time series: {len(self.series.get('series', ()))} series "
+                f"({', '.join(names[:6])}"
+                f"{', ...' if len(names) > 6 else ''})")
         engine = self.sim_engine()
         if engine == "batch":
             by_path = self.counter_by_label("sim.batch_accesses", "engine")
@@ -268,6 +345,7 @@ class RunReport:
             ("analytic estimates", "analytic.", None),
             ("mrc store", "store.", None),
             ("mrc engine", "mrc.", None),
+            ("observability", "obs.", None),
             ("fast path", "fastpath.", None),
             ("simulated hierarchy", "sim.", None),
         ]

@@ -1,0 +1,343 @@
+"""Bounded ring-buffer time series with fixed-width window aggregation.
+
+The metrics registry (:mod:`repro.obs.metrics`) answers "how much, in
+total"; this module answers "how did it move".  A :class:`TimeSeries`
+holds a *bounded* ring of fixed-width tick windows, each aggregated to
+``min / max / sum / count / last`` -- the five reductions from which
+every downstream view (mean, rate, latest) is derived.  Memory is
+bounded by construction: a series never stores raw samples, only
+``max_windows`` aggregated windows, so a service can sample every tick
+forever without growing.
+
+:class:`TimeSeriesBoard` is the registry analogue: series are identified
+by ``(name, labels)`` and created on first use, so call sites never
+coordinate.  Like metric snapshots, board snapshots are plain JSON-ready
+dicts and merge associatively (:func:`merge_board_snapshots`): windows
+with the same start tick combine exactly (min of mins, max of maxes,
+sums and counts add, ``last`` resolves by the greatest
+``(last_tick, last)`` pair), then the newest ``max_windows`` windows are
+kept.  Any fold order over any partitioning of the samples produces the
+same board -- the property that lets process-pool workers sample locally
+and the parent fold the boards back together, exactly like
+:func:`repro.obs.metrics.merge_snapshots` (the hypothesis suite verifies
+both).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+__all__ = [
+    "SeriesConfig",
+    "TimeSeries",
+    "TimeSeriesBoard",
+    "NullBoard",
+    "NULL_BOARD",
+    "empty_board_snapshot",
+    "merge_board_snapshots",
+]
+
+LabelItems = Tuple[Tuple[str, str], ...]
+
+
+def _label_key(labels: Dict[str, object]) -> LabelItems:
+    return tuple(sorted((key, str(value)) for key, value in labels.items()))
+
+
+@dataclass(frozen=True)
+class SeriesConfig:
+    """Shape of every series on a board.
+
+    Args:
+        window_ticks: width of one aggregation window, in ticks.  Every
+            sample recorded at tick ``t`` lands in the window starting
+            at ``(t // window_ticks) * window_ticks``.
+        max_windows: ring-buffer bound; recording into a new window past
+            the bound evicts the oldest window.
+    """
+
+    window_ticks: int = 4
+    max_windows: int = 256
+
+    def __post_init__(self) -> None:
+        if self.window_ticks < 1:
+            raise ValueError(
+                f"window_ticks must be >= 1, got {self.window_ticks!r}"
+            )
+        if self.max_windows < 1:
+            raise ValueError(
+                f"max_windows must be >= 1, got {self.max_windows!r}"
+            )
+
+
+class _Window:
+    """One fixed-width window's running aggregates."""
+
+    __slots__ = ("start", "min", "max", "sum", "count", "last_tick", "last")
+
+    def __init__(self, start: int) -> None:
+        self.start = start
+        self.min = float("inf")
+        self.max = float("-inf")
+        self.sum = 0.0
+        self.count = 0
+        self.last_tick = -1
+        self.last = 0.0
+
+    def observe(self, tick: int, value: float) -> None:
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        self.sum += value
+        self.count += 1
+        # Ties on the tick resolve toward the greater value, the same
+        # deterministic rule the snapshot merge applies.
+        if (tick, value) >= (self.last_tick, self.last):
+            self.last_tick = tick
+            self.last = value
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "start": self.start,
+            "min": self.min,
+            "max": self.max,
+            "sum": self.sum,
+            "count": self.count,
+            "last_tick": self.last_tick,
+            "last": self.last,
+        }
+
+
+class TimeSeries:
+    """A bounded ring of aggregated fixed-width tick windows."""
+
+    __slots__ = ("config", "_windows")
+
+    def __init__(self, config: SeriesConfig = SeriesConfig()) -> None:
+        self.config = config
+        self._windows: "OrderedDict[int, _Window]" = OrderedDict()
+
+    def record(self, tick: int, value: float) -> None:
+        """Fold one sample into its window (O(1), bounded memory)."""
+        start = (tick // self.config.window_ticks) * self.config.window_ticks
+        window = self._windows.get(start)
+        if window is None:
+            window = self._windows[start] = _Window(start)
+            while len(self._windows) > self.config.max_windows:
+                self._windows.popitem(last=False)
+        window.observe(tick, float(value))
+
+    # -- reading -------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._windows)
+
+    def windows(self) -> List[Dict[str, object]]:
+        """Window aggregates in ascending start order (JSON-ready)."""
+        return [
+            self._windows[start].to_dict()
+            for start in sorted(self._windows)
+        ]
+
+    def latest(self) -> Optional[float]:
+        """The most recently recorded value, if any."""
+        if not self._windows:
+            return None
+        newest = max(self._windows)
+        return self._windows[newest].last
+
+    def total_count(self) -> int:
+        return sum(window.count for window in self._windows.values())
+
+    def mean(self) -> float:
+        """Mean over every retained sample (0 when empty)."""
+        count = self.total_count()
+        if count == 0:
+            return 0.0
+        total = sum(window.sum for window in self._windows.values())
+        return total / count
+
+
+class TimeSeriesBoard:
+    """A registry of named, labeled time series sharing one config.
+
+    The sampling half of the continuous-observability layer: the fleet
+    service and the dynamic runner record into a board every tick /
+    monitoring interval, and the board's snapshot rides in the run
+    report next to the metrics snapshot.
+    """
+
+    def __init__(self, config: SeriesConfig = SeriesConfig()) -> None:
+        self.config = config
+        self._series: Dict[Tuple[str, LabelItems], TimeSeries] = {}
+
+    def series(self, name: str, **labels: object) -> TimeSeries:
+        key = (name, _label_key(labels))
+        series = self._series.get(key)
+        if series is None:
+            series = self._series[key] = TimeSeries(self.config)
+        return series
+
+    def record(self, name: str, tick: int, value: float,
+               **labels: object) -> None:
+        self.series(name, **labels).record(tick, value)
+
+    def __len__(self) -> int:
+        return len(self._series)
+
+    def names(self) -> List[str]:
+        return sorted({name for name, _ in self._series})
+
+    def snapshot(self) -> Dict[str, object]:
+        """A plain, picklable, JSON-ready view of every series."""
+        return {
+            "window_ticks": self.config.window_ticks,
+            "max_windows": self.config.max_windows,
+            "series": [
+                {
+                    "name": name,
+                    "labels": dict(labels),
+                    "windows": series.windows(),
+                }
+                for (name, labels), series in sorted(self._series.items())
+            ],
+        }
+
+    def merge(self, snapshot: Dict[str, object]) -> None:
+        """Fold a worker board's snapshot into this board."""
+        merged = merge_board_snapshots(self.snapshot(), snapshot)
+        self._series = _board_from_snapshot(merged)._series
+
+
+class _NullSeries(TimeSeries):
+    """A shared series that retains nothing."""
+
+    def record(self, tick: int, value: float) -> None:  # noqa: ARG002
+        return None
+
+
+class NullBoard(TimeSeriesBoard):
+    """The zero-cost default board: every operation is a no-op.
+
+    The board analogue of :class:`repro.obs.metrics.NullRegistry`, so
+    sampling call sites need no telemetry-enabled conditionals.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._null_series = _NullSeries(self.config)
+
+    def series(self, name: str, **labels: object) -> TimeSeries:  # noqa: ARG002
+        return self._null_series
+
+    def record(self, name: str, tick: int, value: float,
+               **labels: object) -> None:  # noqa: ARG002
+        return None
+
+    def merge(self, snapshot: Dict[str, object]) -> None:  # noqa: ARG002
+        return None
+
+
+#: Shared no-op board for :data:`repro.obs.NULL_TELEMETRY`.
+NULL_BOARD = NullBoard()
+
+
+def empty_board_snapshot(
+    config: SeriesConfig = SeriesConfig(),
+) -> Dict[str, object]:
+    return {
+        "window_ticks": config.window_ticks,
+        "max_windows": config.max_windows,
+        "series": [],
+    }
+
+
+def _board_from_snapshot(snapshot: Dict[str, object]) -> TimeSeriesBoard:
+    config = SeriesConfig(
+        window_ticks=int(snapshot["window_ticks"]),
+        max_windows=int(snapshot["max_windows"]),
+    )
+    board = TimeSeriesBoard(config)
+    for entry in snapshot.get("series", ()):
+        series = board.series(entry["name"], **entry["labels"])
+        for payload in entry["windows"]:
+            window = _Window(int(payload["start"]))
+            window.min = float(payload["min"])
+            window.max = float(payload["max"])
+            window.sum = float(payload["sum"])
+            window.count = int(payload["count"])
+            window.last_tick = int(payload["last_tick"])
+            window.last = float(payload["last"])
+            series._windows[window.start] = window
+    return board
+
+
+def merge_board_snapshots(
+    *snapshots: Dict[str, object],
+) -> Dict[str, object]:
+    """Pure board-snapshot merge: associative, commutative, exact.
+
+    Windows with the same start combine losslessly (min/max/sum/count
+    are all associative reductions; ``last`` resolves by the greatest
+    ``(last_tick, last)``), then each series keeps its newest
+    ``max_windows`` windows.  Eviction commutes with merging: a window
+    old enough to be evicted from a partial merge is older than
+    ``max_windows`` newer windows, so the full merge evicts it too --
+    which is what makes any fold order produce byte-equal boards.
+
+    All inputs must share ``window_ticks`` / ``max_windows`` (the board
+    analogue of histogram-bounds agreement).
+    """
+    if not snapshots:
+        return empty_board_snapshot()
+    window_ticks = int(snapshots[0]["window_ticks"])
+    max_windows = int(snapshots[0]["max_windows"])
+    merged: Dict[
+        Tuple[str, LabelItems], Dict[int, Dict[str, object]]
+    ] = {}
+    for snapshot in snapshots:
+        if (int(snapshot["window_ticks"]) != window_ticks
+                or int(snapshot["max_windows"]) != max_windows):
+            raise ValueError(
+                "board snapshots with different series configs cannot merge"
+            )
+        for entry in snapshot.get("series", ()):
+            key = (str(entry["name"]), _label_key(dict(entry["labels"])))
+            windows = merged.setdefault(key, {})
+            for payload in entry["windows"]:
+                start = int(payload["start"])
+                into = windows.get(start)
+                if into is None:
+                    windows[start] = {
+                        "start": start,
+                        "min": float(payload["min"]),
+                        "max": float(payload["max"]),
+                        "sum": float(payload["sum"]),
+                        "count": int(payload["count"]),
+                        "last_tick": int(payload["last_tick"]),
+                        "last": float(payload["last"]),
+                    }
+                    continue
+                into["min"] = min(into["min"], float(payload["min"]))
+                into["max"] = max(into["max"], float(payload["max"]))
+                into["sum"] += float(payload["sum"])
+                into["count"] += int(payload["count"])
+                incoming = (int(payload["last_tick"]), float(payload["last"]))
+                if incoming > (into["last_tick"], into["last"]):
+                    into["last_tick"], into["last"] = incoming
+    series_out = []
+    for (name, labels), windows in sorted(merged.items()):
+        starts = sorted(windows)[-max_windows:]
+        series_out.append({
+            "name": name,
+            "labels": dict(labels),
+            "windows": [windows[start] for start in starts],
+        })
+    return {
+        "window_ticks": window_ticks,
+        "max_windows": max_windows,
+        "series": series_out,
+    }

@@ -28,7 +28,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, TextIO
 
-__all__ = ["Span", "Tracer", "NullTracer", "STAGE_NAMES"]
+__all__ = ["Span", "Tracer", "NullTracer", "JsonlSink", "STAGE_NAMES"]
 
 #: The canonical pipeline stages, in cost-breakdown display order.
 STAGE_NAMES = (
@@ -41,6 +41,55 @@ STAGE_NAMES = (
     "fleet_tick",
     "fleet_placement",
 )
+
+
+class JsonlSink:
+    """A crash-tolerant JSONL sink for spans and snapshots.
+
+    A bare file handle loses whatever the runtime buffered when a run
+    dies mid-exception; this wrapper is a context manager whose
+    ``__exit__`` *flushes before closing even when unwinding an
+    exception*, so every line written before the failure survives for
+    ``obs report`` to read (the reader side tolerates the one possibly
+    truncated trailing line -- see ``RunReport.from_jsonl``).
+
+    Duck-types the ``write`` method :class:`Tracer` needs, so it drops
+    in wherever a ``TextIO`` sink was accepted.
+    """
+
+    __slots__ = ("path", "_handle")
+
+    def __init__(self, path: str):
+        self.path = path
+        self._handle: Optional[TextIO] = open(path, "w", encoding="utf-8")
+
+    @property
+    def closed(self) -> bool:
+        return self._handle is None
+
+    def write(self, text: str) -> None:
+        if self._handle is not None:
+            self._handle.write(text)
+
+    def write_record(self, payload: Dict[str, object]) -> None:
+        """Write one JSON object as one line."""
+        self.write(json.dumps(payload) + "\n")
+
+    def flush(self) -> None:
+        if self._handle is not None:
+            self._handle.flush()
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.flush()
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "JsonlSink":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
 
 
 @dataclass

@@ -248,6 +248,10 @@ class ProbeSupervisor:
             registry.counter(
                 "reliability.events", kind=kind, rung=rung.value
             ).inc()
+            # The ladder position as a live signal (0 = FRESH .. 5 =
+            # UNIFORM_SPLIT): scorecards and exporters read dwell and
+            # current depth from here without replaying the event log.
+            registry.gauge("reliability.rung_rank", pid=pid).set(rung.rank)
         else:
             registry.counter("reliability.events", kind=kind).inc()
         return event

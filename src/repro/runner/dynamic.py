@@ -46,6 +46,7 @@ from repro.core.partition import choose_partition_sizes_multi
 from repro.core.phase import PhaseDetector, PhaseDetectorConfig
 from repro.core.rapidmrc import ProbeConfig, RapidMRC, RapidMRCResult
 from repro.obs import get_telemetry
+from repro.obs.drift import DriftConfig, DriftMonitor
 from repro.pmu.sampling import PMUModel, TraceCollector
 from repro.reliability.faults import FaultPlan, wrap_collector
 from repro.reliability.quality import assess_anchor, assess_probe, assess_reuse
@@ -122,6 +123,14 @@ class DynamicConfig:
         downshift_sampling_rate: spatial sampling rate of the
             downshifted probe, in ``(0, 1]``; also scales the access
             cost quoted to the budget gate.
+        drift: served-curve accuracy monitoring
+            (:class:`~repro.obs.drift.DriftConfig`).  Each settled
+            monitoring interval compares the served curve's predicted
+            MPKI at the live allocation against the free PMU sample; a
+            CUSUM trigger emits a ``drift-detected`` event and
+            re-requests a probe through the normal gate.  ``None``
+            (the default) disables monitoring -- decisions are then
+            bit-identical to a pre-drift manager.
     """
 
     interval_instructions: Optional[int] = None
@@ -139,6 +148,7 @@ class DynamicConfig:
     analytic: AnalyticConfig = AnalyticConfig()
     estimator_downshift: Optional[str] = None
     downshift_sampling_rate: float = 0.1
+    drift: Optional[DriftConfig] = None
 
     def __post_init__(self) -> None:
         if self.interval_instructions is not None and self.interval_instructions <= 0:
@@ -186,7 +196,7 @@ class ManagerEvent:
     ``kind`` is one of ``probe``, ``transition``, ``resize``,
     ``probe-rejected``, ``probe-retry``, ``probe-deadline``,
     ``degraded``, ``cache-reuse``, ``reuse-rejected``,
-    ``probe-requested``, ``probe-downshift``.
+    ``probe-requested``, ``probe-downshift``, ``drift-detected``.
     """
 
     kind: str
@@ -201,7 +211,8 @@ class ProbeOutcome:
 
     ``kind`` is one of ``started``, ``admitted``, ``rejected``,
     ``deadline``, ``invalidated``, ``aborted``, ``reused``,
-    ``degraded``, ``gate-denied``, ``downshifted``.  ``accesses`` is
+    ``degraded``, ``gate-denied``, ``downshifted``,
+    ``drift-detected``.  ``accesses`` is
     the probe's access cost: the reserved deadline budget for
     ``started``/``gate-denied``, the accesses actually consumed for
     terminal outcomes (the fleet budget refunds the difference).  A
@@ -255,6 +266,7 @@ class DynamicReport:
     probe_gate_denials: int = 0
     analytic_stats: Optional[Dict[str, int]] = None
     probe_downshifts: int = 0
+    drift_events: int = 0
 
     def events_of_kind(self, kind: str) -> List[ManagerEvent]:
         return [event for event in self.events if event.kind == kind]
@@ -317,6 +329,11 @@ class DynamicPartitionManager:
             :class:`~repro.core.analytic.AnalyticMRCBank` to share (the
             fleet service pools observations across domains); ``None``
             builds a private one from ``config.analytic``.
+        domain: owning fleet domain index, if any.  When set, every
+            ``dynamic.*`` metric this manager emits carries a
+            ``domain`` label, so process-pool fold-back keeps the
+            domains' counters distinguishable instead of summing them
+            into one total.
 
     Two hooks let an outer service steer the loop without subclassing:
 
@@ -336,6 +353,7 @@ class DynamicPartitionManager:
         prefetcher: Optional[PrefetcherConfig] = None,
         store: Optional[MRCStore] = None,
         analytic_bank: Optional[AnalyticMRCBank] = None,
+        domain: Optional[int] = None,
     ):
         if not workloads:
             raise ValueError("need at least one workload")
@@ -344,6 +362,11 @@ class DynamicPartitionManager:
         self.machine = machine
         self.config = config
         self.issue_mode = issue_mode
+        self.domain = domain
+        self.drift_monitor: Optional[DriftMonitor] = (
+            DriftMonitor(config.drift, domain=domain)
+            if config.drift is not None else None
+        )
         self.hierarchy = MemoryHierarchy(machine, num_cores=len(workloads))
         self.allocator = PageAllocator(machine)
         self.engine = RapidMRC(machine, config.probe)
@@ -477,11 +500,26 @@ class DynamicPartitionManager:
             probe_gate_denials=self.probe_gate_denials,
             analytic_stats=self.analytic.stats(),
             probe_downshifts=self.probe_downshifts,
+            drift_events=(
+                self.drift_monitor.events
+                if self.drift_monitor is not None else 0
+            ),
         )
 
     def _notify(self, outcome: ProbeOutcome) -> None:
         if self.probe_listener is not None:
             self.probe_listener(outcome)
+
+    def _labels(self, **labels: object) -> Dict[str, object]:
+        """Metric labels with the owning fleet domain attached, if any."""
+        if self.domain is not None:
+            labels.setdefault("domain", self.domain)
+        return labels
+
+    def _note_fresh_curve(self, index: int) -> None:
+        """A new curve was served; restart its drift accumulation."""
+        if self.drift_monitor is not None:
+            self.drift_monitor.note_fresh_curve(index)
 
     def _advance(self, target_extra: int, managed_hooks: bool) -> None:
         start = [m.process.accesses for m in self.managed]
@@ -584,7 +622,8 @@ class DynamicPartitionManager:
                 managed.probe_cost_scale = rate
                 self.probe_downshifts += 1
                 get_telemetry().registry.counter(
-                    "dynamic.probe_downshifts", pid=index, estimator=down
+                    "dynamic.probe_downshifts",
+                    **self._labels(pid=index, estimator=down)
                 ).inc()
                 detail = f"{down} @ rate {rate:g}"
                 self.events.append(ManagerEvent(
@@ -599,7 +638,7 @@ class DynamicPartitionManager:
         self.probe_gate_denials += 1
         managed.intervals_since_probe = 0
         get_telemetry().registry.counter(
-            "dynamic.gate_denied", pid=index
+            "dynamic.gate_denied", **self._labels(pid=index)
         ).inc()
         self._notify(ProbeOutcome(
             "gate-denied", index, accesses=cost,
@@ -619,7 +658,7 @@ class DynamicPartitionManager:
         managed.timeline.append(mpki)
         managed.interval_instructions_seen = 0
         managed.intervals_since_probe += 1
-        telemetry.registry.counter("dynamic.intervals", pid=index).inc()
+        telemetry.registry.counter("dynamic.intervals", **self._labels(pid=index)).inc()
         event = managed.detector.observe(mpki)
         if event is None and not managed.detector.in_transition:
             # A settled sample at the current size is one free data
@@ -629,7 +668,7 @@ class DynamicPartitionManager:
                 len(self.current_colors[index]), mpki,
             )
         if event is not None:
-            telemetry.registry.counter("dynamic.transitions", pid=index).inc()
+            telemetry.registry.counter("dynamic.transitions", **self._labels(pid=index)).inc()
             self.events.append(ManagerEvent(
                 kind="transition",
                 pid=index,
@@ -653,7 +692,7 @@ class DynamicPartitionManager:
                 telemetry.tracer.end(managed.probe_span, status="invalidated")
                 managed.probe_span = None
                 telemetry.registry.counter(
-                    "dynamic.probes_invalidated", pid=index
+                    "dynamic.probes_invalidated", **self._labels(pid=index)
                 ).inc()
                 self.supervisor.report_invalidated(
                     index, reason="phase transition mid-probe"
@@ -674,6 +713,68 @@ class DynamicPartitionManager:
             # phase boundary; keep the fingerprint window ahead of it so
             # signatures describe only the settled phase.
             managed.phase_sample_start = len(managed.timeline)
+        tick = len(managed.timeline)
+        telemetry.board.record(
+            "dynamic.mpki", tick, mpki, **self._labels(pid=index)
+        )
+        if managed.mrc is not None:
+            predicted = managed.mrc.value_at(len(self.current_colors[index]))
+            telemetry.board.record(
+                "dynamic.predicted_mpki", tick, predicted,
+                **self._labels(pid=index),
+            )
+            # Drift monitoring: settled samples only.  Transition
+            # intervals mix working sets (the phase detector owns
+            # those), and in-flight or pending probes mean a fresh
+            # curve is already on its way -- charging either to the
+            # served curve would double-report.
+            if (self.drift_monitor is not None
+                    and event is None
+                    and not managed.detector.in_transition
+                    and managed.collector is None
+                    and not managed.needs_probe):
+                drift = self.drift_monitor.observe(index, predicted, mpki, tick)
+                telemetry.board.record(
+                    "dynamic.drift_statistic", tick,
+                    self.drift_monitor.statistic(index),
+                    **self._labels(pid=index),
+                )
+                if drift is not None:
+                    self._on_drift(index, managed, drift)
+
+    def _on_drift(self, index: int, managed: _Managed, drift) -> None:
+        """A served curve stopped matching reality: solicit a re-probe.
+
+        The probe request flows through the ordinary admission path
+        (cooldown and budget gate), so drift recovery competes fairly
+        with every other probe demand -- except the cache: the cached
+        entry for this phase is the curve that just proved wrong, so it
+        is evicted first.  Without that, ``_try_reuse`` would hand the
+        same stale shape straight back and the loop would never reach a
+        real probe.
+        """
+        if self.store is not None and self.config.reuse_enabled:
+            signature = self._phase_signature(managed)
+            if signature is not None:
+                entry = self.store.get(
+                    signature, now_instructions=self._global_instructions()
+                )
+                if entry is not None:
+                    self.store.evict(entry.signature)
+        get_telemetry().registry.counter(
+            "dynamic.drift_detected", **self._labels(pid=index)
+        ).inc()
+        detail = (
+            f"residual ewma {drift.residual_ewma:.2f} MPKI, "
+            f"statistic {drift.statistic:.1f} after {drift.samples} samples"
+        )
+        self.events.append(ManagerEvent(
+            kind="drift-detected", pid=index,
+            instructions=self._global_instructions(), detail=detail,
+        ))
+        managed.needs_probe = True
+        managed.downshift_served = False
+        self._notify(ProbeOutcome("drift-detected", index, detail=detail))
 
     def _phase_window(self, managed: _Managed) -> List[float]:
         """Settled MPKI samples of the current phase (fingerprint input)."""
@@ -708,7 +809,7 @@ class DynamicPartitionManager:
             signature, now_instructions=self._global_instructions()
         )
         if entry is None:
-            telemetry.registry.counter("dynamic.cache_misses", pid=index).inc()
+            telemetry.registry.counter("dynamic.cache_misses", **self._labels(pid=index)).inc()
             return False
         anchor_size = len(self.current_colors[index])
         anchor_mpki = managed.timeline[-1]
@@ -720,7 +821,7 @@ class DynamicPartitionManager:
         if not quality.ok:
             self.reuse_rejected += 1
             telemetry.registry.counter(
-                "dynamic.reuse_rejected", pid=index
+                "dynamic.reuse_rejected", **self._labels(pid=index)
             ).inc()
             self.events.append(ManagerEvent(
                 kind="reuse-rejected", pid=index,
@@ -730,13 +831,14 @@ class DynamicPartitionManager:
             return False
         curve, shift = entry.mrc.v_offset_matched(anchor_size, anchor_mpki)
         managed.mrc = curve
+        self._note_fresh_curve(index)
         managed.needs_probe = False
         managed.intervals_since_probe = 0
         managed.cooldown_intervals = self.config.probe_cooldown_intervals
         self.probes_reused += 1
         detail = f"{entry.signature.key()} shift {shift:+.2f} MPKI"
         self.supervisor.note_reuse(index, curve, detail=detail)
-        telemetry.registry.counter("dynamic.cache_hits", pid=index).inc()
+        telemetry.registry.counter("dynamic.cache_hits", **self._labels(pid=index)).inc()
         self.events.append(ManagerEvent(
             kind="cache-reuse", pid=index,
             instructions=self._global_instructions(),
@@ -772,7 +874,7 @@ class DynamicPartitionManager:
             "probe", pid=index,
             workload=managed.process.workload.name, mode="dynamic",
         )
-        telemetry.registry.counter("dynamic.probes_started", pid=index).inc()
+        telemetry.registry.counter("dynamic.probes_started", **self._labels(pid=index)).inc()
         self.events.append(ManagerEvent(
             kind="probe", pid=index,
             instructions=self._global_instructions(), detail="started",
@@ -789,7 +891,7 @@ class DynamicPartitionManager:
         telemetry = get_telemetry()
         telemetry.tracer.end(managed.probe_span, status="deadline")
         managed.probe_span = None
-        telemetry.registry.counter("dynamic.probe_deadlines", pid=index).inc()
+        telemetry.registry.counter("dynamic.probe_deadlines", **self._labels(pid=index)).inc()
         self.supervisor.report_deadline(index, probe_accesses)
         self.events.append(ManagerEvent(
             kind="probe-deadline", pid=index,
@@ -850,9 +952,10 @@ class DynamicPartitionManager:
             telemetry.tracer.end(managed.probe_span, status="admitted")
             managed.probe_span = None
             telemetry.registry.counter(
-                "dynamic.probes_admitted", pid=index
+                "dynamic.probes_admitted", **self._labels(pid=index)
             ).inc()
             managed.mrc = curve
+            self._note_fresh_curve(index)
             managed.cooldown_intervals = self.config.probe_cooldown_intervals
             self.probes_run += 1
             if managed.probe_engine is not None:
@@ -924,10 +1027,10 @@ class DynamicPartitionManager:
         """Shared post-failure policy: retry with backoff, else degrade."""
         registry = get_telemetry().registry
         self.probes_rejected += 1
-        registry.counter("dynamic.probes_rejected", pid=index).inc()
+        registry.counter("dynamic.probes_rejected", **self._labels(pid=index)).inc()
         retry, cooldown = self.supervisor.retry_guidance(index)
         if retry:
-            registry.counter("dynamic.probe_retries", pid=index).inc()
+            registry.counter("dynamic.probe_retries", **self._labels(pid=index)).inc()
             managed.needs_probe = True
             managed.cooldown_intervals = max(
                 self.config.probe_cooldown_intervals, cooldown
@@ -952,9 +1055,10 @@ class DynamicPartitionManager:
             index, recent, analytic=self._analytic_curve(index, managed),
         )
         get_telemetry().registry.counter(
-            "dynamic.degradations", pid=index, rung=rung.value
+            "dynamic.degradations", **self._labels(pid=index, rung=rung.value)
         ).inc()
         managed.mrc = curve
+        self._note_fresh_curve(index)
         managed.cooldown_intervals = self.config.probe_cooldown_intervals
         managed.needs_probe = False
         self.events.append(ManagerEvent(
@@ -1008,7 +1112,7 @@ class DynamicPartitionManager:
         telemetry = get_telemetry()
         telemetry.tracer.end(managed.probe_span, status="aborted")
         managed.probe_span = None
-        telemetry.registry.counter("dynamic.probes_aborted", pid=index).inc()
+        telemetry.registry.counter("dynamic.probes_aborted", **self._labels(pid=index)).inc()
         self.supervisor.report_invalidated(index, reason=reason)
         self.events.append(ManagerEvent(
             kind="probe-rejected", pid=index,
@@ -1069,7 +1173,7 @@ class DynamicPartitionManager:
             with telemetry.tracer.span("partition_decision", mode="uniform"):
                 new_colors = self._materialize(self._uniform_counts())
             telemetry.registry.counter(
-                "dynamic.decisions", mode="uniform"
+                "dynamic.decisions", **self._labels(mode="uniform")
             ).inc()
             self._record_decision("uniform", new_colors)
             self._apply_colors(new_colors, detail="uniform-split (degraded)")
@@ -1079,7 +1183,7 @@ class DynamicPartitionManager:
                 curves, self.machine.num_colors
             )
             new_colors = self._materialize(decision.colors)
-        telemetry.registry.counter("dynamic.decisions", mode="optimized").inc()
+        telemetry.registry.counter("dynamic.decisions", **self._labels(mode="optimized")).inc()
         self._record_decision("optimized", new_colors)
         self._apply_colors(new_colors, detail=str([len(c) for c in new_colors]))
 
@@ -1113,7 +1217,7 @@ class DynamicPartitionManager:
             self.migration_cycles += report.cycles
         self.current_colors = new_colors
         self.resizes += 1
-        get_telemetry().registry.counter("dynamic.resizes").inc()
+        get_telemetry().registry.counter("dynamic.resizes", **self._labels()).inc()
         self.events.append(ManagerEvent(
             kind="resize", pid=-1,
             instructions=self._global_instructions(),

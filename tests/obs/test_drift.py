@@ -1,0 +1,153 @@
+"""Drift detector: determinism, trigger bounds, and quiet-on-noise."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.obs.drift import DriftConfig, DriftEvent, DriftMonitor
+
+
+class TestConfig:
+    @pytest.mark.parametrize("kwargs", [
+        {"ewma_alpha": 0.0},
+        {"ewma_alpha": 1.5},
+        {"delta_mpki": -1.0},
+        {"lambda_threshold": 0.0},
+        {"min_samples": 0},
+        {"cooldown_samples": -1},
+    ])
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            DriftConfig(**kwargs)
+
+
+class TestDetection:
+    def test_constantly_wrong_curve_triggers(self):
+        """The stale-cached-curve failure mode: wrong from sample one.
+
+        A running-mean detector would adapt to the constant residual
+        and never fire; the fixed-reference CUSUM must.
+        """
+        config = DriftConfig(delta_mpki=8.0, lambda_threshold=40.0,
+                             min_samples=3)
+        monitor = DriftMonitor(config)
+        event = None
+        for tick in range(50):
+            event = monitor.observe(1, 10.0, 30.0, tick)
+            if event is not None:
+                break
+        assert event is not None
+        # Residual 20, slack 8: 15/sample of excess -> sample 3 is the
+        # earliest min_samples allows, statistic 3 * (20 - 8) = 36 < 40,
+        # so sample 4 fires with 48.
+        assert event.samples == 4
+        assert event.statistic == pytest.approx(48.0)
+        assert monitor.events == 1
+
+    def test_noise_within_slack_never_triggers(self):
+        config = DriftConfig(delta_mpki=8.0, lambda_threshold=40.0)
+        monitor = DriftMonitor(config)
+        for tick in range(5000):
+            residual = 4.0 + 3.0 * math.sin(tick)  # always <= 7 < delta
+            assert monitor.observe(2, 10.0, 10.0 + residual, tick) is None
+        assert monitor.statistic(2) == 0.0
+        assert monitor.events == 0
+
+    def test_trigger_resets_state_and_applies_cooldown(self):
+        config = DriftConfig(delta_mpki=1.0, lambda_threshold=5.0,
+                             min_samples=1, cooldown_samples=3)
+        monitor = DriftMonitor(config)
+        event = None
+        tick = 0
+        while event is None:
+            event = monitor.observe(1, 0.0, 10.0, tick)
+            tick += 1
+        # The next cooldown_samples observations are swallowed whole.
+        for _ in range(3):
+            assert monitor.observe(1, 0.0, 100.0, tick) is None
+            tick += 1
+        assert monitor.statistic(1) == 0.0  # nothing accumulated yet
+        # After cooldown the detector arms again from zero.
+        assert monitor.observe(1, 0.0, 100.0, tick) is not None
+
+    def test_fresh_curve_resets_accumulation(self):
+        config = DriftConfig(delta_mpki=1.0, lambda_threshold=10.0,
+                             min_samples=1)
+        monitor = DriftMonitor(config)
+        for tick in range(3):
+            monitor.observe(1, 0.0, 4.0, tick)
+        assert monitor.statistic(1) == pytest.approx(9.0)
+        monitor.note_fresh_curve(1)
+        assert monitor.statistic(1) == 0.0
+        assert monitor.residual_ewma(1) is None
+
+    def test_event_carries_domain_and_serializes(self):
+        config = DriftConfig(delta_mpki=1.0, lambda_threshold=2.0,
+                             min_samples=1)
+        monitor = DriftMonitor(config, domain=3)
+        event = None
+        tick = 0
+        while event is None:
+            event = monitor.observe(7, 0.0, 5.0, tick)
+            tick += 1
+        assert isinstance(event, DriftEvent)
+        payload = event.to_dict()
+        assert payload["pid"] == 7
+        assert payload["domain"] == 3
+        assert payload["samples"] == event.samples
+
+    def test_stats_and_forget(self):
+        monitor = DriftMonitor(DriftConfig())
+        monitor.observe(1, 0.0, 1.0, 0)
+        monitor.observe(2, 0.0, 1.0, 0)
+        assert monitor.stats() == {
+            "events": 0, "samples": 2, "tracked_pids": 2,
+        }
+        monitor.forget(1)
+        assert monitor.stats()["tracked_pids"] == 1
+
+
+# -- hypothesis: determinism -------------------------------------------------
+
+_streams = st.lists(
+    st.tuples(
+        st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+        st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+    ),
+    max_size=60,
+)
+
+
+def _replay(stream):
+    monitor = DriftMonitor(DriftConfig(
+        delta_mpki=5.0, lambda_threshold=20.0, min_samples=2,
+        cooldown_samples=2,
+    ))
+    events = []
+    for tick, (predicted, observed) in enumerate(stream):
+        event = monitor.observe(1, predicted, observed, tick)
+        if event is not None:
+            events.append((event.tick, event.samples,
+                           round(event.statistic, 9)))
+    return events, monitor.statistic(1)
+
+
+@settings(max_examples=80, deadline=None)
+@given(stream=_streams)
+def test_same_samples_same_triggers(stream):
+    """Bit-identical replays: same stream, same trigger ticks/statistics."""
+    assert _replay(stream) == _replay(stream)
+
+
+@settings(max_examples=80, deadline=None)
+@given(stream=_streams, slack=st.floats(min_value=0.5, max_value=50.0,
+                                        allow_nan=False))
+def test_residuals_within_slack_stay_silent(stream, slack):
+    """If every residual is at most delta, the statistic pins at zero."""
+    monitor = DriftMonitor(DriftConfig(delta_mpki=slack,
+                                       lambda_threshold=1.0, min_samples=1))
+    for tick, (predicted, _observed) in enumerate(stream):
+        residual = min(abs(predicted), slack)
+        assert monitor.observe(1, 0.0, residual, tick) is None
+    assert monitor.statistic(1) == 0.0

@@ -1,0 +1,145 @@
+"""Exporters: Prometheus text exposition and the JSONL event stream."""
+
+import json
+
+import pytest
+
+from repro.obs import Telemetry, use_telemetry
+from repro.obs.export import (
+    event_stream_lines,
+    parse_prometheus_text,
+    prometheus_text,
+)
+from repro.obs.health import FleetHealthTracker
+from repro.obs.timeseries import TimeSeriesBoard
+
+
+def _sample_registry():
+    telemetry = Telemetry.in_memory()
+    registry = telemetry.registry
+    registry.counter("dynamic.probes_started", domain=0, pid=1).inc(3)
+    registry.gauge("reliability.rung_rank", pid=1).set(2)
+    registry.histogram("mrc.trace_length").observe(1200)
+    return registry.snapshot()
+
+
+def _sample_board():
+    board = TimeSeriesBoard()
+    board.record("fleet.mpki", 0, 12.0, domain=0, pid=1)
+    board.record("fleet.mpki", 1, 18.0, domain=0, pid=1)
+    return board.snapshot()
+
+
+def _sample_health():
+    tracker = FleetHealthTracker()
+    tracker.begin_tick(3)
+    tracker.note_probe_outcome(0, "admitted")
+    tracker.note_probe_outcome(0, "deadline")
+    tracker.note_probe_outcome(0, "deadline")
+    tracker.note_drift(0)
+    return tracker.scorecards()
+
+
+class TestPrometheusText:
+    def test_counters_gauges_round_trip(self):
+        text = prometheus_text(_sample_registry())
+        samples = parse_prometheus_text(text)
+        counter = samples["rapidmrc_dynamic_probes_started"]
+        assert counter[(("domain", "0"), ("pid", "1"))] == 3.0
+        gauge = samples["rapidmrc_reliability_rung_rank"]
+        assert gauge[(("pid", "1"),)] == 2.0
+
+    def test_histogram_buckets_are_cumulative_with_inf(self):
+        text = prometheus_text(_sample_registry())
+        samples = parse_prometheus_text(text)
+        buckets = samples["rapidmrc_mrc_trace_length_bucket"]
+        inf_key = next(
+            key for key in buckets
+            if dict(key).get("le") == "+Inf"
+        )
+        assert buckets[inf_key] == 1.0
+        counts = samples["rapidmrc_mrc_trace_length_count"]
+        assert counts[()] == 1.0
+
+    def test_series_export_latest_window_stats(self):
+        text = prometheus_text({"counters": [], "gauges": [],
+                                "histograms": []}, _sample_board())
+        samples = parse_prometheus_text(text)
+        labels = (("domain", "0"), ("pid", "1"))
+        assert samples["rapidmrc_series_fleet_mpki_last"][labels] == 18.0
+        assert samples["rapidmrc_series_fleet_mpki_min"][labels] == 12.0
+        assert samples["rapidmrc_series_fleet_mpki_max"][labels] == 18.0
+        assert samples["rapidmrc_series_fleet_mpki_mean"][labels] == 15.0
+
+    def test_health_exports_status_ranks(self):
+        text = prometheus_text({"counters": [], "gauges": [],
+                                "histograms": []}, health=_sample_health())
+        samples = parse_prometheus_text(text)
+        domain = (("domain", "0"),)
+        # Two deadlines out of three terminal probes: hit rate 1/3 is
+        # below the 0.5 critical boundary.
+        assert samples["rapidmrc_health_status"][domain] == 2.0
+        assert samples["rapidmrc_health_drift_events"][domain] == 1.0
+        assert samples["rapidmrc_health_fleet_status"][()] == 2.0
+        signal = samples["rapidmrc_health_signal"]
+        assert signal[
+            (("domain", "0"), ("signal", "probe_deadline_hit_rate"))
+        ] == pytest.approx(1 / 3)
+
+    def test_every_sample_has_a_type_line(self):
+        text = prometheus_text(_sample_registry(), _sample_board(),
+                               _sample_health())
+        typed = {
+            line.split()[2]
+            for line in text.splitlines() if line.startswith("# TYPE")
+        }
+        for line in text.splitlines():
+            if line.startswith("#") or not line:
+                continue
+            name = line.split("{")[0].split(" ")[0]
+            base_candidates = {
+                name,
+                name.rsplit("_bucket", 1)[0],
+                name.rsplit("_sum", 1)[0],
+                name.rsplit("_count", 1)[0],
+            }
+            assert base_candidates & typed, f"untyped sample: {line}"
+
+    def test_empty_inputs_yield_empty_document(self):
+        assert prometheus_text(
+            {"counters": [], "gauges": [], "histograms": []}
+        ) == ""
+
+
+class TestParser:
+    def test_malformed_line_reports_line_number(self):
+        with pytest.raises(ValueError, match="line 2"):
+            parse_prometheus_text("# TYPE rapidmrc_x counter\nnot a sample\n")
+
+    def test_bad_value_rejected(self):
+        with pytest.raises(ValueError):
+            parse_prometheus_text("rapidmrc_x{pid=\"1\"} notanumber\n")
+
+
+class TestEventStream:
+    def test_lines_are_json_with_type_keys(self):
+        lines = event_stream_lines(
+            _sample_registry(), _sample_board(), _sample_health(),
+            events=[{"kind": "drift-detected", "tick": 3}],
+        )
+        payloads = [json.loads(line) for line in lines]
+        assert [payload["type"] for payload in payloads] == [
+            "metrics", "series", "health", "event",
+        ]
+        assert payloads[3]["kind"] == "drift-detected"
+
+    def test_live_capture_exports_through_telemetry(self):
+        telemetry = Telemetry.in_memory()
+        with use_telemetry(telemetry):
+            telemetry.registry.counter("obs.jsonl_skipped").inc()
+            telemetry.board.record("fleet.mpki", 0, 7.0)
+        text = prometheus_text(telemetry.registry.snapshot(),
+                               telemetry.board.snapshot())
+        samples = parse_prometheus_text(text)
+        assert samples["rapidmrc_obs_jsonl_skipped"][()] == 1.0
+        assert samples["rapidmrc_series_fleet_mpki_last"][()] == 7.0

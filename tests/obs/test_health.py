@@ -1,0 +1,115 @@
+"""Health scorecards: signal thresholds and the worst-of rollup."""
+
+import pytest
+
+from repro.obs.health import FleetHealthTracker, HealthStatus, HealthThresholds
+
+
+class TestThresholds:
+    def test_deadline_hit_rate_inverts(self):
+        thresholds = HealthThresholds()
+        assert thresholds.rate_status(None) is HealthStatus.OK
+        assert thresholds.rate_status(1.0) is HealthStatus.OK
+        assert thresholds.rate_status(0.85) is HealthStatus.DEGRADED
+        assert thresholds.rate_status(0.4) is HealthStatus.CRITICAL
+
+    def test_dwell_denial_staleness_escalate(self):
+        thresholds = HealthThresholds()
+        assert thresholds.dwell_status(0.1) is HealthStatus.OK
+        assert thresholds.dwell_status(0.5) is HealthStatus.DEGRADED
+        assert thresholds.dwell_status(0.8) is HealthStatus.CRITICAL
+        assert thresholds.denial_status(0.2) is HealthStatus.OK
+        assert thresholds.denial_status(0.5) is HealthStatus.DEGRADED
+        assert thresholds.denial_status(0.9) is HealthStatus.CRITICAL
+        assert thresholds.staleness_status(4) is HealthStatus.OK
+        assert thresholds.staleness_status(10) is HealthStatus.DEGRADED
+        assert thresholds.staleness_status(20) is HealthStatus.CRITICAL
+
+
+class TestTracker:
+    def test_empty_tracker_is_ok(self):
+        cards = FleetHealthTracker().scorecards()
+        assert cards["status"] == "ok"
+        assert cards["domains"] == []
+
+    def test_deadline_expiries_degrade_the_domain(self):
+        tracker = FleetHealthTracker()
+        for _ in range(8):
+            tracker.note_probe_outcome(0, "admitted")
+        tracker.note_probe_outcome(0, "deadline")
+        tracker.note_probe_outcome(0, "started")  # non-terminal: ignored
+        (card,) = tracker.scorecards()["domains"]
+        signal = card["signals"]["probe_deadline_hit_rate"]
+        assert signal["value"] == pytest.approx(8 / 9)
+        assert signal["status"] == "degraded"
+        assert card["status"] == "degraded"
+
+    def test_degraded_rung_dwell(self):
+        tracker = FleetHealthTracker()
+        for tick in range(4):
+            tracker.begin_tick(tick)
+            tracker.note_rung(0, pid=0, rung_rank=0)
+            tracker.note_rung(0, pid=1, rung_rank=3 if tick >= 1 else 0)
+        (card,) = tracker.scorecards()["domains"]
+        signal = card["signals"]["degraded_rung_dwell"]
+        assert signal["value"] == pytest.approx(3 / 8)
+        assert signal["status"] == "degraded"
+
+    def test_budget_denials_are_incremental_per_domain(self):
+        tracker = FleetHealthTracker()
+        tracker.note_budget_outcome(0, admitted=True)
+        tracker.note_budget_outcome(0, admitted=False)
+        tracker.note_budget_outcome(1, admitted=True)
+        cards = {
+            card["domain"]: card
+            for card in tracker.scorecards()["domains"]
+        }
+        assert cards[0]["signals"]["budget_denial_rate"]["value"] == 0.5
+        assert cards[0]["signals"]["budget_denial_rate"]["status"] == "degraded"
+        assert cards[1]["signals"]["budget_denial_rate"]["value"] == 0.0
+
+    def test_staleness_ages_from_last_refresh(self):
+        tracker = FleetHealthTracker()
+        tracker.begin_tick(0)
+        tracker.note_refresh(0, pid=0)
+        tracker.begin_tick(10)
+        (card,) = tracker.scorecards()["domains"]
+        signal = card["signals"]["curve_staleness_ticks"]
+        assert signal["value"] == 10.0
+        assert signal["status"] == "degraded"
+        # A new refresh rejuvenates; forgetting the pid clears it.
+        tracker.note_refresh(0, pid=0)
+        (card,) = tracker.scorecards()["domains"]
+        assert card["signals"]["curve_staleness_ticks"]["value"] == 0.0
+        tracker.forget(0, pid=0)
+        (card,) = tracker.scorecards()["domains"]
+        assert card["signals"]["curve_staleness_ticks"]["value"] is None
+
+    def test_domain_rebuild_clears_refresh_history(self):
+        tracker = FleetHealthTracker()
+        tracker.begin_tick(0)
+        tracker.note_refresh(0, pid=0)
+        tracker.begin_tick(50)
+        tracker.reset_domain_refresh(0)
+        (card,) = tracker.scorecards()["domains"]
+        assert card["signals"]["curve_staleness_ticks"]["value"] is None
+
+    def test_fleet_status_is_worst_of_domains(self):
+        tracker = FleetHealthTracker()
+        tracker.note_budget_outcome(0, admitted=True)
+        for _ in range(4):
+            tracker.note_budget_outcome(1, admitted=False)
+        cards = tracker.scorecards()
+        statuses = {
+            card["domain"]: card["status"] for card in cards["domains"]
+        }
+        assert statuses == {0: "ok", 1: "critical"}
+        assert cards["status"] == "critical"
+
+    def test_drift_events_counted_per_domain(self):
+        tracker = FleetHealthTracker()
+        tracker.note_drift(2)
+        tracker.note_drift(2)
+        (card,) = tracker.scorecards()["domains"]
+        assert card["domain"] == 2
+        assert card["drift_events"] == 2

@@ -66,17 +66,61 @@ class TestRoundTrip:
         report = RunReport.from_jsonl(str(path))
         assert report.counter_total("pmu.probes") == 6
 
-    def test_bad_json_reports_line_number(self, tmp_path):
+    def test_bad_json_skipped_with_warning(self, tmp_path):
+        # A truncated/corrupt line (e.g. from a crash mid-write) must
+        # not make the rest of the capture unreadable.
         path = tmp_path / "bad.jsonl"
         path.write_text('{"type": "future"}\nnot json\n')
-        with pytest.raises(ValueError, match="bad.jsonl:2"):
-            RunReport.from_jsonl(str(path))
+        with pytest.warns(RuntimeWarning, match="bad.jsonl:2"):
+            report = RunReport.from_jsonl(str(path))
+        assert report.skipped == 1
 
-    def test_malformed_span_reports_line_number(self, tmp_path):
+    def test_malformed_span_skipped_with_warning(self, tmp_path):
         path = tmp_path / "bad.jsonl"
         path.write_text('{"type": "span"}\n')
-        with pytest.raises(ValueError, match="bad.jsonl:1"):
-            RunReport.from_jsonl(str(path))
+        with pytest.warns(RuntimeWarning, match="bad.jsonl:1"):
+            report = RunReport.from_jsonl(str(path))
+        assert report.skipped == 1
+        assert report.spans == []
+
+    def test_corrupt_lines_do_not_drop_good_records(self, tmp_path):
+        path = tmp_path / "mixed.jsonl"
+        snapshot = {
+            "counters": [{"name": "pmu.probes", "labels": {}, "value": 3}],
+            "gauges": [], "histograms": [],
+        }
+        with open(path, "w") as handle:
+            handle.write(json.dumps(
+                {"type": "metrics", "snapshot": snapshot}) + "\n")
+            handle.write('{"type": "metrics", "snapsho')  # truncated
+            handle.write("\n")
+            handle.write(json.dumps(
+                {"type": "metrics", "snapshot": snapshot}) + "\n")
+        with pytest.warns(RuntimeWarning):
+            report = RunReport.from_jsonl(str(path))
+        assert report.counter_total("pmu.probes") == 6
+        assert report.skipped == 1
+
+    def test_skip_counter_lands_in_live_registry(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("garbage\n")
+        telemetry = Telemetry.in_memory()
+        with use_telemetry(telemetry):
+            with pytest.warns(RuntimeWarning):
+                RunReport.from_jsonl(str(path))
+        snapshot = telemetry.registry.snapshot()
+        totals = {
+            counter["name"]: counter["value"]
+            for counter in snapshot["counters"]
+        }
+        assert totals.get("obs.jsonl_skipped") == 1
+
+    def test_render_mentions_skipped_records(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("garbage\n")
+        with pytest.warns(RuntimeWarning):
+            report = RunReport.from_jsonl(str(path))
+        assert "skipped records: 1" in report.render()
 
 
 class TestAggregation:

@@ -1,0 +1,185 @@
+"""Bounded time series: window aggregation and the snapshot merge algebra."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.obs.timeseries import (
+    NULL_BOARD,
+    NullBoard,
+    SeriesConfig,
+    TimeSeries,
+    TimeSeriesBoard,
+    empty_board_snapshot,
+    merge_board_snapshots,
+)
+
+
+class TestTimeSeries:
+    def test_samples_land_in_fixed_width_windows(self):
+        series = TimeSeries(SeriesConfig(window_ticks=4))
+        for tick, value in [(0, 1.0), (1, 3.0), (3, 2.0), (4, 10.0)]:
+            series.record(tick, value)
+        windows = series.windows()
+        assert [w["start"] for w in windows] == [0, 4]
+        first = windows[0]
+        assert first["min"] == 1.0
+        assert first["max"] == 3.0
+        assert first["sum"] == 6.0
+        assert first["count"] == 3
+        assert first["last"] == 2.0  # tick 3 recorded last
+
+    def test_last_resolves_by_tick_then_value(self):
+        series = TimeSeries(SeriesConfig(window_ticks=8))
+        series.record(2, 9.0)
+        series.record(1, 100.0)  # earlier tick never wins
+        (window,) = series.windows()
+        assert window["last"] == 9.0
+        series.record(2, 11.0)  # tie on tick: greater value wins
+        (window,) = series.windows()
+        assert window["last"] == 11.0
+
+    def test_ring_evicts_oldest_window(self):
+        series = TimeSeries(SeriesConfig(window_ticks=1, max_windows=3))
+        for tick in range(6):
+            series.record(tick, float(tick))
+        assert [w["start"] for w in series.windows()] == [3, 4, 5]
+        assert len(series) == 3
+
+    def test_latest_mean_and_count(self):
+        series = TimeSeries(SeriesConfig(window_ticks=2))
+        assert series.latest() is None
+        assert series.mean() == 0.0
+        for tick, value in enumerate([2.0, 4.0, 6.0]):
+            series.record(tick, value)
+        assert series.latest() == 6.0
+        assert series.mean() == pytest.approx(4.0)
+        assert series.total_count() == 3
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            SeriesConfig(window_ticks=0)
+        with pytest.raises(ValueError):
+            SeriesConfig(max_windows=0)
+
+
+class TestBoard:
+    def test_series_keyed_by_name_and_labels(self):
+        board = TimeSeriesBoard()
+        board.record("mpki", 0, 5.0, pid=0)
+        board.record("mpki", 0, 9.0, pid=1)
+        board.record("util", 0, 0.5)
+        assert len(board) == 3
+        assert board.names() == ["mpki", "util"]
+        assert board.series("mpki", pid=0).latest() == 5.0
+        assert board.series("mpki", pid=1).latest() == 9.0
+
+    def test_snapshot_is_sorted_and_json_ready(self):
+        import json
+
+        board = TimeSeriesBoard(SeriesConfig(window_ticks=2))
+        board.record("b", 1, 2.0)
+        board.record("a", 0, 1.0, pid=3)
+        snapshot = board.snapshot()
+        assert [entry["name"] for entry in snapshot["series"]] == ["a", "b"]
+        assert snapshot["series"][0]["labels"] == {"pid": "3"}
+        json.dumps(snapshot)  # must not raise
+
+    def test_merge_folds_worker_board_back(self):
+        board = TimeSeriesBoard()
+        board.record("mpki", 0, 5.0)
+        worker = TimeSeriesBoard()
+        worker.record("mpki", 1, 7.0)
+        board.merge(worker.snapshot())
+        series = board.series("mpki")
+        assert series.total_count() == 2
+        assert series.latest() == 7.0
+
+    def test_null_board_retains_nothing(self):
+        board = NullBoard()
+        board.record("mpki", 0, 5.0)
+        board.series("anything", pid=1).record(0, 1.0)
+        board.merge(TimeSeriesBoard().snapshot())
+        assert len(board) == 0
+        assert NULL_BOARD.snapshot()["series"] == []
+
+
+class TestMergeSnapshots:
+    def test_mismatched_configs_refuse_to_merge(self):
+        a = empty_board_snapshot(SeriesConfig(window_ticks=2))
+        b = empty_board_snapshot(SeriesConfig(window_ticks=4))
+        with pytest.raises(ValueError):
+            merge_board_snapshots(a, b)
+
+    def test_empty_merge_is_empty(self):
+        assert merge_board_snapshots() == empty_board_snapshot()
+
+
+# -- hypothesis: the merge algebra ------------------------------------------
+
+_CONFIG = SeriesConfig(window_ticks=4, max_windows=3)
+
+_samples = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=60),  # tick
+        st.floats(min_value=-1e6, max_value=1e6,
+                  allow_nan=False, allow_infinity=False),
+        st.sampled_from(["mpki", "util"]),
+        st.sampled_from([{}, {"pid": "0"}, {"pid": "1"}]),
+    ),
+    max_size=30,
+)
+
+
+def _board_of(samples):
+    board = TimeSeriesBoard(_CONFIG)
+    # Recorders see monotone ticks (the service samples each tick in
+    # order); sort so eviction order matches window order.
+    for tick, value, name, labels in sorted(samples, key=lambda s: s[0]):
+        board.record(name, tick, value, **labels)
+    return board.snapshot()
+
+
+@settings(max_examples=50, deadline=None)
+@given(a=_samples, b=_samples, c=_samples)
+def test_merge_is_associative(a, b, c):
+    sa, sb, sc = _board_of(a), _board_of(b), _board_of(c)
+    left = merge_board_snapshots(merge_board_snapshots(sa, sb), sc)
+    right = merge_board_snapshots(sa, merge_board_snapshots(sb, sc))
+    flat = merge_board_snapshots(sa, sb, sc)
+    assert left == right == flat
+
+
+@settings(max_examples=50, deadline=None)
+@given(a=_samples, b=_samples)
+def test_merge_is_order_independent(a, b):
+    sa, sb = _board_of(a), _board_of(b)
+    assert merge_board_snapshots(sa, sb) == merge_board_snapshots(sb, sa)
+
+
+@settings(max_examples=30, deadline=None)
+@given(a=_samples)
+def test_empty_board_is_identity(a):
+    snapshot = _board_of(a)
+    merged = merge_board_snapshots(snapshot, empty_board_snapshot(_CONFIG))
+    assert merged == merge_board_snapshots(snapshot)
+
+
+@settings(max_examples=50, deadline=None)
+@given(samples=_samples, workers=st.integers(min_value=1, max_value=4))
+def test_pool_fold_back_equals_sequential(samples, workers):
+    """Sharded recording + snapshot merge == one sequential recorder.
+
+    This is the property the process-pool fold-back relies on: each
+    worker samples its share locally (monotone ticks within a worker),
+    the parent merges the boards, and the result is byte-equal to one
+    board that saw every sample -- including when the ring bound evicts
+    windows, because eviction commutes with merging.
+    """
+    ordered = sorted(samples, key=lambda s: s[0])
+    sequential = TimeSeriesBoard(_CONFIG)
+    shards = [TimeSeriesBoard(_CONFIG) for _ in range(workers)]
+    for index, (tick, value, name, labels) in enumerate(ordered):
+        sequential.record(name, tick, value, **labels)
+        shards[index % workers].record(name, tick, value, **labels)
+    merged = merge_board_snapshots(*(shard.snapshot() for shard in shards))
+    assert merged == sequential.snapshot()

@@ -143,3 +143,42 @@ class TestNullTracer:
         tracer.absorb([{"id": 1}])
         assert tracer.spans == []
         assert tracer.enabled is False
+
+
+class TestJsonlSink:
+    def test_context_exit_flushes_on_exception(self, tmp_path):
+        from repro.obs.tracing import JsonlSink
+
+        path = str(tmp_path / "crash.jsonl")
+        with pytest.raises(RuntimeError):
+            with JsonlSink(path) as sink:
+                sink.write_record({"type": "metrics", "snapshot": {}})
+                raise RuntimeError("run died mid-write")
+        # The line written before the crash survived.
+        with open(path, encoding="utf-8") as handle:
+            lines = handle.read().splitlines()
+        assert json.loads(lines[0])["type"] == "metrics"
+
+    def test_close_is_idempotent_and_marks_closed(self, tmp_path):
+        from repro.obs.tracing import JsonlSink
+
+        sink = JsonlSink(str(tmp_path / "out.jsonl"))
+        assert not sink.closed
+        sink.close()
+        sink.close()
+        assert sink.closed
+        sink.write("ignored after close\n")  # must not raise
+        with open(sink.path, encoding="utf-8") as handle:
+            assert handle.read() == ""
+
+    def test_tracer_accepts_sink_in_place_of_handle(self, tmp_path):
+        from repro.obs.tracing import JsonlSink
+
+        path = str(tmp_path / "spans.jsonl")
+        with JsonlSink(path) as sink:
+            tracer = Tracer(sink=sink)
+            with tracer.span("probe"):
+                pass
+        with open(path, encoding="utf-8") as handle:
+            (line,) = handle.read().splitlines()
+        assert json.loads(line)["name"] == "probe"

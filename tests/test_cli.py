@@ -166,10 +166,25 @@ class TestTelemetry:
         assert "cannot read" in capsys.readouterr().err
 
     def test_obs_report_bad_file(self, capsys, tmp_path):
+        # A capture with no decodable record at all is an error ...
         path = tmp_path / "bad.jsonl"
         path.write_text("not json\n")
-        assert main(["obs", "report", str(path)]) == 2
-        assert "not JSON" in capsys.readouterr().err
+        with pytest.warns(RuntimeWarning, match="not JSON"):
+            assert main(["obs", "report", str(path)]) == 2
+        assert "no usable telemetry records" in capsys.readouterr().err
+
+    def test_obs_report_partially_corrupt_file(self, capsys, tmp_path):
+        # ... but one corrupt line among good records only warns: the
+        # decodable remainder still renders, with the drop tallied.
+        path = tmp_path / "partial.jsonl"
+        path.write_text(
+            '{"type": "span", "id": 1, "parent": null, "name": "probe", '
+            '"start_ns": 0, "end_ns": 1000000}\n'
+            "garbage\n"
+        )
+        with pytest.warns(RuntimeWarning, match="not JSON"):
+            assert main(["obs", "report", str(path)]) == 0
+        assert "skipped records: 1" in capsys.readouterr().out
 
 
 class TestMrcCache:
