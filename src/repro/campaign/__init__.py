@@ -1,0 +1,51 @@
+"""``repro.campaign``: the declarative experiment-matrix harness.
+
+One campaign is a matrix of *targets* (synthetic workload models and
+real ``perf script`` captures) x *machine configs* x *stack engines and
+estimators* x *seeds*.  The pieces:
+
+- :mod:`repro.campaign.spec` -- the :class:`CampaignSpec` dataclass with
+  a dict/JSON loader, validation, and expansion into concrete cells
+  (per-pid splitting turns one capture into several targets);
+- :mod:`repro.campaign.runner` -- :func:`run_campaign`, a process-pool
+  fan-out with bounded concurrency, per-cell telemetry fold-back through
+  the associative snapshot merge, failed-cell recording, and
+  manifest-driven resume;
+- :mod:`repro.campaign.manifest` -- the checksummed record of which
+  cells completed and what they wrote, the integrity anchor for resume
+  and reporting;
+- :mod:`repro.campaign.aggregate` -- the ``BENCH_campaign.json``
+  builder (per-cell MPKI/error/wall-clock plus folded telemetry
+  counters) and the text report renderer.
+"""
+
+from repro.campaign.aggregate import (
+    BENCH_NAME,
+    build_aggregate,
+    render_report,
+    write_aggregate,
+)
+from repro.campaign.manifest import MANIFEST_NAME, CampaignManifest, file_sha256
+from repro.campaign.runner import CampaignReport, run_campaign
+from repro.campaign.spec import (
+    CampaignSpec,
+    MachineSpec,
+    TraceFileTarget,
+    WorkloadTarget,
+)
+
+__all__ = [
+    "BENCH_NAME",
+    "MANIFEST_NAME",
+    "CampaignManifest",
+    "CampaignReport",
+    "CampaignSpec",
+    "MachineSpec",
+    "TraceFileTarget",
+    "WorkloadTarget",
+    "build_aggregate",
+    "file_sha256",
+    "render_report",
+    "run_campaign",
+    "write_aggregate",
+]

@@ -1,0 +1,195 @@
+"""The ``BENCH_campaign.json`` aggregate and the text report.
+
+The aggregate is rebuilt from the results tree (manifest + per-cell
+files), never from in-memory runner state, so a resumed campaign
+aggregates exactly like a single-shot one and the folded telemetry
+counters are a pure :func:`repro.obs.metrics.merge_snapshots` over the
+recorded per-cell snapshots -- associative, order-independent, and equal
+between pooled and sequential runs.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List, Optional
+
+from repro.campaign.manifest import CampaignManifest
+from repro.obs.metrics import merge_snapshots
+
+__all__ = ["BENCH_NAME", "build_aggregate", "render_report", "write_aggregate"]
+
+BENCH_NAME = "BENCH_campaign.json"
+_FORMAT = "rapidmrc-campaign-bench-v1"
+
+
+def _cell_row(cell_id: str, entry: Dict[str, object],
+              payload: Dict[str, object]) -> Dict[str, object]:
+    cell = payload.get("cell", {})
+    row: Dict[str, object] = {
+        "id": cell_id,
+        "label": cell.get("label"),
+        "engine": cell.get("engine"),
+        "machine": cell.get("machine"),
+        "seed": cell.get("seed"),
+        "target_kind": (cell.get("target") or {}).get("kind"),
+        "status": entry.get("status"),
+        "wall_seconds": entry.get("wall_seconds"),
+        "mpki_at_anchor": payload.get("mpki_at_anchor"),
+        "mpki_error": payload.get("mpki_error"),
+        "quality_ok": (payload.get("quality") or {}).get("ok"),
+    }
+    if payload.get("error"):
+        row["error"] = payload["error"]
+    if payload.get("ingestion"):
+        row["ingestion"] = payload["ingestion"]
+    return row
+
+
+def build_aggregate(out_dir: str, strict: bool = True) -> Dict[str, object]:
+    """The aggregate dict for a results tree.
+
+    ``strict`` refuses to aggregate a tree whose manifest checksums no
+    longer match (pass ``False`` to get a best-effort view that lists
+    the problems instead).
+    """
+    manifest = CampaignManifest.load(out_dir)
+    problems = manifest.verify(out_dir)
+    if problems and strict:
+        raise ValueError(
+            f"{out_dir}: results tree failed verification: "
+            + "; ".join(problems)
+        )
+    rows: List[Dict[str, object]] = []
+    snapshots = []
+    for cell_id, entry in sorted(manifest.cells.items()):
+        path = os.path.join(out_dir, str(entry["file"]))
+        if not os.path.exists(path):
+            continue
+        try:
+            with open(path, encoding="utf-8") as source:
+                payload = json.load(source)
+        except ValueError as error:
+            # Only reachable in non-strict mode (strict raised above on
+            # the checksum mismatch); surface the corruption as a
+            # problem row instead of crashing the best-effort view.
+            problems.append(f"{cell_id}: unreadable result file: {error}")
+            continue
+        rows.append(_cell_row(cell_id, entry, payload))
+        metrics = payload.get("metrics")
+        if metrics:
+            snapshots.append(metrics)
+
+    folded = merge_snapshots(*snapshots)
+    counter_totals: Dict[str, int] = {}
+    for counter in folded["counters"]:
+        name = str(counter["name"])
+        counter_totals[name] = counter_totals.get(name, 0) + int(
+            counter["value"]
+        )
+
+    by_engine: Dict[str, Dict[str, object]] = {}
+    for row in rows:
+        engine = str(row.get("engine"))
+        bucket = by_engine.setdefault(engine, {
+            "cells": 0, "ok": 0, "failed": 0,
+            "wall_seconds": 0.0, "_errors": [],
+        })
+        bucket["cells"] += 1
+        bucket["wall_seconds"] += float(row.get("wall_seconds") or 0.0)
+        if row.get("status") == "ok":
+            bucket["ok"] += 1
+            if row.get("mpki_error") is not None:
+                bucket["_errors"].append(float(row["mpki_error"]))
+        else:
+            bucket["failed"] += 1
+    for bucket in by_engine.values():
+        errors = bucket.pop("_errors")
+        bucket["mean_mpki_error"] = (
+            sum(errors) / len(errors) if errors else None
+        )
+        bucket["wall_seconds"] = round(bucket["wall_seconds"], 6)
+
+    ok = sum(1 for row in rows if row.get("status") == "ok")
+    aggregate: Dict[str, object] = {
+        "format": _FORMAT,
+        "campaign": manifest.campaign,
+        "spec_sha256": manifest.spec_sha256,
+        "summary": {
+            "cells": len(rows),
+            "ok": ok,
+            "failed": len(rows) - ok,
+            "wall_seconds": round(
+                sum(float(row.get("wall_seconds") or 0.0) for row in rows), 6
+            ),
+            "by_engine": by_engine,
+        },
+        "cells": rows,
+        "folded_metrics": folded,
+        "counter_totals": counter_totals,
+    }
+    if problems:
+        aggregate["verification_problems"] = problems
+    return aggregate
+
+
+def write_aggregate(out_dir: str, strict: bool = True) -> str:
+    path = os.path.join(out_dir, BENCH_NAME)
+    aggregate = build_aggregate(out_dir, strict=strict)
+    tmp = path + ".tmp"
+    with open(tmp, "w", encoding="utf-8") as out:
+        json.dump(aggregate, out, indent=2, sort_keys=True)
+        out.write("\n")
+    os.replace(tmp, path)
+    return path
+
+
+def _fmt(value: Optional[object], width: int, precision: int = 3) -> str:
+    if value is None:
+        return "-".rjust(width)
+    if isinstance(value, float):
+        return f"{value:.{precision}f}".rjust(width)
+    return str(value).rjust(width)
+
+
+def render_report(aggregate: Dict[str, object]) -> str:
+    """The human-readable campaign summary table."""
+    summary = aggregate["summary"]
+    lines = [
+        f"campaign: {aggregate['campaign']} "
+        f"(spec {str(aggregate['spec_sha256'])[:12]}...)",
+        f"cells: {summary['cells']} total, {summary['ok']} ok, "
+        f"{summary['failed']} failed, "
+        f"{summary['wall_seconds']:.2f}s cell wall-clock",
+        "",
+        f"{'cell':<44} {'status':<7} {'mpki@8':>8} {'error':>8} {'wall_s':>8}",
+    ]
+    for row in aggregate["cells"]:
+        lines.append(
+            f"{str(row['id'])[:44]:<44} {str(row['status']):<7} "
+            f"{_fmt(row.get('mpki_at_anchor'), 8)} "
+            f"{_fmt(row.get('mpki_error'), 8)} "
+            f"{_fmt(row.get('wall_seconds'), 8)}"
+        )
+    lines.append("")
+    lines.append("per-engine:")
+    for engine, bucket in sorted(summary["by_engine"].items()):
+        mean_err = bucket.get("mean_mpki_error")
+        err_text = f"{mean_err:.3f}" if mean_err is not None else "-"
+        lines.append(
+            f"  {engine:<10} {bucket['cells']} cells "
+            f"({bucket['ok']} ok, {bucket['failed']} failed), "
+            f"mean MPKI error {err_text}, "
+            f"{bucket['wall_seconds']:.2f}s"
+        )
+    totals = aggregate.get("counter_totals") or {}
+    if totals:
+        shown = ", ".join(
+            f"{name}={value}" for name, value in sorted(totals.items())[:6]
+        )
+        lines.append(f"folded counters: {shown}")
+    problems = aggregate.get("verification_problems")
+    if problems:
+        lines.append("verification problems:")
+        lines.extend(f"  {problem}" for problem in problems)
+    return "\n".join(lines)

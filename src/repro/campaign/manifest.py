@@ -1,0 +1,183 @@
+"""The campaign manifest: a checksummed record of what was produced.
+
+The manifest is the single source of truth about a results tree.  Every
+completed cell records its result file and that file's SHA-256, so
+
+- *resume* can trust "complete" (a cell is only skipped when its result
+  file still hashes to the recorded digest),
+- *reporting* can refuse to aggregate a tampered or truncated tree, and
+- the spec digest pins the tree to the exact matrix that produced it
+  (resuming under an edited spec is an error, not a silent mix).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+__all__ = [
+    "MANIFEST_NAME",
+    "SPEC_NAME",
+    "CampaignManifest",
+    "file_sha256",
+]
+
+MANIFEST_NAME = "manifest.json"
+SPEC_NAME = "campaign.json"
+_FORMAT = "rapidmrc-campaign-manifest-v1"
+
+
+def file_sha256(path: str) -> str:
+    digest = hashlib.sha256()
+    with open(path, "rb") as source:
+        for chunk in iter(lambda: source.read(1 << 16), b""):
+            digest.update(chunk)
+    return digest.hexdigest()
+
+
+def text_sha256(text: str) -> str:
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+@dataclass
+class CampaignManifest:
+    """Per-cell completion records plus the spec digest."""
+
+    campaign: str
+    spec_sha256: str
+    cells: Dict[str, Dict[str, object]] = field(default_factory=dict)
+
+    # -- recording ----------------------------------------------------------
+
+    def record(
+        self,
+        cell_id: str,
+        status: str,
+        file: str,
+        sha256: str,
+        wall_seconds: float,
+    ) -> None:
+        if status not in ("ok", "failed"):
+            raise ValueError(f"unknown cell status {status!r}")
+        self.cells[cell_id] = {
+            "status": status,
+            "file": file,
+            "sha256": sha256,
+            "wall_seconds": round(float(wall_seconds), 6),
+        }
+
+    def is_complete(self, cell_id: str, out_dir: str) -> bool:
+        """Whether ``cell_id`` succeeded AND its file is still intact.
+
+        Failed cells are never "complete": resume re-runs them, which is
+        the whole point of recording failures instead of dropping them.
+        """
+        entry = self.cells.get(cell_id)
+        if entry is None or entry.get("status") != "ok":
+            return False
+        path = os.path.join(out_dir, str(entry["file"]))
+        if not os.path.exists(path):
+            return False
+        return file_sha256(path) == entry.get("sha256")
+
+    def counts(self) -> Dict[str, int]:
+        ok = sum(1 for e in self.cells.values() if e.get("status") == "ok")
+        return {"total": len(self.cells), "ok": ok,
+                "failed": len(self.cells) - ok}
+
+    # -- serialization ------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "format": _FORMAT,
+            "campaign": self.campaign,
+            "spec_sha256": self.spec_sha256,
+            "cells": {
+                cell_id: dict(entry)
+                for cell_id, entry in sorted(self.cells.items())
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "CampaignManifest":
+        if payload.get("format") != _FORMAT:
+            raise ValueError(
+                f"not a campaign manifest (format={payload.get('format')!r})"
+            )
+        cells = {
+            str(cell_id): dict(entry)
+            for cell_id, entry in dict(payload.get("cells", {})).items()
+        }
+        return cls(
+            campaign=str(payload["campaign"]),
+            spec_sha256=str(payload["spec_sha256"]),
+            cells=cells,
+        )
+
+    def save(self, out_dir: str) -> str:
+        """Write atomically (tmp + rename): a crashed run leaves either
+        the previous manifest or the new one, never a torn file."""
+        path = os.path.join(out_dir, MANIFEST_NAME)
+        tmp = path + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as out:
+            json.dump(self.to_dict(), out, indent=2, sort_keys=True)
+            out.write("\n")
+        os.replace(tmp, path)
+        return path
+
+    @classmethod
+    def load(cls, out_dir: str) -> "CampaignManifest":
+        path = os.path.join(out_dir, MANIFEST_NAME)
+        with open(path, encoding="utf-8") as source:
+            return cls.from_dict(json.load(source))
+
+    # -- integrity ----------------------------------------------------------
+
+    def verify(self, out_dir: str) -> List[str]:
+        """Every problem found in the results tree (empty = intact)."""
+        problems: List[str] = []
+        for cell_id, entry in sorted(self.cells.items()):
+            path = os.path.join(out_dir, str(entry["file"]))
+            if not os.path.exists(path):
+                problems.append(f"{cell_id}: missing result file "
+                                f"{entry['file']}")
+                continue
+            actual = file_sha256(path)
+            if actual != entry.get("sha256"):
+                problems.append(
+                    f"{cell_id}: checksum mismatch for {entry['file']} "
+                    f"(recorded {str(entry.get('sha256'))[:12]}..., "
+                    f"actual {actual[:12]}...)"
+                )
+        return problems
+
+
+def load_or_create(
+    out_dir: str, campaign: str, spec_json: str, resume: bool
+) -> CampaignManifest:
+    """The manifest for a (possibly resumed) run.
+
+    A resumed run must use the exact spec that produced the tree; a
+    fresh run refuses to silently clobber an existing manifest unless
+    resume is requested.
+    """
+    spec_digest = text_sha256(spec_json)
+    manifest_path = os.path.join(out_dir, MANIFEST_NAME)
+    if os.path.exists(manifest_path):
+        if not resume:
+            raise ValueError(
+                f"{out_dir}: already holds a campaign manifest; "
+                "pass resume to continue it or choose a fresh directory"
+            )
+        manifest = CampaignManifest.load(out_dir)
+        if manifest.spec_sha256 != spec_digest:
+            raise ValueError(
+                f"{out_dir}: manifest was produced by a different spec "
+                f"(recorded {manifest.spec_sha256[:12]}..., "
+                f"current {spec_digest[:12]}...)"
+            )
+        return manifest
+    return CampaignManifest(campaign=campaign, spec_sha256=spec_digest)

@@ -392,6 +392,60 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_campaign_run(args: argparse.Namespace) -> int:
+    from repro.campaign import CampaignSpec, run_campaign
+
+    try:
+        spec = CampaignSpec.from_json_file(args.spec)
+    except OSError as error:
+        print(f"error: cannot read {args.spec}: {error}", file=sys.stderr)
+        return 2
+    except ValueError as error:
+        print(f"error: {args.spec}: {error}", file=sys.stderr)
+        return 2
+
+    def progress(cell_id: str, result: dict) -> None:
+        status = result.get("status")
+        wall = float(result.get("wall_seconds") or 0.0)
+        suffix = ""
+        if status != "ok":
+            suffix = f" ({result.get('error', 'unknown failure')})"
+        print(f"# cell {cell_id}: {status} [{wall:.2f}s]{suffix}")
+
+    try:
+        report = run_campaign(
+            spec, args.out,
+            max_workers=args.workers,
+            resume=args.resume,
+            progress=progress,
+        )
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(f"# campaign: {spec.name} ({report.cells_total} cells, "
+          f"{report.cells_run} run, {report.cells_skipped} skipped, "
+          f"{report.cells_failed} failed) in {report.wall_seconds:.2f}s")
+    print(f"# manifest: {report.manifest_path}")
+    print(f"# aggregate: {report.bench_path}")
+    return 0 if report.ok else 1
+
+
+def _cmd_campaign_report(args: argparse.Namespace) -> int:
+    from repro.campaign import build_aggregate, render_report
+
+    try:
+        aggregate = build_aggregate(args.campaign_dir, strict=False)
+    except OSError as error:
+        print(f"error: cannot read {args.campaign_dir}: {error}",
+              file=sys.stderr)
+        return 2
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(render_report(aggregate))
+    return 1 if aggregate.get("verification_problems") else 0
+
+
 def _cmd_obs_report(args: argparse.Namespace) -> int:
     from repro.obs.report import RunReport
 
@@ -715,6 +769,49 @@ def build_parser() -> argparse.ArgumentParser:
              "scorecards as a Prometheus text-exposition file",
     )
     fleet.set_defaults(fn=_cmd_fleet)
+
+    campaign = sub.add_parser(
+        "campaign",
+        help="run a declarative experiment matrix "
+             "(targets x machines x engines x seeds)",
+    )
+    campaign_sub = campaign.add_subparsers(dest="campaign_command",
+                                           required=True)
+    campaign_run = campaign_sub.add_parser(
+        "run",
+        help="execute a campaign spec on a process pool and write a "
+             "manifest-checked results tree plus BENCH_campaign.json",
+    )
+    campaign_run.add_argument("spec", help="campaign spec JSON path")
+    campaign_run.add_argument(
+        "--out", required=True, metavar="DIR",
+        help="results directory (created if missing)",
+    )
+    campaign_run.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="worker processes for the cell fan-out "
+             "(default: sequential in-process)",
+    )
+    campaign_run.add_argument(
+        "--resume", action="store_true",
+        help="continue a previous run in --out: skip cells whose "
+             "manifest entry is complete and checksum-intact, re-run "
+             "failed or missing cells",
+    )
+    campaign_run.add_argument(
+        "--telemetry", metavar="PATH", default=None,
+        help="record spans and folded metrics to this JSONL file",
+    )
+    campaign_run.set_defaults(fn=_cmd_campaign_run)
+    campaign_report = campaign_sub.add_parser(
+        "report",
+        help="render the summary table for a campaign results directory "
+             "(re-verifies the manifest checksums)",
+    )
+    campaign_report.add_argument(
+        "campaign_dir", help="campaign results directory",
+    )
+    campaign_report.set_defaults(fn=_cmd_campaign_report)
 
     obs = sub.add_parser(
         "obs", help="inspect telemetry recorded with --telemetry",

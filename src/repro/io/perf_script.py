@@ -5,8 +5,11 @@ layouts vary across perf versions and ``-F`` selections, so the parser
 is anchored on the two stable features instead of fixed columns:
 
 - the *event* token ends with a colon (``cpu/mem-loads/P:``,
-  ``mem-loads:``, ...);
-- the *data address* is the first hexadecimal token after the event.
+  ``mem-loads:``, ...) and is not a timestamp;
+- the *data address* is the most plausible hexadecimal token after the
+  event: an explicit ``0x``-prefixed token wins, otherwise the widest
+  bare-hex token (so decimal period/weight columns like ``1`` or ``153``
+  never shadow a real address such as ``ffff8800deadbeef``).
 
 Everything before the event is treated as ``comm [pid] [cpu] [time]``
 best-effort metadata.  Typical accepted lines::
@@ -14,20 +17,33 @@ best-effort metadata.  Typical accepted lines::
     mcf  1234 [002] 12345.678901:  mem-loads:  ffff8800deadbeef ...
     mcf 1234/1234 4021.662435: cpu/mem-loads,ldlat=30/P: 7f2c10a040
     swim 77 mem-stores: 0x7fffdeadbeef
+    mcf 1234 12345.678901: mem-loads: 1 ffff8800deadbeef
 
 Lines that cannot be parsed are skipped (counted) unless ``strict``.
+Lines dropped by the ``events``/``pid`` filters are counted separately
+from parse failures (``filtered_events`` / ``filtered_pids``).
 """
 
 from __future__ import annotations
 
 import re
-from dataclasses import dataclass
-from typing import Iterable, List, Optional, Sequence, TextIO, Union
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, TextIO, Union
 
-__all__ = ["PerfSample", "ParseReport", "parse_perf_script", "samples_to_lines"]
+__all__ = [
+    "PerfSample",
+    "ParseReport",
+    "parse_perf_script",
+    "samples_to_lines",
+    "split_by_pid",
+]
 
 _EVENT_RE = re.compile(r"^[\w\-./,=@]+:$")
+#: Timestamps also end with ':' (``12345.678901:``); their stem is a
+#: pure decimal-with-period, which no perf event name is.
+_TIME_STEM_RE = re.compile(r"^\d+\.\d+$")
 _HEX_RE = re.compile(r"^(0x)?[0-9a-fA-F]+$")
+_PREFIXED_HEX_RE = re.compile(r"^0x[0-9a-fA-F]+$")
 _PID_RE = re.compile(r"^(\d+)(?:/\d+)?$")
 
 
@@ -44,11 +60,24 @@ class PerfSample:
 
 @dataclass
 class ParseReport:
-    """Outcome of a parse pass."""
+    """Outcome of a parse pass.
+
+    ``skipped_lines`` counts only *unparseable* lines; lines that parsed
+    fine but were dropped by the ``events``/``pid`` filters are counted
+    in ``filtered_events``/``filtered_pids`` instead, so a heavily
+    filtered capture does not look corrupt.
+    """
 
     samples: List[PerfSample]
     skipped_lines: int
     total_lines: int
+    filtered_events: int = 0
+    filtered_pids: int = 0
+
+    @property
+    def parsed_lines(self) -> int:
+        """Lines that yielded a sample before any filtering."""
+        return self.total_lines - self.skipped_lines
 
     def skipped_fraction(self) -> float:
         if self.total_lines == 0:
@@ -56,28 +85,52 @@ class ParseReport:
         return self.skipped_lines / self.total_lines
 
 
+def _find_address(tokens: Sequence[str]) -> Optional[int]:
+    """The most plausible data address among ``tokens``.
+
+    An explicit ``0x``-prefixed token wins outright; otherwise the
+    *widest* bare-hex token does (first among width ties).  Decimal
+    period/weight columns are short, addresses are wide, so width breaks
+    the ambiguity the right way -- ``1 ffff8800deadbeef`` resolves to the
+    address, not the weight.
+    """
+    widest: Optional[str] = None
+    for token in tokens:
+        if _PREFIXED_HEX_RE.match(token):
+            return int(token, 16)
+        if _HEX_RE.match(token):
+            if widest is None or len(token) > len(widest):
+                widest = token
+    if widest is None:
+        return None
+    return int(widest, 16)
+
+
 def _parse_line(line: str) -> Optional[PerfSample]:
     tokens = line.split()
     if not tokens:
         return None
+    # The event is the first non-timestamp colon-token that has a
+    # plausible address somewhere after it.  Requiring the address up
+    # front (instead of remembering the last colon-token seen) means a
+    # line with no event/address pair is rejected outright rather than
+    # misparsing a timestamp as the event.
     event_index = None
+    address = None
     for index, token in enumerate(tokens):
-        if _EVENT_RE.match(token) and index + 1 < len(tokens):
+        if index + 1 >= len(tokens):
+            break
+        if not _EVENT_RE.match(token):
+            continue
+        if _TIME_STEM_RE.match(token[:-1]):
+            continue
+        address = _find_address(tokens[index + 1:])
+        if address is not None:
             event_index = index
-            # Keep scanning: the *last* colon-token before a hex field is
-            # the event (timestamps also end with ':').
-            if _HEX_RE.match(tokens[index + 1]):
-                break
-    if event_index is None:
+            break
+    if event_index is None or address is None:
         return None
     event = tokens[event_index].rstrip(":")
-    address = None
-    for token in tokens[event_index + 1:]:
-        if _HEX_RE.match(token):
-            address = int(token, 16)
-            break
-    if address is None:
-        return None
 
     comm = tokens[0] if event_index > 0 else ""
     pid = None
@@ -114,11 +167,16 @@ def parse_perf_script(
     """
     close_after = False
     if isinstance(source, str):
-        source = open(source, "r")
+        # perf script output is ASCII, but comm fields can carry
+        # arbitrary bytes; decode permissively instead of crashing on
+        # one exotic process name.
+        source = open(source, "r", encoding="utf-8", errors="replace")
         close_after = True
     try:
         samples: List[PerfSample] = []
         skipped = 0
+        filtered_events = 0
+        filtered_pids = 0
         total = 0
         for raw in source:
             line = raw.strip()
@@ -134,11 +192,19 @@ def parse_perf_script(
             if events is not None and not any(
                 key in sample.event for key in events
             ):
+                filtered_events += 1
                 continue
             if pid is not None and sample.pid != pid:
+                filtered_pids += 1
                 continue
             samples.append(sample)
-        return ParseReport(samples=samples, skipped_lines=skipped, total_lines=total)
+        return ParseReport(
+            samples=samples,
+            skipped_lines=skipped,
+            total_lines=total,
+            filtered_events=filtered_events,
+            filtered_pids=filtered_pids,
+        )
     finally:
         if close_after:
             source.close()
@@ -151,3 +217,18 @@ def samples_to_lines(
     if line_size <= 0:
         raise ValueError("line size must be positive")
     return [sample.address // line_size for sample in samples]
+
+
+def split_by_pid(
+    samples: Iterable[PerfSample],
+) -> Dict[Optional[int], List[PerfSample]]:
+    """Group samples by pid, preserving per-pid sample order.
+
+    One ``perf mem record`` capture typically interleaves several
+    processes; splitting turns one capture into one analyzable stream
+    per process (samples with no parsed pid group under ``None``).
+    """
+    groups: Dict[Optional[int], List[PerfSample]] = {}
+    for sample in samples:
+        groups.setdefault(sample.pid, []).append(sample)
+    return groups

@@ -15,6 +15,7 @@ scale with the simulated machine.
 
 from repro.workloads.base import MemoryAccess, Workload
 from repro.workloads.phased import Phase, PhasedWorkload
+from repro.workloads.replay import ReplayPattern, replay_workload
 from repro.workloads.spec import WORKLOAD_NAMES, make_workload
 
 __all__ = [
@@ -22,6 +23,8 @@ __all__ = [
     "Workload",
     "Phase",
     "PhasedWorkload",
+    "ReplayPattern",
+    "replay_workload",
     "WORKLOAD_NAMES",
     "make_workload",
 ]

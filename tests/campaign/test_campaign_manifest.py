@@ -1,0 +1,153 @@
+"""Tests for the campaign manifest: round-trip, integrity, resume gate."""
+
+import json
+import os
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.campaign.manifest import (
+    MANIFEST_NAME,
+    CampaignManifest,
+    file_sha256,
+    load_or_create,
+    text_sha256,
+)
+
+
+def write_cell(out_dir, cell_id, payload):
+    os.makedirs(os.path.join(out_dir, "cells"), exist_ok=True)
+    rel = os.path.join("cells", f"{cell_id}.json")
+    path = os.path.join(out_dir, rel)
+    with open(path, "w") as out:
+        json.dump(payload, out)
+    return rel, file_sha256(path)
+
+
+class TestRoundTrip:
+    def test_dict_round_trip(self):
+        manifest = CampaignManifest("demo", "abc123")
+        manifest.record("cell-a", "ok", "cells/cell-a.json", "d" * 64, 1.25)
+        manifest.record("cell-b", "failed", "cells/cell-b.json", "e" * 64, 0.0)
+        rebuilt = CampaignManifest.from_dict(manifest.to_dict())
+        assert rebuilt == manifest
+
+    def test_save_load_round_trip(self, tmp_path):
+        manifest = CampaignManifest("demo", "abc123")
+        manifest.record("cell-a", "ok", "cells/cell-a.json", "d" * 64, 1.25)
+        manifest.save(str(tmp_path))
+        assert CampaignManifest.load(str(tmp_path)) == manifest
+
+    def test_wrong_format_rejected(self):
+        with pytest.raises(ValueError, match="not a campaign manifest"):
+            CampaignManifest.from_dict({"format": "something-else"})
+
+    def test_bad_status_rejected(self):
+        manifest = CampaignManifest("demo", "abc")
+        with pytest.raises(ValueError, match="unknown cell status"):
+            manifest.record("c", "maybe", "f.json", "0" * 64, 0.0)
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        records=st.dictionaries(
+            keys=st.text(
+                alphabet="abcdefghijklmnopqrstuvwxyz0123456789._-",
+                min_size=1, max_size=24,
+            ),
+            values=st.tuples(
+                st.sampled_from(["ok", "failed"]),
+                st.text(alphabet="0123456789abcdef", min_size=64,
+                        max_size=64),
+                st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+            ),
+            max_size=8,
+        ),
+    )
+    def test_round_trip_property(self, records):
+        manifest = CampaignManifest("demo", text_sha256("spec"))
+        for cell_id, (status, digest, wall) in records.items():
+            manifest.record(cell_id, status,
+                            f"cells/{cell_id}.json", digest, wall)
+        rebuilt = CampaignManifest.from_dict(
+            json.loads(json.dumps(manifest.to_dict()))
+        )
+        assert rebuilt == manifest
+
+
+class TestIntegrity:
+    def test_verify_clean_tree(self, tmp_path):
+        out = str(tmp_path)
+        rel, digest = write_cell(out, "cell-a", {"status": "ok"})
+        manifest = CampaignManifest("demo", "abc")
+        manifest.record("cell-a", "ok", rel, digest, 0.5)
+        assert manifest.verify(out) == []
+
+    def test_verify_detects_tampering(self, tmp_path):
+        out = str(tmp_path)
+        rel, digest = write_cell(out, "cell-a", {"status": "ok"})
+        manifest = CampaignManifest("demo", "abc")
+        manifest.record("cell-a", "ok", rel, digest, 0.5)
+        with open(os.path.join(out, rel), "a") as handle:
+            handle.write("tampered\n")
+        problems = manifest.verify(out)
+        assert len(problems) == 1
+        assert "checksum mismatch" in problems[0]
+
+    def test_verify_detects_missing_file(self, tmp_path):
+        out = str(tmp_path)
+        manifest = CampaignManifest("demo", "abc")
+        manifest.record("cell-a", "ok", "cells/cell-a.json", "0" * 64, 0.5)
+        problems = manifest.verify(out)
+        assert problems and "missing result file" in problems[0]
+
+    def test_complete_requires_intact_checksum(self, tmp_path):
+        out = str(tmp_path)
+        rel, digest = write_cell(out, "cell-a", {"status": "ok"})
+        manifest = CampaignManifest("demo", "abc")
+        manifest.record("cell-a", "ok", rel, digest, 0.5)
+        assert manifest.is_complete("cell-a", out)
+        with open(os.path.join(out, rel), "a") as handle:
+            handle.write("x")
+        assert not manifest.is_complete("cell-a", out)
+
+    def test_failed_cells_are_never_complete(self, tmp_path):
+        out = str(tmp_path)
+        rel, digest = write_cell(out, "cell-a", {"status": "failed"})
+        manifest = CampaignManifest("demo", "abc")
+        manifest.record("cell-a", "failed", rel, digest, 0.5)
+        assert not manifest.is_complete("cell-a", out)
+
+
+class TestLoadOrCreate:
+    def test_fresh_directory_creates(self, tmp_path):
+        manifest = load_or_create(str(tmp_path), "demo", "{}", resume=False)
+        assert manifest.campaign == "demo"
+        assert manifest.cells == {}
+
+    def test_existing_without_resume_refuses(self, tmp_path):
+        load_or_create(str(tmp_path), "demo", "{}", resume=False).save(
+            str(tmp_path)
+        )
+        with pytest.raises(ValueError, match="already holds"):
+            load_or_create(str(tmp_path), "demo", "{}", resume=False)
+
+    def test_resume_with_same_spec_loads(self, tmp_path):
+        first = load_or_create(str(tmp_path), "demo", "{}", resume=False)
+        first.record("cell-a", "ok", "cells/a.json", "0" * 64, 1.0)
+        first.save(str(tmp_path))
+        resumed = load_or_create(str(tmp_path), "demo", "{}", resume=True)
+        assert resumed == first
+
+    def test_resume_with_different_spec_refuses(self, tmp_path):
+        load_or_create(str(tmp_path), "demo", "{}", resume=False).save(
+            str(tmp_path)
+        )
+        with pytest.raises(ValueError, match="different spec"):
+            load_or_create(str(tmp_path), "demo", '{"x": 1}', resume=True)
+
+    def test_manifest_write_is_atomic(self, tmp_path):
+        manifest = CampaignManifest("demo", "abc")
+        manifest.save(str(tmp_path))
+        assert not os.path.exists(
+            os.path.join(str(tmp_path), MANIFEST_NAME + ".tmp")
+        )

@@ -4,7 +4,12 @@ import io
 
 import pytest
 
-from repro.io.perf_script import PerfSample, parse_perf_script, samples_to_lines
+from repro.io.perf_script import (
+    PerfSample,
+    parse_perf_script,
+    samples_to_lines,
+    split_by_pid,
+)
 
 CLASSIC = """\
 # captured with: perf mem record ./mcf
@@ -70,6 +75,128 @@ class TestParsing:
         path.write_text(CLASSIC)
         report = parse_perf_script(str(path))
         assert len(report.samples) == 3
+
+
+class TestAddressHeuristic:
+    """Regressions for the decimal-column-shadows-address bug: the first
+    hex-looking token after the event used to win, so period/weight
+    columns (``mem-loads: 1 ffff8800deadbeef``) parsed as address=1."""
+
+    def test_weight_column_does_not_shadow_address(self):
+        report = parse_perf_script(
+            io.StringIO("mcf 1234 12345.678901: mem-loads: 1 "
+                        "ffff8800deadbeef\n")
+        )
+        assert len(report.samples) == 1
+        assert report.samples[0].address == 0xFFFF8800DEADBEEF
+
+    def test_multiple_decimal_columns(self):
+        # perf -F weight,addr layouts put several decimal fields first.
+        report = parse_perf_script(
+            io.StringIO("mcf 1234 1.5: mem-loads: 153 28 7f2c10a040\n")
+        )
+        assert report.samples[0].address == 0x7F2C10A040
+
+    def test_prefixed_address_wins_over_wider_bare_hex(self):
+        # An explicit 0x token is the address even when a wider bare
+        # token (e.g. a build-id or symbol hash) follows.
+        report = parse_perf_script(
+            io.StringIO("app 9 mem-loads: 0xdead0 ffffffffffffffffdead\n")
+        )
+        assert report.samples[0].address == 0xDEAD0
+
+    def test_single_small_bare_address_still_accepted(self):
+        # Tiny bare-hex addresses (synthetic fixtures) keep working.
+        report = parse_perf_script(io.StringIO("app 1 1.0: mem-loads: 0\n"))
+        assert report.samples[0].address == 0
+
+    def test_trailing_metadata_not_picked_over_address(self):
+        report = parse_perf_script(
+            io.StringIO("mcf 1234 mem-loads: ffff8800deadbe00 level hit\n")
+        )
+        assert report.samples[0].address == 0xFFFF8800DEADBE00
+
+
+class TestEventDetection:
+    """Regressions for the stale-event_index bug: the scan used to keep
+    the *last* colon-token even when nothing hex ever followed one, so
+    timestamps could be misparsed as events."""
+
+    def test_timestamp_alone_is_not_an_event(self):
+        # Old parser: event="4021.5", address=0xdeadbeef00.
+        report = parse_perf_script(io.StringIO("swim 77 4021.5: deadbeef00\n"))
+        assert report.samples == []
+        assert report.skipped_lines == 1
+
+    def test_no_address_after_any_colon_token_is_skipped(self):
+        report = parse_perf_script(
+            io.StringIO("app 1 12345.678901: mem-loads: no-payload-here\n")
+        )
+        assert report.samples == []
+        assert report.skipped_lines == 1
+
+    def test_event_found_even_with_timestamp_colon_before_it(self):
+        report = parse_perf_script(
+            io.StringIO("mcf 1234 [002] 12345.678901: mem-loads: "
+                        "ffff8800deadbe00\n")
+        )
+        sample = report.samples[0]
+        assert sample.event == "mem-loads"
+        assert sample.time == pytest.approx(12345.678901)
+
+    def test_trailing_colon_token_without_payload(self):
+        # A colon-token in last position can never carry an address.
+        report = parse_perf_script(io.StringIO("app 1 mem-loads:\n"))
+        assert report.samples == []
+        assert report.skipped_lines == 1
+
+
+class TestFilterAccounting:
+    def test_event_filter_counted_separately(self):
+        report = parse_perf_script(
+            io.StringIO(CLASSIC), events=["mem-loads"]
+        )
+        assert report.filtered_events == 1
+        assert report.skipped_lines == 0
+        assert report.parsed_lines == 3
+
+    def test_pid_filter_counted_separately(self):
+        report = parse_perf_script(io.StringIO(MODERN), pid=77)
+        assert report.filtered_pids == 1
+        assert report.skipped_lines == 0
+
+    def test_skipped_still_counts_parse_failures_only(self):
+        junk = "not a perf line at all\n" + CLASSIC
+        report = parse_perf_script(
+            io.StringIO(junk), events=["mem-stores"]
+        )
+        assert report.skipped_lines == 1
+        assert report.filtered_events == 2
+        assert len(report.samples) == 1
+
+    def test_path_source_reads_non_utf8_bytes(self, tmp_path):
+        path = tmp_path / "trace.txt"
+        payload = (
+            b"m\xffcf 1234 12345.678901: mem-loads: ffff8800deadbe00\n"
+        )
+        path.write_bytes(payload)
+        report = parse_perf_script(str(path))
+        assert len(report.samples) == 1
+        assert report.samples[0].address == 0xFFFF8800DEADBE00
+
+
+class TestSplitByPid:
+    def test_groups_preserve_order(self):
+        samples = [
+            PerfSample("a", 1, "mem-loads", 0x100),
+            PerfSample("b", 2, "mem-loads", 0x200),
+            PerfSample("a", 1, "mem-loads", 0x180),
+            PerfSample("c", None, "mem-loads", 0x300),
+        ]
+        groups = split_by_pid(samples)
+        assert sorted(groups, key=lambda p: (p is None, p)) == [1, 2, None]
+        assert [s.address for s in groups[1]] == [0x100, 0x180]
+        assert [s.address for s in groups[None]] == [0x300]
 
 
 class TestConversion:

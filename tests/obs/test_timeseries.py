@@ -139,6 +139,27 @@ def _board_of(samples):
     return board.snapshot()
 
 
+def _sums_rounded(snapshot, digits=6):
+    """The snapshot with every window ``sum`` rounded.
+
+    min/max/count/last are picked, not accumulated, so grouping
+    cannot change them; ``sum`` is IEEE addition, which is only
+    associative up to rounding in the last ulp.
+    """
+    rounded = dict(snapshot)
+    rounded["series"] = [
+        {
+            **series,
+            "windows": [
+                {**window, "sum": round(float(window["sum"]), digits)}
+                for window in series["windows"]
+            ],
+        }
+        for series in snapshot["series"]
+    ]
+    return rounded
+
+
 @settings(max_examples=50, deadline=None)
 @given(a=_samples, b=_samples, c=_samples)
 def test_merge_is_associative(a, b, c):
@@ -146,7 +167,8 @@ def test_merge_is_associative(a, b, c):
     left = merge_board_snapshots(merge_board_snapshots(sa, sb), sc)
     right = merge_board_snapshots(sa, merge_board_snapshots(sb, sc))
     flat = merge_board_snapshots(sa, sb, sc)
-    assert left == right == flat
+    assert (_sums_rounded(left) == _sums_rounded(right)
+            == _sums_rounded(flat))
 
 
 @settings(max_examples=50, deadline=None)
@@ -182,4 +204,4 @@ def test_pool_fold_back_equals_sequential(samples, workers):
         sequential.record(name, tick, value, **labels)
         shards[index % workers].record(name, tick, value, **labels)
     merged = merge_board_snapshots(*(shard.snapshot() for shard in shards))
-    assert merged == sequential.snapshot()
+    assert _sums_rounded(merged) == _sums_rounded(sequential.snapshot())

@@ -187,6 +187,100 @@ class TestTelemetry:
         assert "skipped records: 1" in capsys.readouterr().out
 
 
+class TestCampaign:
+    def spec_file(self, tmp_path):
+        import json
+
+        spec = {
+            "name": "cli-demo",
+            "targets": [{"kind": "workload", "name": "mcf"}],
+            "machines": [{"scale": 32}],
+            "engines": ["rangelist"],
+            "seeds": [0, 1],
+            "log_entries": 400,
+        }
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps(spec))
+        return str(path)
+
+    def test_run_command_parsed(self):
+        args = build_parser().parse_args(
+            ["campaign", "run", "spec.json", "--out", "results",
+             "--workers", "2", "--resume"]
+        )
+        assert args.spec == "spec.json"
+        assert args.out == "results"
+        assert args.workers == 2
+        assert args.resume is True
+
+    def test_run_requires_out(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["campaign", "run", "spec.json"])
+
+    def test_campaign_requires_action(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["campaign"])
+
+    def test_report_command_parsed(self):
+        args = build_parser().parse_args(["campaign", "report", "results"])
+        assert args.campaign_dir == "results"
+
+    def test_run_then_report(self, capsys, tmp_path):
+        import os
+
+        spec = self.spec_file(tmp_path)
+        out = str(tmp_path / "results")
+        assert main(["campaign", "run", spec, "--out", out]) == 0
+        run_out = capsys.readouterr().out
+        assert "# campaign: cli-demo (2 cells, 2 run, 0 skipped, " \
+               "0 failed)" in run_out
+        assert "# manifest:" in run_out
+        assert os.path.exists(os.path.join(out, "BENCH_campaign.json"))
+        assert main(["campaign", "report", out]) == 0
+        report_out = capsys.readouterr().out
+        assert "campaign: cli-demo" in report_out
+        assert "2 total, 2 ok, 0 failed" in report_out
+        assert "per-engine:" in report_out
+
+    def test_run_resume_skips(self, capsys, tmp_path):
+        spec = self.spec_file(tmp_path)
+        out = str(tmp_path / "results")
+        assert main(["campaign", "run", spec, "--out", out]) == 0
+        capsys.readouterr()
+        assert main(["campaign", "run", spec, "--out", out,
+                     "--resume"]) == 0
+        assert "2 cells, 0 run, 2 skipped" in capsys.readouterr().out
+
+    def test_run_missing_spec(self, capsys, tmp_path):
+        assert main(["campaign", "run", str(tmp_path / "nope.json"),
+                     "--out", str(tmp_path / "out")]) == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_run_refuses_clobber(self, capsys, tmp_path):
+        spec = self.spec_file(tmp_path)
+        out = str(tmp_path / "results")
+        assert main(["campaign", "run", spec, "--out", out]) == 0
+        capsys.readouterr()
+        assert main(["campaign", "run", spec, "--out", out]) == 2
+        assert "already holds" in capsys.readouterr().err
+
+    def test_report_detects_tampering(self, capsys, tmp_path):
+        import os
+
+        from repro.campaign import CampaignManifest
+
+        spec = self.spec_file(tmp_path)
+        out = str(tmp_path / "results")
+        assert main(["campaign", "run", spec, "--out", out]) == 0
+        capsys.readouterr()
+        manifest = CampaignManifest.load(out)
+        entry = next(iter(manifest.cells.values()))
+        with open(os.path.join(out, entry["file"]), "a") as handle:
+            handle.write("tampered\n")
+        assert main(["campaign", "report", out]) == 1
+        assert "verification problems" in capsys.readouterr().out
+
+
 class TestMrcCache:
     def test_flags_parsed(self):
         args = build_parser().parse_args(
