@@ -4,26 +4,37 @@ Times the simulation drivers end to end on the paper's full-scale
 POWER5 (15360-line L2) and writes machine-readable results to
 ``benchmarks/results/BENCH_sim_engine.json``.
 
-Two configurations are measured:
+Four paths are measured, one row each:
 
 * **solo** -- one process, prefetch off: the closed-form LRU kernel
   path (``repro.sim.fastsim._drive_kernel``).  Gate: >= 5x the scalar
   ``drive`` loop's accesses/sec on every measured workload.
-* **co-run** -- two processes sharing the L2 under the cycle-fair
-  scheduler: the inlined slab-stepper path (``FastStepper``).  Gate:
-  >= 2x the scalar co-run.
+* **prefetch_on** -- one process with the stream prefetcher enabled:
+  the compiled native engine (``repro.sim._native``).  Gate: >= 5x
+  scalar.
+* **corun** -- two processes sharing the L2 under the cycle-fair
+  scheduler with prefetching on: the native co-run kernel
+  (``fastsim.NativeCorun``).  Gate: >= 10x the scalar interleave.
+* **sharded** -- the offline ``real_mrc`` curve fanned out across
+  worker processes (``--sim-workers`` plumbing).  Gate: the pooled
+  curve and its folded telemetry counters equal the sequential run's
+  exactly (wall-clock is reported but not gated: the pool only helps
+  on multi-core hosts).
 
 A parity gate rides along with each timing: the batch run's counters
-and cache statistics must be bit-identical to the scalar run's.  A fast
-engine that drifts is worse than no fast engine; CI fails on any
-divergence.
+and cache statistics must be bit-identical to the scalar run's, and
+every batch-engine drive in this file must complete with zero
+``sim.batch_fallbacks`` (all configurations here are LRU, so the fast
+paths must never bail to the scalar loop).  A fast engine that drifts
+is worse than no fast engine; CI fails on any divergence.
 
 Environment overrides (the CI smoke job shortens the runs):
 
 * ``REPRO_BENCH_SIM_ACCESSES`` -- solo accesses per run (default 500k).
 * ``REPRO_BENCH_SIM_QUOTA`` -- co-run per-process quota (default 250k).
-* ``REPRO_BENCH_SIM_MIN_SOLO`` / ``REPRO_BENCH_SIM_MIN_CORUN`` --
-  speedup gates (defaults 5.0 / 2.0).
+* ``REPRO_BENCH_SIM_MRC_SIZES`` -- sharded-curve sizes (default 2,5,8,11).
+* ``REPRO_BENCH_SIM_MIN_SOLO`` / ``REPRO_BENCH_SIM_MIN_PREFETCH`` /
+  ``REPRO_BENCH_SIM_MIN_CORUN`` -- speedup gates (defaults 5 / 5 / 10).
 """
 
 from __future__ import annotations
@@ -35,8 +46,11 @@ import time
 
 import pytest
 
+from repro.obs import Telemetry, use_telemetry
+from repro.obs.report import RunReport
 from repro.runner.corun import CorunSpec, corun
 from repro.runner.driver import Process, drive, drive_batch
+from repro.runner.offline import OfflineConfig, real_mrc
 from repro.sim.hierarchy import MemoryHierarchy
 from repro.sim.machine import MachineConfig
 from repro.sim.memory import PageAllocator
@@ -47,26 +61,34 @@ SOLO_WORKLOADS = ["jbb", "mcf"]
 SOLO_ACCESSES = int(os.environ.get("REPRO_BENCH_SIM_ACCESSES", "500000"))
 CORUN_QUOTA = int(os.environ.get("REPRO_BENCH_SIM_QUOTA", "250000"))
 CORUN_WARMUP = CORUN_QUOTA // 5
+MRC_SIZES = [
+    int(s) for s in os.environ.get(
+        "REPRO_BENCH_SIM_MRC_SIZES", "2,5,8,11"
+    ).split(",")
+]
 MIN_SOLO_SPEEDUP = float(os.environ.get("REPRO_BENCH_SIM_MIN_SOLO", "5.0"))
-MIN_CORUN_SPEEDUP = float(os.environ.get("REPRO_BENCH_SIM_MIN_CORUN", "2.0"))
+MIN_PREFETCH_SPEEDUP = float(
+    os.environ.get("REPRO_BENCH_SIM_MIN_PREFETCH", "5.0")
+)
+MIN_CORUN_SPEEDUP = float(os.environ.get("REPRO_BENCH_SIM_MIN_CORUN", "10.0"))
 ROUNDS = 2
 
 
 @pytest.fixture(scope="module")
 def machine():
-    # Full-scale POWER5: the configuration the fast path's 5x/2x targets
-    # are stated against (scaled machines shrink the kernel's slabs).
+    # Full-scale POWER5: the configuration the fast path's speedup
+    # targets are stated against (scaled machines shrink the slabs).
     return MachineConfig()
 
 
-def _build_solo(machine, name):
+def _build_solo(machine, name, prefetch):
     hierarchy = MemoryHierarchy(machine, num_cores=1)
     process = Process(
         pid=0,
         workload=make_workload(name, machine),
         core=0,
         allocator=PageAllocator(machine),
-        prefetcher=PrefetcherConfig(enabled=False),
+        prefetcher=PrefetcherConfig(enabled=prefetch),
     )
     return hierarchy, process
 
@@ -81,10 +103,10 @@ def _solo_state(hierarchy, process):
     }
 
 
-def _time_solo(machine, name, driver):
+def _time_solo(machine, name, driver, prefetch):
     best, state = float("inf"), None
     for _ in range(ROUNDS):
-        hierarchy, process = _build_solo(machine, name)
+        hierarchy, process = _build_solo(machine, name, prefetch)
         start = time.perf_counter()
         driver(process, hierarchy, SOLO_ACCESSES)
         best = min(best, time.perf_counter() - start)
@@ -92,7 +114,27 @@ def _time_solo(machine, name, driver):
     return best, state
 
 
-def _time_corun(machine):
+def _solo_rows(machine, telemetry, prefetch):
+    rows = {}
+    for name in SOLO_WORKLOADS:
+        scalar_s, scalar_state = _time_solo(machine, name, drive, prefetch)
+        with use_telemetry(telemetry):
+            batch_s, batch_state = _time_solo(
+                machine.with_engine("batch"), name, drive_batch, prefetch
+            )
+        # Parity gate: bit-identical counters, stats, and cycle clocks.
+        assert batch_state == scalar_state, name
+        rows[name] = {
+            "scalar_seconds": round(scalar_s, 4),
+            "batch_seconds": round(batch_s, 4),
+            "scalar_accesses_per_sec": round(SOLO_ACCESSES / scalar_s),
+            "batch_accesses_per_sec": round(SOLO_ACCESSES / batch_s),
+            "speedup": round(scalar_s / batch_s, 2),
+        }
+    return rows
+
+
+def _time_corun(machine, telemetry):
     def specs(m):
         half = m.num_colors // 2
         return [
@@ -107,40 +149,87 @@ def _time_corun(machine):
         best, outcome = float("inf"), None
         for _ in range(ROUNDS):
             start = time.perf_counter()
-            outcome = corun(specs(m), m, quota_accesses=CORUN_QUOTA,
-                            warmup_accesses=CORUN_WARMUP,
-                            prefetch_enabled=False)
+            with use_telemetry(telemetry) if label == "batch" else _noop():
+                outcome = corun(specs(m), m, quota_accesses=CORUN_QUOTA,
+                                warmup_accesses=CORUN_WARMUP)
             best = min(best, time.perf_counter() - start)
         results[label] = (best, dataclasses.asdict(outcome))
     return results
 
 
+class _noop:
+    def __enter__(self):
+        return None
+
+    def __exit__(self, *exc):
+        return False
+
+
+def _time_sharded(machine):
+    """Pooled vs sequential offline curve; parity over curve + counters.
+
+    Uses its own telemetry sinks (one per run) so the counter
+    comparison is exact rather than a delta against the earlier paths.
+    """
+    batch = machine.with_engine("batch")
+    workload = make_workload("mcf", batch)
+    config = OfflineConfig()
+
+    seq_telemetry = Telemetry.in_memory()
+    start = time.perf_counter()
+    with use_telemetry(seq_telemetry):
+        sequential = real_mrc(workload, batch, config, sizes=MRC_SIZES)
+    seq_s = time.perf_counter() - start
+
+    pool_telemetry = Telemetry.in_memory()
+    start = time.perf_counter()
+    with use_telemetry(pool_telemetry):
+        pooled = real_mrc(workload, batch, config, sizes=MRC_SIZES,
+                          max_workers=2)
+    pool_s = time.perf_counter() - start
+
+    # Sharding gate: the pooled curve is the sequential curve, and the
+    # workers' folded telemetry equals the in-process run's counters.
+    assert dict(pooled) == dict(sequential)
+    seq_report = RunReport.from_telemetry(seq_telemetry)
+    pool_report = RunReport.from_telemetry(pool_telemetry)
+    seq_engines = seq_report.counter_by_label("sim.batch_accesses", "engine")
+    pool_engines = pool_report.counter_by_label("sim.batch_accesses", "engine")
+    assert pool_engines == seq_engines, (
+        f"pooled fold-back drifted: {pool_engines} != {seq_engines}"
+    )
+    assert seq_report.counter_total("sim.batch_fallbacks") == 0
+    assert pool_report.counter_total("sim.batch_fallbacks") == 0
+    total = sum(seq_engines.values())
+    return {
+        "workload": "mcf",
+        "sizes": MRC_SIZES,
+        "workers": 2,
+        "sequential_seconds": round(seq_s, 4),
+        "pooled_seconds": round(pool_s, 4),
+        "sequential_accesses_per_sec": round(total / seq_s),
+        "pooled_accesses_per_sec": round(total / pool_s),
+        "accesses": total,
+    }
+
+
 def test_bench_sim_engine(machine, report_dir):
+    # One shared sink for every batch-engine run in this benchmark: the
+    # zero-fallback gate at the end covers all four paths at once.
+    telemetry = Telemetry.in_memory()
     report = {
         "machine": machine.name,
         "l2_lines": machine.l2_lines,
         "solo_accesses": SOLO_ACCESSES,
         "corun_quota": CORUN_QUOTA,
-        "solo": {},
+        "solo": _solo_rows(machine, telemetry, prefetch=False),
+        "prefetch_on": _solo_rows(machine, telemetry, prefetch=True),
         "corun": {},
+        "sharded": {},
         "parity": True,
     }
 
-    for name in SOLO_WORKLOADS:
-        scalar_s, scalar_state = _time_solo(machine, name, drive)
-        batch_s, batch_state = _time_solo(machine, name, drive_batch)
-        # Parity gate: bit-identical counters, stats, and cycle clocks.
-        assert batch_state == scalar_state, name
-        speedup = scalar_s / batch_s
-        report["solo"][name] = {
-            "scalar_seconds": round(scalar_s, 4),
-            "batch_seconds": round(batch_s, 4),
-            "scalar_accesses_per_sec": round(SOLO_ACCESSES / scalar_s),
-            "batch_accesses_per_sec": round(SOLO_ACCESSES / batch_s),
-            "speedup": round(speedup, 2),
-        }
-
-    corun_results = _time_corun(machine)
+    corun_results = _time_corun(machine, telemetry)
     scalar_s, scalar_outcome = corun_results["scalar"]
     batch_s, batch_outcome = corun_results["batch"]
     assert batch_outcome == scalar_outcome
@@ -154,17 +243,28 @@ def test_bench_sim_engine(machine, report_dir):
         "speedup": round(scalar_s / batch_s, 2),
     }
 
+    report["sharded"] = _time_sharded(machine)
+
     path = report_dir / "BENCH_sim_engine.json"
     path.write_text(json.dumps(report, indent=2) + "\n")
 
-    for name in SOLO_WORKLOADS:
-        speedup = report["solo"][name]["speedup"]
-        assert speedup >= MIN_SOLO_SPEEDUP, (
-            f"batch engine only {speedup}x vs scalar on solo {name} "
-            f"(need >= {MIN_SOLO_SPEEDUP}x); see {path}"
-        )
+    for section, floor in (("solo", MIN_SOLO_SPEEDUP),
+                           ("prefetch_on", MIN_PREFETCH_SPEEDUP)):
+        for name in SOLO_WORKLOADS:
+            speedup = report[section][name]["speedup"]
+            assert speedup >= floor, (
+                f"batch engine only {speedup}x vs scalar on {section} "
+                f"{name} (need >= {floor}x); see {path}"
+            )
     corun_speedup = report["corun"]["speedup"]
     assert corun_speedup >= MIN_CORUN_SPEEDUP, (
         f"batch engine only {corun_speedup}x vs scalar on the co-run "
         f"(need >= {MIN_CORUN_SPEEDUP}x); see {path}"
+    )
+
+    # All configurations above are LRU: the fast paths must never have
+    # dropped to the per-access scalar loop.
+    batch_report = RunReport.from_telemetry(telemetry)
+    assert batch_report.counter_total("sim.batch_fallbacks") == 0, (
+        batch_report.counter_by_label("sim.batch_fallbacks", "reason")
     )

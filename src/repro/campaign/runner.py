@@ -36,6 +36,7 @@ from repro.io.perf_script import parse_perf_script, samples_to_lines
 from repro.obs import absorb_payload, call_traced
 from repro.obs.metrics import empty_snapshot
 from repro.runner.offline import OfflineConfig, real_mrc
+from repro.runner.pool import get_pool
 from repro.runner.online import OnlineProbeConfig, collect_trace
 from repro.workloads import make_workload
 from repro.workloads.replay import replay_workload
@@ -147,7 +148,11 @@ def _execute_cell(cell: Dict[str, object]) -> Dict[str, object]:
     result["sampling_rate"] = probe.result.sampling_rate
     result["mpki_error"] = None
     if cell.get("measure_real"):
-        real = real_mrc(workload, machine, OfflineConfig())
+        real_workers = cell.get("real_workers")
+        real = real_mrc(
+            workload, machine, OfflineConfig(),
+            max_workers=int(real_workers) if real_workers else None,
+        )
         calibrated = probe.calibrate(anchor, real[anchor])
         result["real_mrc"] = {str(size): value for size, value in real}
         result["mpki_error"] = mpki_distance(real, calibrated)
@@ -256,13 +261,14 @@ def run_campaign(
         if progress is not None:
             progress(cell_id, result)
 
-    if max_workers is not None and max_workers > 1 and len(pending) > 1:
-        from concurrent.futures import ProcessPoolExecutor, as_completed
-
-        with ProcessPoolExecutor(max_workers=max_workers) as pool:
-            futures = [pool.submit(run_cell, cell) for cell in pending]
-            for future in as_completed(futures):
-                handle(*future.result())
+    pool = get_pool(max_workers)
+    if pool is not None and len(pending) > 1:
+        # run_cell manages its own per-cell telemetry payload (handle()
+        # absorbs it), so the cells go through the untraced fan-out.
+        for triple in pool.imap_unordered(
+            run_cell, [(cell,) for cell in pending]
+        ):
+            handle(*triple)
     else:
         for cell in pending:
             handle(*run_cell(cell))

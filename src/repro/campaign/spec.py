@@ -214,6 +214,11 @@ class CampaignSpec:
             engines (exact engines ignore it).
         measure_real: also measure the exhaustive offline real MRC per
             cell and record the calibrated MPKI error against it.
+        real_workers: parallelize each cell's real-MRC measurement over
+            this many worker processes (the per-size offline runs are
+            independent; folded telemetry and the curve are identical
+            to the sequential measurement).  ``None`` follows the
+            process-wide ``--sim-workers`` default.
     """
 
     name: str
@@ -224,6 +229,7 @@ class CampaignSpec:
     log_entries: Optional[int] = None
     sampling_rate: Optional[float] = None
     measure_real: bool = False
+    real_workers: Optional[int] = None
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -256,6 +262,8 @@ class CampaignSpec:
         if self.sampling_rate is not None:
             if not 0.0 < self.sampling_rate <= 1.0:
                 raise ValueError("sampling_rate must be in (0, 1]")
+        if self.real_workers is not None and self.real_workers < 1:
+            raise ValueError("real_workers must be >= 1")
 
     # -- serialization ------------------------------------------------------
 
@@ -272,6 +280,8 @@ class CampaignSpec:
             payload["log_entries"] = self.log_entries
         if self.sampling_rate is not None:
             payload["sampling_rate"] = self.sampling_rate
+        if self.real_workers is not None:
+            payload["real_workers"] = self.real_workers
         return payload
 
     @classmethod
@@ -282,6 +292,7 @@ class CampaignSpec:
             raise ValueError("campaign spec needs a 'targets' list")
         log_entries = payload.get("log_entries")
         sampling_rate = payload.get("sampling_rate")
+        real_workers = payload.get("real_workers")
         return cls(
             name=str(payload["name"]),
             targets=tuple(
@@ -298,6 +309,9 @@ class CampaignSpec:
                 float(sampling_rate) if sampling_rate is not None else None
             ),
             measure_real=bool(payload.get("measure_real", False)),
+            real_workers=(
+                int(real_workers) if real_workers is not None else None
+            ),
         )
 
     @classmethod
@@ -331,6 +345,7 @@ class CampaignSpec:
             log_entries=spec.log_entries,
             sampling_rate=spec.sampling_rate,
             measure_real=spec.measure_real,
+            real_workers=spec.real_workers,
         )
 
     def to_json(self) -> str:
@@ -372,6 +387,7 @@ class CampaignSpec:
                             "log_entries": self.log_entries,
                             "sampling_rate": self.sampling_rate,
                             "measure_real": self.measure_real,
+                            "real_workers": self.real_workers,
                         })
         seen: Dict[str, str] = {}
         for cell in cells:

@@ -546,6 +546,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--scale", type=int, default=16,
         help="machine scale divisor (1 = full POWER5; default 16)",
     )
+    parser.add_argument(
+        "--sim-workers", type=int, default=None, metavar="N",
+        help="default worker-process count for every parallel "
+             "simulation path (offline curves, probes, campaign cells); "
+             "a command's own --workers flag overrides it",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("list", help="list workload models").set_defaults(fn=_cmd_list)
@@ -850,6 +856,9 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point of the ``rapidmrc`` console script."""
     args = build_parser().parse_args(argv)
+    from repro.runner.pool import configure_sim_workers
+
+    configure_sim_workers(args.sim_workers)
     with telemetry_session(getattr(args, "telemetry", None)):
         return args.fn(args)
 

@@ -219,6 +219,28 @@ class RunReport:
         )
         return logging, calculation
 
+    def accesses_per_sec(self) -> Dict[str, float]:
+        """Batched-drive throughput per engine, derived at report time.
+
+        Computed from the ``sim.batch_accesses`` / ``sim.batch_ns``
+        counter pair rather than sampled into a gauge: counters survive
+        the worker-pool fold-back additively (a gauge would keep only
+        one worker's last write), so pooled and sequential runs report
+        the same rates.  The ``""`` key is the all-engine aggregate.
+        """
+        accesses = self.counter_by_label("sim.batch_accesses", "engine")
+        nanos = self.counter_by_label("sim.batch_ns", "engine")
+        rates: Dict[str, float] = {}
+        for engine, count in accesses.items():
+            ns = nanos.get(engine, 0)
+            if count and ns:
+                rates[engine] = count / (ns / 1e9)
+        total_ns = sum(nanos.values())
+        total = sum(accesses.values())
+        if total and total_ns:
+            rates[""] = total / (total_ns / 1e9)
+        return rates
+
     def dominant_engine(self) -> Optional[str]:
         """The stack engine that computed the most MRCs, if any."""
         by_engine = self.counter_by_label("mrc.computes", "engine")
@@ -265,6 +287,14 @@ class RunReport:
             fallbacks = self.counter_total("sim.batch_fallbacks")
             out(f"simulation engine: batch ({detail} accesses; "
                 f"{fallbacks} fallbacks)")
+            rates = self.accesses_per_sec()
+            if "" in rates:
+                per_engine = ", ".join(
+                    f"{path} {rate:,.0f}/s"
+                    for path, rate in sorted(rates.items()) if path
+                )
+                out(f"batched throughput: {rates['']:,.0f} accesses/s "
+                    f"({per_engine})")
         else:
             out("simulation engine: scalar")
         out("")

@@ -20,14 +20,14 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.pmu.sampling import ProbeTrace
+from repro.pmu.sampling import BatchEventConsumer, ProbeTrace
 from repro.pmu.tracelog import TraceLog
 from repro.sim.hierarchy import AccessResult
 
 __all__ = ["IdealTraceCollector"]
 
 
-class IdealTraceCollector:
+class IdealTraceCollector(BatchEventConsumer):
     """Trace collector for the Section 6 proposed PMU.
 
     Args:

@@ -30,7 +30,43 @@ from repro.pmu.tracelog import TraceLog
 from repro.sim.cpu import IssueMode
 from repro.sim.hierarchy import AccessResult
 
-__all__ = ["PMUModel", "TraceCollector", "ProbeTrace"]
+__all__ = ["BatchEventConsumer", "PMUModel", "TraceCollector", "ProbeTrace"]
+
+
+class BatchEventConsumer:
+    """Batched half of the ``observe_event`` protocol.
+
+    Every trace collector inherits this: :meth:`observe_events` feeds a
+    pre-simulated batch of raw events and reports how many the probe
+    actually consumed.  Consumption stops with the event on which
+    ``done`` first turns true -- exactly where a per-access drive loop
+    checking its stop predicate between accesses would have stopped --
+    so a run-ahead engine (the native slab engine) can rewind its
+    simulation to the true stop point.
+    """
+
+    def observe_events(self, lines, l1_hits, prefetched=None) -> int:
+        """Feed raw events in bulk; returns the number consumed.
+
+        Args:
+            lines: physical line number per event.
+            l1_hits: L1 hit flag per event.
+            prefetched: per-event sequences of prefetched lines, or
+                ``None`` when no event prefetched anything.
+        """
+        observe = self.observe_event
+        total = len(lines)
+        if prefetched is None:
+            for index in range(total):
+                observe(lines[index], l1_hits[index])
+                if self.done:
+                    return index + 1
+        else:
+            for index in range(total):
+                observe(lines[index], l1_hits[index], prefetched[index])
+                if self.done:
+                    return index + 1
+        return total
 
 
 class PMUModel(enum.Enum):
@@ -75,7 +111,7 @@ class ProbeTrace:
         return self.dropped_events / self.l1d_misses
 
 
-class TraceCollector:
+class TraceCollector(BatchEventConsumer):
     """Collects one probing period's trace from hierarchy access events.
 
     Args:

@@ -25,7 +25,7 @@ from dataclasses import dataclass, replace as dc_replace
 from typing import Dict, Iterable, Optional, Tuple
 
 from repro.obs import Counter, get_telemetry
-from repro.pmu.sampling import ProbeTrace
+from repro.pmu.sampling import BatchEventConsumer, ProbeTrace
 from repro.sim.hierarchy import AccessResult
 
 __all__ = [
@@ -241,7 +241,7 @@ class InjectionReport:
         return " ".join(parts)
 
 
-class FaultyTraceCollector:
+class FaultyTraceCollector(BatchEventConsumer):
     """Wrap a trace collector, injecting the plan's faults live.
 
     The wrapper is interface-compatible with

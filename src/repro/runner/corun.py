@@ -104,14 +104,25 @@ def corun(
 
     steps = [partial(p.step, hierarchy) for p in processes]
     flushes = []
+    native_runner = None
     if machine.sim_engine == "batch":
         from repro.obs import get_telemetry
-        from repro.sim.fastsim import FastStepper, slab_eligible
+        from repro.sim.fastsim import (
+            FastStepper,
+            NativeCorun,
+            native_eligible,
+            slab_eligible,
+        )
 
         if all(slab_eligible(p, hierarchy) for p in processes):
             steppers = [FastStepper(p, hierarchy) for p in processes]
             steps = [s.step for s in steppers]
             flushes = [s.flush for s in steppers]
+            if all(native_eligible(p, hierarchy) for p in processes):
+                # The whole interleave runs inside one C call; the
+                # steppers stay armed as the fallback for streams the
+                # native engine cannot take (negative vaddrs).
+                native_runner = NativeCorun(processes, hierarchy)
         else:
             get_telemetry().registry.counter(
                 "sim.batch_fallbacks", reason="replacement"
@@ -120,7 +131,16 @@ def corun(
     def run_until(target_extra: int) -> None:
         """Advance processes clock-fairly until one executes target_extra
         more accesses than it had when this call began."""
+        nonlocal native_runner
         start = [p.accesses for p in processes]
+        if native_runner is not None:
+            if native_runner.run_until(start, target_extra):
+                return
+            # A chunk the native engine cannot simulate: its state is
+            # committed and no process has reached its quota yet, so the
+            # stepper heap below continues the leg access-exactly.  Stay
+            # off the native path for the rest of this co-run.
+            native_runner = None
         # Min-heap on (cycles, index): always step the least-advanced
         # process in virtual time.
         heap: List[Tuple[float, int]] = [

@@ -24,10 +24,10 @@ from repro.core.partition import PartitionAssignment, choose_partition_sizes
 from repro.core.phase import PhaseDetectorConfig, average_phase_length, detect_boundaries
 from repro.core.rapidmrc import ProbeConfig, RapidMRC
 from repro.dinero.simulator import associativity_sweep
-from repro.obs import absorb_payload, call_traced, telemetry_enabled
 from repro.pmu.sampling import PMUModel
 from repro.runner.corun import CorunSpec, corun, normalized_ipc
 from repro.runner.offline import OfflineConfig, mpki_timeline, real_mrc
+from repro.runner.pool import get_pool
 from repro.runner.online import OnlineProbe, OnlineProbeConfig, collect_trace
 from repro.sim.cpu import IssueMode
 from repro.sim.machine import MachineConfig
@@ -244,31 +244,17 @@ def fig3_accuracy(
     if sim_engine is not None:
         machine = machine.with_engine(sim_engine)
     chosen = list(names) if names is not None else list(WORKLOAD_NAMES)
-    if max_workers is not None and max_workers > 1 and len(chosen) > 1:
-        from concurrent.futures import ProcessPoolExecutor
-
-        # Under telemetry, workers run traced and their metric/span
-        # payloads fold back into this process's registry.
-        traced = telemetry_enabled()
-        with ProcessPoolExecutor(max_workers=max_workers) as pool:
-            futures = [
-                pool.submit(
-                    call_traced, _probe_and_compare, name, machine, offline,
-                    online, probe_config, 8, fast,
-                ) if traced else pool.submit(
-                    _probe_and_compare, name, machine, offline, online,
-                    probe_config, 8, fast,
-                )
+    pool = get_pool(max_workers)
+    if pool is not None and len(chosen) > 1:
+        # Worker telemetry payloads fold back into this process's
+        # registry (the pool owns the call_traced/absorb dance).
+        return pool.map_traced(
+            _probe_and_compare,
+            [
+                (name, machine, offline, online, probe_config, 8, fast)
                 for name in chosen
-            ]
-            if traced:
-                rows = []
-                for future in futures:
-                    row, payload = future.result()
-                    absorb_payload(payload)
-                    rows.append(row)
-                return rows
-            return [future.result() for future in futures]
+            ],
+        )
     return [
         _probe_and_compare(name, machine, offline, online, probe_config,
                            fast=fast)
@@ -559,30 +545,16 @@ def fig7_partitioning(
 
     results: List[Fig7Result] = []
     for name_a, name_b in pairs:
-        if max_workers is not None and max_workers > 1:
-            from concurrent.futures import ProcessPoolExecutor
-
-            traced = telemetry_enabled()
-            with ProcessPoolExecutor(max_workers=2) as pool:
-                futures = [
-                    pool.submit(
-                        call_traced, _probe_and_compare, name, machine,
-                        offline, OnlineProbeConfig(), ProbeConfig(), 8, fast,
-                    ) if traced else pool.submit(
-                        _probe_and_compare, name, machine, offline,
-                        OnlineProbeConfig(), ProbeConfig(), 8, fast,
-                    )
+        pool = get_pool(max_workers)
+        if pool is not None:
+            row_a, row_b = pool.map_traced(
+                _probe_and_compare,
+                [
+                    (name, machine, offline, OnlineProbeConfig(),
+                     ProbeConfig(), 8, fast)
                     for name in (name_a, name_b)
-                ]
-                if traced:
-                    rows = []
-                    for future in futures:
-                        row, payload = future.result()
-                        absorb_payload(payload)
-                        rows.append(row)
-                    row_a, row_b = rows
-                else:
-                    row_a, row_b = [future.result() for future in futures]
+                ],
+            )
         else:
             row_a = _probe_and_compare(
                 name_a, machine, offline, OnlineProbeConfig(), ProbeConfig(),

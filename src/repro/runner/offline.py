@@ -17,8 +17,8 @@ from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
 from repro.core.mrc import MissRateCurve
-from repro.obs import absorb_payload, call_traced, telemetry_enabled
 from repro.runner.driver import Process, drive, drive_batch
+from repro.runner.pool import get_pool
 from repro.sim.cpu import IssueMode
 from repro.sim.hierarchy import MemoryHierarchy
 from repro.sim.machine import MachineConfig
@@ -114,35 +114,27 @@ def real_mrc(
             every size ``1..num_colors``.
         max_workers: run the per-size measurements in parallel worker
             processes (the runs are fully independent, so the curve is
-            identical to the sequential one).  ``None`` keeps the
+            identical to the sequential one).  ``None`` falls back to
+            the process-wide ``--sim-workers`` default, then to the
             sequential in-process loop.
     """
     chosen = list(sizes) if sizes is not None else list(
         range(1, machine.num_colors + 1)
     )
     points = {}
-    if max_workers is not None and max_workers > 1 and len(chosen) > 1:
-        from concurrent.futures import ProcessPoolExecutor
-
-        # With telemetry on, workers run under call_traced and hand back
-        # (result, payload); the payloads merge into this process's
-        # registry, so the pooled run reports like the sequential one.
-        traced = telemetry_enabled()
-        with ProcessPoolExecutor(max_workers=max_workers) as pool:
-            futures = {}
-            for size in chosen:
-                run_args = (
-                    workload, machine, list(range(size)), config, seed_offset,
-                )
-                futures[size] = pool.submit(
-                    call_traced, measure_mpki, *run_args,
-                ) if traced else pool.submit(measure_mpki, *run_args)
-            for size, future in futures.items():
-                if traced:
-                    points[size], payload = future.result()
-                    absorb_payload(payload)
-                else:
-                    points[size] = future.result()
+    pool = get_pool(max_workers)
+    if pool is not None and len(chosen) > 1:
+        # Worker runs are traced and their telemetry payloads fold back
+        # into this process's registry, so the pooled run reports like
+        # the sequential one.
+        measured = pool.map_traced(
+            measure_mpki,
+            [
+                (workload, machine, list(range(size)), config, seed_offset)
+                for size in chosen
+            ],
+        )
+        points = dict(zip(chosen, measured))
     else:
         for size in chosen:
             colors = list(range(size))

@@ -41,6 +41,7 @@ from repro.reliability.quality import (
 )
 from repro.runner.driver import Process, drive, drive_batch
 from repro.sim.cpu import IssueMode
+from repro.sim.fastsim import CollectorStop
 from repro.sim.hierarchy import MemoryHierarchy
 from repro.sim.machine import MachineConfig
 from repro.sim.memory import PageAllocator
@@ -231,7 +232,7 @@ def collect_trace(
                 hierarchy,
                 online.resolved_max_accesses(machine, log_entries),
                 observer=collector.observe,
-                stop=lambda: collector.done,
+                stop=CollectorStop(collector),
             )
             collector.observe_instructions(
                 process.instructions - instructions_before

@@ -70,9 +70,12 @@ from repro.sim.hierarchy import AccessResult, MemoryHierarchy
 __all__ = [
     "DEFAULT_SLAB",
     "BatchAccessSource",
+    "CollectorStop",
     "FastStepper",
+    "NativeCorun",
     "drive_batch",
     "kernel_eligible",
+    "native_eligible",
     "slab_eligible",
 ]
 
@@ -156,6 +159,28 @@ def _source_for(process, slab_size: int = DEFAULT_SLAB) -> BatchAccessSource:
     return source
 
 
+class CollectorStop:
+    """Early-stop predicate "the collector is done", in declarative form.
+
+    Behaviourally identical to ``lambda: collector.done``, but the
+    batched engines can *reason* about it: the predicate is a pure
+    function of the named collector's state, which only changes through
+    the events the drive itself feeds.  That is what lets the native
+    engine run a chunk ahead of the observer and rewind to the exact
+    access where ``done`` first turned true.  An opaque callable (plain
+    lambda) is still honoured everywhere -- it simply keeps the drive on
+    the per-access slab path.
+    """
+
+    __slots__ = ("collector",)
+
+    def __init__(self, collector):
+        self.collector = collector
+
+    def __call__(self) -> bool:
+        return bool(self.collector.done)
+
+
 # ---------------------------------------------------------------------------
 # Eligibility gates
 # ---------------------------------------------------------------------------
@@ -186,6 +211,32 @@ def kernel_eligible(process, hierarchy: MemoryHierarchy) -> bool:
         and not process._pf_config.enabled
         and not hierarchy._prefetched_l1[process.core]
     )
+
+
+def native_eligible(process, hierarchy: MemoryHierarchy) -> bool:
+    """True when the compiled C engine covers this configuration.
+
+    The C engine transliterates the slab-scalar loop, so it inherits the
+    LRU-only gate and adds its own: the victim L3 must be LRU (or off),
+    and the prefetcher geometry must fit the engine's fixed bounds.
+    Returns False when the engine is disabled (``REPRO_NATIVE=0``) or no
+    C compiler was available to build it.
+    """
+    if not slab_eligible(process, hierarchy):
+        return False
+    l3 = hierarchy.l3
+    if l3.enabled and not (
+        l3._cache is not None and l3._cache.config.replacement == "lru"
+    ):
+        return False
+    config = process._pf_config
+    if config.enabled and not (
+        1 <= config.depth <= 64 and config.num_streams >= 1
+    ):
+        return False
+    from repro.sim.native import native_available
+
+    return native_available()
 
 
 # ---------------------------------------------------------------------------
@@ -808,6 +859,167 @@ def _drive_slab(
 
 
 # ---------------------------------------------------------------------------
+# Native (compiled) path
+# ---------------------------------------------------------------------------
+
+def _drive_native(
+    process,
+    hierarchy: MemoryHierarchy,
+    num_accesses: int,
+    events_fn,
+    stop: Optional[Callable[[], bool]],
+    source: BatchAccessSource,
+    slab_size: int,
+) -> Tuple[int, int, bool]:
+    """Solo drive on the compiled C engine.
+
+    ``events_fn`` is the collector's ``observe_events`` bound method (or
+    None for an unobserved run).  Observed chunks run ahead of the
+    collector and are rewound to the exact access on which the stop
+    predicate first fired: snapshot, simulate, feed the recorded events,
+    and if the collector consumed fewer events than the engine produced,
+    restore the snapshot and deterministically re-run exactly the
+    consumed prefix.
+
+    Returns ``(executed, chunks, finished)``.  ``finished`` False means
+    the native path bailed (a chunk held negative virtual addresses,
+    where C's truncating division diverges) and the caller must finish
+    the remaining accesses on a Python path -- state is committed, so
+    the hand-off is seamless.
+    """
+    from repro.sim import native as _native
+
+    session = _native.NativeSession(hierarchy, [process])
+    proc = session.procs[0]
+    events = None
+    if events_fn is not None:
+        config = process._pf_config
+        depth = config.depth if config.enabled else 0
+        events = _native.EventBuffer(min(slab_size, 1 << 14), depth)
+
+    executed = 0
+    chunks = 0
+    limit = num_accesses
+    session.adopt()
+    try:
+        if events is None and stop is not None and stop():
+            # Scalar parity: the per-access loop executes one access and
+            # only then consults the predicate, so a predicate that is
+            # already true still consumes exactly one access.  (Without
+            # an observer the predicate's state cannot change mid-run.)
+            limit = 1
+        while executed < limit:
+            if session.chunk_remaining(0) == 0:
+                vaddrs, stores = source.take(slab_size)
+                chunks += 1
+                try:
+                    session.set_chunk(0, vaddrs, stores)
+                except _native.NativeVaddrError:
+                    source.push_back(vaddrs, stores)
+                    return executed, chunks, False
+
+            if events is None:
+                quota = limit - executed
+                ran = session.run_solo(0, quota)
+                executed += ran
+                if ran == quota:
+                    break
+                reason = proc.stop_reason
+                if reason != _native.STOP_REFILL:
+                    session.grow(0, reason)
+                continue
+
+            quota = min(limit - executed, events.cap)
+            snap = session.snapshot(0)
+            events.reset()
+            ran = session.run_solo(0, quota, events)
+            lines, hits, prefetched = events.drain()
+            consumed = events_fn(lines, hits, prefetched)
+            while stop is None and consumed < ran:
+                # No stop predicate: the scalar loop keeps feeding the
+                # (now done) collector, so feed the tail through too.
+                consumed += events_fn(
+                    lines[consumed:],
+                    hits[consumed:],
+                    prefetched[consumed:] if prefetched is not None else None,
+                )
+            if consumed < ran:
+                # The collector finished mid-chunk: rewind the engine
+                # and replay exactly the consumed prefix (deterministic,
+                # all prechecks already passed on the first run).
+                session.restore(0, snap)
+                rerun = session.run_solo(0, consumed)
+                if rerun != consumed:
+                    raise AssertionError(
+                        "native replay diverged (engine bug)"
+                    )
+                executed += consumed
+                return executed, chunks, True
+            executed += ran
+            if stop is not None and stop():
+                return executed, chunks, True
+            if ran < quota:
+                reason = proc.stop_reason
+                if reason != _native.STOP_REFILL:
+                    session.grow(0, reason)
+    finally:
+        session.commit()
+    return executed, chunks, True
+
+
+class NativeCorun:
+    """Compiled co-run scheduler: all cores interleave inside one C call.
+
+    Replaces the per-access heap loop of ``runner.corun``'s quota legs
+    with :func:`repro_corun`, which repeatedly steps the process with
+    the lowest (cycles, index) key -- the exact argmin order the heap
+    produces -- until some process completes its quota.  Legs commit on
+    return, so warmup resets and scalar interleaving see live state.
+    """
+
+    def __init__(self, processes, hierarchy: MemoryHierarchy,
+                 slab_size: int = DEFAULT_SLAB):
+        from repro.sim import native as _native
+
+        self._native = _native
+        self.processes = list(processes)
+        self.slab_size = slab_size
+        self.sources = [_source_for(p, slab_size) for p in self.processes]
+        self.session = _native.NativeSession(hierarchy, self.processes)
+
+    def run_until(self, start, target_extra: int) -> bool:
+        """Run every process until one has executed ``target_extra``
+        accesses beyond its entry in ``start``.
+
+        Returns False (with all state committed) when a chunk with
+        negative virtual addresses forces the leg back onto the Python
+        stepper path; no process has reached its quota at that point.
+        """
+        native = self._native
+        session = self.session
+        session.adopt()
+        try:
+            while True:
+                finisher, reason, proc = session.run_corun(
+                    start, target_extra
+                )
+                if finisher >= 0:
+                    return True
+                if reason == native.STOP_REFILL:
+                    source = self.sources[proc]
+                    vaddrs, stores = source.take(self.slab_size)
+                    try:
+                        session.set_chunk(proc, vaddrs, stores)
+                    except native.NativeVaddrError:
+                        source.push_back(vaddrs, stores)
+                        return False
+                else:
+                    session.grow(proc, reason)
+        finally:
+            session.commit()
+
+
+# ---------------------------------------------------------------------------
 # Entry point
 # ---------------------------------------------------------------------------
 
@@ -840,22 +1052,68 @@ def drive_batch(
                      observer=observer, stop=stop)
     started = time.perf_counter()
     source = _source_for(process, slab_size)
-    if observer is None and stop is None and kernel_eligible(process, hierarchy):
-        engine = "kernel"
-        executed, slabs = _drive_kernel(
-            process, hierarchy, num_accesses, source, slab_size
+
+    # Native dispatch: an observer must be a collector exposing the
+    # batched ``observe_events`` protocol, and the stop predicate must
+    # be absent or a ``CollectorStop`` over that same collector (so the
+    # run-ahead engine can locate the exact stop access by rewinding).
+    use_native = False
+    native_events = None
+    if native_eligible(process, hierarchy):
+        if observer is None:
+            use_native = stop is None or isinstance(stop, CollectorStop)
+        else:
+            owner = getattr(observer, "__self__", None)
+            native_events = getattr(owner, "observe_events", None)
+            use_native = native_events is not None and (
+                stop is None
+                or (isinstance(stop, CollectorStop)
+                    and stop.collector is owner)
+            )
+
+    engine = None
+    executed = 0
+    slabs = 0
+    finished = False
+    if use_native:
+        engine = "native"
+        executed, slabs, finished = _drive_native(
+            process, hierarchy, num_accesses, native_events, stop,
+            source, slab_size,
         )
-    else:
-        engine = "slab"
-        executed = _drive_slab(
-            process, hierarchy, num_accesses, observer, stop, source, slab_size
-        )
-        slabs = -(-executed // slab_size) if executed else 0
+    if not finished and executed < num_accesses:
+        # Either native was ineligible, or it bailed mid-run (negative
+        # vaddr chunk): finish the remainder on the Python paths.  State
+        # was committed, so the hand-off is access-exact.
+        remaining = num_accesses - executed
+        if (observer is None and stop is None
+                and kernel_eligible(process, hierarchy)):
+            if engine is None:
+                engine = "kernel"
+            more, kslabs = _drive_kernel(
+                process, hierarchy, remaining, source, slab_size
+            )
+            executed += more
+            slabs += kslabs
+        else:
+            if engine is None:
+                engine = "slab"
+            more = _drive_slab(
+                process, hierarchy, remaining, observer, stop, source,
+                slab_size,
+            )
+            executed += more
+            slabs += -(-more // slab_size) if more else 0
     if telemetry.enabled:
         registry = telemetry.registry
         registry.counter("sim.batch_accesses", engine=engine).inc(executed)
-        registry.counter("sim.batch_slabs", engine=engine).inc(max(slabs, 1))
+        if slabs:
+            registry.counter("sim.batch_slabs", engine=engine).inc(slabs)
         elapsed = time.perf_counter() - started
-        if executed and elapsed > 0.0:
-            registry.gauge("sim.accesses_per_sec").set(executed / elapsed)
+        # Wall time as a counter so throughput survives worker fold-back
+        # (a gauge would keep only one worker's last value; the report
+        # layer derives accesses/sec from the two counter totals).
+        registry.counter("sim.batch_ns", engine=engine).inc(
+            max(1, int(elapsed * 1e9))
+        )
     return executed

@@ -209,3 +209,20 @@ class TestExpansion:
         assert (cell_id("mcf", machine, "rangelist", 3)
                 == cell_id("mcf", machine, "rangelist", 3)
                 == "mcf__s32-scalar__rangelist__seed3")
+
+
+class TestRealWorkers:
+    def test_round_trip_and_expansion(self):
+        spec = small_spec(measure_real=True, real_workers=2)
+        assert CampaignSpec.from_dict(spec.to_dict()) == spec
+        assert spec.to_dict()["real_workers"] == 2
+        assert all(cell["real_workers"] == 2 for cell in spec.expand())
+
+    def test_default_is_absent(self):
+        spec = small_spec()
+        assert "real_workers" not in spec.to_dict()
+        assert all(cell["real_workers"] is None for cell in spec.expand())
+
+    def test_invalid_rejected(self):
+        with pytest.raises(ValueError, match="real_workers"):
+            small_spec(real_workers=0)

@@ -207,14 +207,20 @@ class TestEligibility:
         assert report.counter_total("sim.batch_accesses") == 0
 
     def test_batch_path_counts_accesses(self):
+        from repro.sim.fastsim import native_eligible
+
         telemetry = Telemetry.in_memory()
         hierarchy, process = _build(MACHINE, "jbb", prefetch=False)
+        engine = (
+            "native" if native_eligible(process, hierarchy) else "kernel"
+        )
         with use_telemetry(telemetry):
             drive_batch(process, hierarchy, 4_000)
         report = RunReport.from_telemetry(telemetry)
         assert report.counter_by_label(
             "sim.batch_accesses", "engine"
-        ) == {"kernel": 4_000}
+        ) == {engine: 4_000}
+        assert report.counter_total("sim.batch_ns") > 0
         assert report.sim_engine() == "batch"
 
 
